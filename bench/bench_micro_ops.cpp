@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks: single-threaded per-operation cost
+// of every algorithm at several tree sizes. Complements the throughput
+// harnesses with statistically disciplined per-op latency numbers (the
+// external-vs-internal path-length discussion of §5 is directly visible
+// in the search timings).
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "lfbst/lfbst.hpp"
+
+namespace {
+
+using namespace lfbst;
+
+template <typename Tree>
+void fill_to(Tree& tree, std::int64_t n, pcg32& rng, std::int64_t range) {
+  std::int64_t filled = 0;
+  while (filled < n) {
+    if (tree.insert(static_cast<long>(rng.next64() % range))) ++filled;
+  }
+}
+
+template <typename Tree>
+void BM_Search(benchmark::State& state) {
+  const std::int64_t size = state.range(0);
+  const std::int64_t range = size * 2;
+  Tree tree;
+  pcg32 rng(42);
+  fill_to(tree, size, rng, range);
+  pcg32 qrng(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.contains(static_cast<long>(qrng.next64() % range)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Tree>
+void BM_InsertErasePair(benchmark::State& state) {
+  const std::int64_t size = state.range(0);
+  const std::int64_t range = size * 2;
+  Tree tree;
+  pcg32 rng(42);
+  fill_to(tree, size, rng, range);
+  pcg32 qrng(44);
+  for (auto _ : state) {
+    const long k = static_cast<long>(qrng.next64() % range);
+    if (tree.insert(k)) {
+      benchmark::DoNotOptimize(tree.erase(k));
+    } else {
+      benchmark::DoNotOptimize(tree.erase(k));
+      tree.insert(k);
+    }
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+
+#define LFBST_REGISTER(tree_type, tag)                                   \
+  BENCHMARK_TEMPLATE(BM_Search, tree_type)                               \
+      ->Name("Search/" tag)                                              \
+      ->Arg(1'000)                                                       \
+      ->Arg(100'000);                                                    \
+  BENCHMARK_TEMPLATE(BM_InsertErasePair, tree_type)                      \
+      ->Name("InsertErasePair/" tag)                                     \
+      ->Arg(1'000)                                                       \
+      ->Arg(100'000)
+
+LFBST_REGISTER(nm_tree<long>, "NM-BST");
+LFBST_REGISTER(efrb_tree<long>, "EFRB-BST");
+LFBST_REGISTER(hj_tree<long>, "HJ-BST");
+LFBST_REGISTER(bcco_tree<long>, "BCCO-BST");
+LFBST_REGISTER(dvy_tree<long>, "DVY-BST");
+LFBST_REGISTER(coarse_tree<long>, "Coarse-BST");
+
+using nm_epoch = nm_tree<long, std::less<long>, reclaim::epoch>;
+LFBST_REGISTER(nm_epoch, "NM-BST-epoch");
+using nm_hazard = nm_tree<long, std::less<long>, reclaim::hazard>;
+LFBST_REGISTER(nm_hazard, "NM-BST-hazard");
+using kst4 = kary_tree<long, 4>;
+LFBST_REGISTER(kst4, "KST-4");
+using kst16 = kary_tree<long, 16>;
+LFBST_REGISTER(kst16, "KST-16");
+
+// std::set as a familiar non-concurrent reference point.
+class std_set_adapter {
+ public:
+  using key_type = long;
+  static constexpr const char* algorithm_name = "std::set";
+  bool contains(long k) const { return set_.count(k) > 0; }
+  bool insert(long k) { return set_.insert(k).second; }
+  bool erase(long k) { return set_.erase(k) > 0; }
+  std::size_t size_slow() const { return set_.size(); }
+  std::string validate() const { return ""; }
+
+ private:
+  std::set<long> set_;
+};
+LFBST_REGISTER(std_set_adapter, "std::set");
+
+}  // namespace

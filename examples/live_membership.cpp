@@ -1,0 +1,140 @@
+// Live membership service — a read-dominated scenario: a session table
+// queried by many reader threads (auth checks) while sessions churn in
+// the background (logins/logouts). Readers on the NM tree never block
+// and never take a lock: they stay correct (and the structure stays
+// valid) while the writer restructures the tree under them.
+//
+// The demo runs the same service once on the NM tree and once on the
+// coarse-lock reference and reports both. Read the numbers with care:
+// on a single-core host a coarse lock is *never contended* (only one
+// thread runs at a time), so its hot inlined critical section can win on
+// raw throughput. The lock-free advantage the paper measures (Fig. 4)
+// needs real hardware parallelism; what this demo shows on any machine
+// is progress isolation — the service keeps answering correctly no
+// matter how the writer and the scheduler interleave.
+//
+//   $ ./live_membership [--readers 3] [--millis 800] [--sessions 50000]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "harness/flags.hpp"
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "lfbst/lfbst.hpp"
+
+namespace {
+
+using namespace lfbst;
+
+struct service_report {
+  double reader_mops = 0;
+  double writer_mops = 0;
+  std::size_t final_sessions = 0;
+};
+
+template <typename Tree>
+service_report run_service(unsigned readers, std::uint64_t millis,
+                           std::uint64_t sessions) {
+  Tree table;
+  // Seed the table with half the session-id space "logged in".
+  pcg32 seed_rng(1);
+  std::uint64_t active = 0;
+  while (active < sessions / 2) {
+    if (table.insert(static_cast<long>(seed_rng.next64() % sessions))) {
+      ++active;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0}, writes{0};
+  spin_barrier barrier(readers + 2);
+  std::vector<std::thread> threads;
+
+  for (unsigned r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      pcg32 rng = pcg32::for_thread(7, r);
+      std::uint64_t n = 0;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)table.contains(static_cast<long>(rng.next64() % sessions));
+        ++n;
+      }
+      reads.fetch_add(n);
+    });
+  }
+  threads.emplace_back([&] {  // login/logout churner
+    pcg32 rng = pcg32::for_thread(9, 99);
+    std::uint64_t n = 0;
+    barrier.arrive_and_wait();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const long id = static_cast<long>(rng.next64() % sessions);
+      if (rng.bounded(2) == 0) {
+        table.insert(id);
+      } else {
+        table.erase(id);
+      }
+      ++n;
+    }
+    writes.fetch_add(n);
+  });
+
+  barrier.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  service_report rep;
+  rep.reader_mops = static_cast<double>(reads.load()) / secs / 1e6;
+  rep.writer_mops = static_cast<double>(writes.load()) / secs / 1e6;
+  rep.final_sessions = table.size_slow();
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::flags flags(argc, argv);
+  const auto readers = static_cast<unsigned>(flags.get_int("readers", 3));
+  const auto millis = static_cast<std::uint64_t>(flags.get_int("millis", 500));
+  const auto sessions =
+      static_cast<std::uint64_t>(flags.get_int("sessions", 50'000));
+
+  std::printf("live_membership: %u reader threads + 1 churner, %llu "
+              "session ids, %llu ms per engine\n\n",
+              readers, static_cast<unsigned long long>(sessions),
+              static_cast<unsigned long long>(millis));
+
+  const service_report nm =
+      run_service<nm_tree<long, std::less<long>, reclaim::epoch>>(
+          readers, millis, sessions);
+  std::printf("NM-BST (lock-free, epoch reclamation):\n"
+              "  auth checks : %.3f Mops/s\n  churn       : %.3f Mops/s\n"
+              "  sessions    : %zu\n\n",
+              nm.reader_mops, nm.writer_mops, nm.final_sessions);
+
+  const service_report coarse =
+      run_service<coarse_tree<long>>(readers, millis, sessions);
+  std::printf("Coarse-BST (one lock around everything):\n"
+              "  auth checks : %.3f Mops/s\n  churn       : %.3f Mops/s\n"
+              "  sessions    : %zu\n\n",
+              coarse.reader_mops, coarse.writer_mops,
+              coarse.final_sessions);
+
+  std::printf("reader throughput ratio (NM / coarse): %.2fx\n",
+              nm.reader_mops / coarse.reader_mops);
+  std::printf(
+      "note: with %u hardware threads a coarse lock is %s; the paper's\n"
+      "lock-free wins (Fig. 4) require cores actually running in "
+      "parallel.\n",
+      std::thread::hardware_concurrency(),
+      std::thread::hardware_concurrency() > 1 ? "contended"
+                                              : "never contended");
+  return 0;
+}

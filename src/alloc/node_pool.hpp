@@ -1,0 +1,130 @@
+// lfbst: thread-local slab allocator for fixed-size tree nodes.
+//
+// Role in the reproduction: the paper links every implementation against
+// TCMalloc because glibc malloc serializes multi-threaded allocation and
+// would dominate the measurement (paper §4, "Experimental Setup"). This
+// pool is our TCMalloc stand-in (DESIGN.md substitution table): each
+// thread bump-allocates out of a private slab and recycles freed blocks
+// through a private free list, so the allocation fast path is a handful
+// of thread-local instructions and never contends.
+//
+// Properties the trees rely on:
+//   * Blocks are at least 8-byte aligned — the NM-BST steals the low two
+//     pointer bits, so 4-byte alignment is the hard floor.
+//   * Blocks are never returned to the OS while the pool lives; with the
+//     `leaky` reclaimer this gives the paper's "no memory reclamation"
+//     regime while still freeing everything at tree destruction (ASAN
+//     and valgrind stay clean).
+//   * deallocate() may be called from any thread (epoch reclamation
+//     frees from whichever thread flushes the limbo list).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/cacheline.hpp"
+#include "common/spinlock.hpp"
+#include "common/thread_id.hpp"
+
+namespace lfbst {
+
+/// Fixed-block-size pool. `block_size` is fixed at construction; all
+/// allocate() calls must request at most that size. One pool instance
+/// typically serves all node types of one tree (sized to the largest).
+class node_pool {
+ public:
+  /// `block_size` is rounded up to 16 bytes for alignment; `slab_bytes`
+  /// is how much each thread grabs from the global arena at a time.
+  explicit node_pool(std::size_t block_size,
+                     std::size_t slab_bytes = 1u << 16)
+      : block_size_(round_up(block_size, 16)),
+        blocks_per_slab_(slab_bytes / round_up(block_size, 16)) {
+    LFBST_ASSERT(blocks_per_slab_ > 0, "slab must fit at least one block");
+  }
+
+  node_pool(const node_pool&) = delete;
+  node_pool& operator=(const node_pool&) = delete;
+
+  ~node_pool() {
+    for (void* slab : slabs_) ::operator delete(slab, std::align_val_t{16});
+  }
+
+  /// Allocates one block. Fast path: pop the calling thread's free list
+  /// or bump the thread's slab cursor; slow path: grab a new slab.
+  void* allocate(std::size_t size) {
+    LFBST_ASSERT(size <= block_size_, "request exceeds pool block size");
+    (void)size;
+    local_state& local = locals_[this_thread_index()].value;
+    if (local.free_list != nullptr) {
+      free_node* head = local.free_list;
+      local.free_list = head->next;
+      return head;
+    }
+    if (local.remaining == 0) refill(local);
+    void* block = local.cursor;
+    local.cursor += block_size_;
+    --local.remaining;
+    return block;
+  }
+
+  /// Returns a block to the calling thread's free list. Safe from any
+  /// thread; the block simply migrates to the deallocator's list.
+  void deallocate(void* block) noexcept {
+    if (block == nullptr) return;
+    local_state& local = locals_[this_thread_index()].value;
+    auto* node = static_cast<free_node*>(block);
+    node->next = local.free_list;
+    local.free_list = node;
+  }
+
+  [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+
+  /// Total bytes currently held in slabs (diagnostics; racy but
+  /// monotone, good enough for memory-footprint reporting).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    std::lock_guard<spinlock> g(slabs_lock_);
+    return slabs_.size() * blocks_per_slab_ * block_size_;
+  }
+
+ private:
+  struct free_node {
+    free_node* next;
+  };
+
+  struct local_state {
+    std::byte* cursor = nullptr;
+    std::size_t remaining = 0;
+    free_node* free_list = nullptr;
+  };
+
+  static constexpr std::size_t round_up(std::size_t v,
+                                        std::size_t align) noexcept {
+    return (v + align - 1) / align * align;
+  }
+
+  void refill(local_state& local) {
+    auto* slab = static_cast<std::byte*>(
+        ::operator new(blocks_per_slab_ * block_size_,
+                       std::align_val_t{16}));
+    {
+      std::lock_guard<spinlock> g(slabs_lock_);
+      slabs_.push_back(slab);
+    }
+    local.cursor = slab;
+    local.remaining = blocks_per_slab_;
+  }
+
+  const std::size_t block_size_;
+  const std::size_t blocks_per_slab_;
+
+  mutable spinlock slabs_lock_;
+  std::vector<void*> slabs_;
+
+  padded<local_state> locals_[max_threads];
+};
+
+}  // namespace lfbst

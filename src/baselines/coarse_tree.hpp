@@ -1,0 +1,184 @@
+// lfbst: coarse-grained reference baseline — a plain sequential internal
+// BST behind a single lock.
+//
+// Not part of the paper's evaluation; it exists because every concurrent
+// data-structure repo needs a trivially-auditable implementation: the
+// cross-implementation contract tests use it as a sanity anchor, and the
+// benchmarks include it as the "what a single lock costs" floor. It is
+// deliberately unbalanced (like the NM/EFRB/HJ trees) so path lengths
+// are comparable.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "alloc/node_pool.hpp"
+#include "common/spinlock.hpp"
+#include "core/stats.hpp"
+#include "reclaim/leaky.hpp"
+
+namespace lfbst {
+
+template <typename Key, typename Compare = std::less<Key>,
+          typename Reclaimer = reclaim::leaky, typename Stats = stats::none>
+class coarse_tree {
+ public:
+  using key_type = Key;
+  using stats_policy = Stats;
+  using reclaimer_type = Reclaimer;
+
+  static constexpr const char* algorithm_name = "Coarse-BST";
+
+  coarse_tree() : pool_(sizeof(node)) {}
+  coarse_tree(const coarse_tree&) = delete;
+  coarse_tree& operator=(const coarse_tree&) = delete;
+
+  ~coarse_tree() {
+    std::vector<node*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+      node* n = stack.back();
+      stack.pop_back();
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
+      n->~node();
+      pool_.deallocate(n);
+    }
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    std::lock_guard<spinlock> g(lock_);
+    const node* n = root_;
+    while (n != nullptr) {
+      if (less_(key, n->key)) {
+        n = n->left;
+      } else if (less_(n->key, key)) {
+        n = n->right;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool insert(const Key& key) {
+    std::lock_guard<spinlock> g(lock_);
+    node** slot = &root_;
+    while (*slot != nullptr) {
+      node* n = *slot;
+      if (less_(key, n->key)) {
+        slot = &n->left;
+      } else if (less_(n->key, key)) {
+        slot = &n->right;
+      } else {
+        return false;
+      }
+    }
+    Stats::on_alloc();
+    *slot = new (pool_.allocate(sizeof(node))) node{key, nullptr, nullptr};
+    ++size_;
+    return true;
+  }
+
+  bool erase(const Key& key) {
+    std::lock_guard<spinlock> g(lock_);
+    node** slot = &root_;
+    while (*slot != nullptr && !eq(key, (*slot)->key)) {
+      slot = less_(key, (*slot)->key) ? &(*slot)->left : &(*slot)->right;
+    }
+    node* victim = *slot;
+    if (victim == nullptr) return false;
+    if (victim->left != nullptr && victim->right != nullptr) {
+      // Two children: steal the in-order successor's key, delete it.
+      node** succ_slot = &victim->right;
+      while ((*succ_slot)->left != nullptr) succ_slot = &(*succ_slot)->left;
+      node* succ = *succ_slot;
+      victim->key = succ->key;
+      *succ_slot = succ->right;
+      victim = succ;
+    } else {
+      *slot = (victim->left != nullptr) ? victim->left : victim->right;
+    }
+    victim->~node();
+    pool_.deallocate(victim);
+    --size_;
+    return true;
+  }
+
+  // --- quiescent observers (lock-protected, so also safe live) ---------
+
+  [[nodiscard]] std::size_t size_slow() const {
+    std::lock_guard<spinlock> g(lock_);
+    return size_;
+  }
+
+  template <typename F>
+  void for_each_slow(F&& fn) const {
+    std::lock_guard<spinlock> g(lock_);
+    std::vector<const node*> spine;
+    const node* n = root_;
+    while (n != nullptr || !spine.empty()) {
+      while (n != nullptr) {
+        spine.push_back(n);
+        n = n->left;
+      }
+      const node* top = spine.back();
+      spine.pop_back();
+      fn(top->key);
+      n = top->right;
+    }
+  }
+
+  [[nodiscard]] std::string validate() const {
+    std::lock_guard<spinlock> g(lock_);
+    std::string err;
+    struct frame {
+      const node* n;
+      const Key* low;
+      const Key* high;
+    };
+    if (root_ == nullptr) return err;
+    std::vector<frame> stack{{root_, nullptr, nullptr}};
+    std::vector<Key> bounds;
+    bounds.reserve(size_ + 1);
+    std::size_t count = 0;
+    while (!stack.empty()) {
+      auto [n, low, high] = stack.back();
+      stack.pop_back();
+      ++count;
+      if (low != nullptr && !less_(*low, n->key)) err += "key <= low; ";
+      if (high != nullptr && !less_(n->key, *high)) err += "key >= high; ";
+      bounds.push_back(n->key);
+      const Key* kp = &bounds.back();
+      if (n->left != nullptr) stack.push_back({n->left, low, kp});
+      if (n->right != nullptr) stack.push_back({n->right, kp, high});
+    }
+    if (count != size_) err += "size counter out of sync; ";
+    return err;
+  }
+
+  [[nodiscard]] std::size_t reclaimer_pending() const { return 0; }
+
+ private:
+  struct node {
+    Key key;
+    node* left;
+    node* right;
+  };
+
+  bool eq(const Key& a, const Key& b) const {
+    return !less_(a, b) && !less_(b, a);
+  }
+
+  [[no_unique_address]] Compare less_{};
+  mutable spinlock lock_;
+  mutable node_pool pool_;
+  node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lfbst

@@ -1,0 +1,27 @@
+// lfbst: assertion macros.
+//
+// LFBST_ASSERT is active in all build types by default — lock-free
+// invariant violations must fail loudly in RelWithDebInfo benchmark
+// runs, not silently corrupt a later measurement. Define
+// LFBST_DISABLE_ASSERTS to compile them out for peak-throughput runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(LFBST_DISABLE_ASSERTS)
+#define LFBST_ASSERT(cond, msg) ((void)0)
+#else
+#define LFBST_ASSERT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      std::fprintf(stderr, "lfbst assertion failed: %s\n  at %s:%d\n  %s\n", \
+                   #cond, __FILE__, __LINE__, msg);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+#endif
+
+// Invariants that are cheap enough to keep even in hot paths get
+// LFBST_ASSERT; expensive structural checks live in validate.hpp and are
+// invoked explicitly by tests.

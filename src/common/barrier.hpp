@@ -1,0 +1,48 @@
+// lfbst: sense-reversing spin barrier for benchmark start/stop lines.
+//
+// std::barrier exists, but a benchmark start line needs every thread to
+// leave the barrier as close to simultaneously as possible; the futex
+// wake cascade of std::barrier smears wake-ups over tens of
+// microseconds. A sense-reversing spin barrier releases all waiters with
+// a single store. We fall back to yielding while spinning so the barrier
+// also behaves on oversubscribed machines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+
+namespace lfbst {
+
+class spin_barrier {
+ public:
+  explicit spin_barrier(std::uint32_t parties) noexcept
+      : parties_(parties), remaining_(parties), sense_(false) {}
+
+  spin_barrier(const spin_barrier&) = delete;
+  spin_barrier& operator=(const spin_barrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived. Reusable: each
+  /// generation flips the global sense.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver resets the count and releases everyone.
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    backoff delay;
+    while (sense_.load(std::memory_order_acquire) != my_sense) delay();
+  }
+
+ private:
+  const std::uint32_t parties_;
+  alignas(cacheline_size) std::atomic<std::uint32_t> remaining_;
+  alignas(cacheline_size) std::atomic<bool> sense_;
+};
+
+}  // namespace lfbst

@@ -1,0 +1,35 @@
+// lfbst: cache-line geometry helpers.
+//
+// Concurrent counters, locks and per-thread slots are padded to a cache
+// line so that logically independent state never shares a line (false
+// sharing turns O(1) thread-local work into cross-core traffic).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace lfbst {
+
+// A fixed 64 rather than std::hardware_destructive_interference_size:
+// the standard constant varies with -mtune (GCC even warns about using
+// it across an ABI), while 64 bytes is correct for every x86-64 part and
+// the common AArch64 ones; on the rare 128-byte-line machine the only
+// cost is adjacent-line prefetcher noise, not correctness.
+inline constexpr std::size_t cacheline_size = 64;
+
+/// Wraps a value in its own cache line. Use for elements of per-thread
+/// arrays that are written by different threads.
+template <typename T>
+struct alignas(cacheline_size) padded {
+  T value{};
+
+  padded() = default;
+  explicit padded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace lfbst

@@ -1,0 +1,48 @@
+// lfbst: test-and-test-and-set spinlock.
+//
+// Used by the lock-based baselines (BCCO per-node locks, the coarse
+// reference tree). TTAS with backoff: the inner read loop spins on a
+// locally cached line and only attempts the RMW when the lock looks
+// free, so contended acquisition does not saturate the interconnect.
+// Meets Lockable, so std::lock_guard / std::scoped_lock work.
+#pragma once
+
+#include <atomic>
+
+#include "common/backoff.hpp"
+
+namespace lfbst {
+
+class spinlock {
+ public:
+  spinlock() noexcept = default;
+  spinlock(const spinlock&) = delete;
+  spinlock& operator=(const spinlock&) = delete;
+
+  void lock() noexcept {
+    backoff delay;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // Spin on a plain load until the lock looks free; only then retry
+      // the exchange. Avoids ping-ponging the line in exclusive state.
+      while (locked_.load(std::memory_order_relaxed)) delay();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  /// Observational query for assertions only (inherently racy).
+  [[nodiscard]] bool is_locked_hint() const noexcept {
+    return locked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace lfbst

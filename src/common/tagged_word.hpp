@@ -1,0 +1,178 @@
+// lfbst: tagged pointer words — the central substrate of the NM-BST.
+//
+// The Natarajan–Mittal algorithm coordinates conflicting operations by
+// stealing two low-order bits from every child pointer stored in a tree
+// node (paper §3.2):
+//
+//   bit 0: flag  — the edge's head node (a leaf) is being deleted; both
+//                  the edge's tail and head will leave the tree.
+//   bit 1: tag   — only the edge's tail node will leave the tree.
+//
+// Once either bit is set, the address part of that word never changes
+// again ("once an edge has been marked, it cannot be changed"). That
+// freeze is what lets a helper walk marked regions without validation.
+//
+// This header provides:
+//   * tagged_ptr<Node>  — an immutable value: (address, flag, tag).
+//   * tagged_word<Node> — an atomic cell holding a tagged_ptr, with the
+//     three primitives the algorithm needs: load, CAS, and BTS
+//     (bit-test-and-set on the tag bit, realized as fetch_or — the exact
+//     lowering x86-64 uses for LOCK BTS — plus a CAS-only fallback for
+//     the paper's "can be easily modified to use only CAS" variant).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/assert.hpp"
+
+namespace lfbst {
+
+/// An immutable (pointer, flag, tag) triple packed into one machine word.
+///
+/// `Node` must be at least 4-byte aligned so the low two bits of any
+/// valid node address are zero. Every heap allocation of a struct
+/// containing a pointer or a word-sized integer satisfies this on all
+/// supported targets; we still assert it at compile time where the node
+/// type is complete.
+template <typename Node>
+class tagged_ptr {
+ public:
+  static constexpr std::uintptr_t flag_bit = 0x1;
+  static constexpr std::uintptr_t tag_bit = 0x2;
+  static constexpr std::uintptr_t mark_mask = flag_bit | tag_bit;
+  static constexpr std::uintptr_t addr_mask = ~mark_mask;
+
+  constexpr tagged_ptr() noexcept : bits_(0) {}
+
+  /// Packs an address with explicit mark bits.
+  tagged_ptr(Node* address, bool flagged, bool tagged) noexcept
+      : bits_(reinterpret_cast<std::uintptr_t>(address) |
+              (flagged ? flag_bit : 0) | (tagged ? tag_bit : 0)) {
+    LFBST_ASSERT((reinterpret_cast<std::uintptr_t>(address) & mark_mask) == 0,
+                 "node address must be 4-byte aligned to steal 2 bits");
+  }
+
+  /// Convenience: a clean (unmarked) pointer.
+  static tagged_ptr clean(Node* address) noexcept {
+    return tagged_ptr(address, /*flagged=*/false, /*tagged=*/false);
+  }
+
+  static constexpr tagged_ptr from_raw(std::uintptr_t raw) noexcept {
+    tagged_ptr p;
+    p.bits_ = raw;
+    return p;
+  }
+
+  [[nodiscard]] Node* address() const noexcept {
+    return reinterpret_cast<Node*>(bits_ & addr_mask);
+  }
+  [[nodiscard]] bool flagged() const noexcept { return bits_ & flag_bit; }
+  [[nodiscard]] bool tagged() const noexcept { return bits_ & tag_bit; }
+  /// True if either mark bit is set (the edge is owned by a delete).
+  [[nodiscard]] bool marked() const noexcept { return bits_ & mark_mask; }
+  [[nodiscard]] std::uintptr_t raw() const noexcept { return bits_; }
+
+  /// The same address with different mark bits (used when copying the
+  /// flag of a frozen sibling edge onto the replacement edge, Alg. 4
+  /// line 108).
+  [[nodiscard]] tagged_ptr with_marks(bool flagged, bool tagged) const noexcept {
+    tagged_ptr p;
+    p.bits_ = (bits_ & addr_mask) | (flagged ? flag_bit : 0) |
+              (tagged ? tag_bit : 0);
+    return p;
+  }
+
+  friend bool operator==(tagged_ptr a, tagged_ptr b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(tagged_ptr a, tagged_ptr b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  std::uintptr_t bits_;
+};
+
+/// An atomic cell holding a tagged_ptr — one child field of a tree node.
+///
+/// Memory-ordering discipline (documented once here, relied on
+/// everywhere): loads that begin a traversal use `acquire` so the node
+/// contents published by the releasing CAS that linked the node are
+/// visible; all RMWs (CAS, BTS) use `acq_rel` semantics or stronger. The
+/// NM algorithm's correctness argument never relies on total store
+/// order across *different* words, so seq_cst is unnecessary.
+template <typename Node>
+class tagged_word {
+ public:
+  using value_type = tagged_ptr<Node>;
+
+  tagged_word() noexcept : word_(0) {}
+  explicit tagged_word(value_type v) noexcept : word_(v.raw()) {}
+
+  tagged_word(const tagged_word&) = delete;
+  tagged_word& operator=(const tagged_word&) = delete;
+
+  [[nodiscard]] value_type load(
+      std::memory_order order = std::memory_order_acquire) const noexcept {
+    return value_type::from_raw(word_.load(order));
+  }
+
+  /// Unsynchronized store; only valid before the node is published
+  /// (node construction) or during quiescent maintenance (destructor,
+  /// validators).
+  void store_relaxed(value_type v) noexcept {
+    word_.store(v.raw(), std::memory_order_relaxed);
+  }
+
+  /// Single-word CAS, strong variant. Returns true on success. On
+  /// failure `expected` is updated with the observed value, matching
+  /// std::atomic so callers can inspect why they failed (Alg. 2 line 55
+  /// re-reads the child word after a failed CAS — the updated expected
+  /// value serves as that read).
+  bool compare_exchange(value_type& expected, value_type desired) noexcept {
+    std::uintptr_t raw = expected.raw();
+    const bool ok = word_.compare_exchange_strong(
+        raw, desired.raw(), std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    if (!ok) expected = value_type::from_raw(raw);
+    return ok;
+  }
+
+  /// Bit-test-and-set on the tag bit (paper's BTS instruction, §2).
+  /// Unconditional: succeeds regardless of the word's current value, and
+  /// the address part is untouched. Returns the value observed *before*
+  /// the set, whose flag bit callers copy to the replacement edge.
+  value_type bts_tag() noexcept {
+    return value_type::from_raw(
+        word_.fetch_or(value_type::tag_bit, std::memory_order_acq_rel));
+  }
+
+  /// The paper's CAS-only tagging variant (§1, §6): emulate BTS with a
+  /// CAS retry loop. Equivalent observable behaviour, strictly more
+  /// instructions under contention — bench_ablation --study=tagging
+  /// quantifies the difference.
+  value_type bts_tag_cas_only() noexcept {
+    std::uintptr_t observed = word_.load(std::memory_order_acquire);
+    while ((observed & value_type::tag_bit) == 0) {
+      if (word_.compare_exchange_weak(observed, observed | value_type::tag_bit,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        break;
+      }
+    }
+    return value_type::from_raw(observed);
+  }
+
+  /// Address of the underlying atomic, for tests that poke at raw state.
+  std::atomic<std::uintptr_t>& raw_atomic() noexcept { return word_; }
+
+ private:
+  std::atomic<std::uintptr_t> word_;
+};
+
+static_assert(sizeof(tagged_word<int>) == sizeof(std::uintptr_t),
+              "tagged_word must stay a single machine word");
+
+}  // namespace lfbst

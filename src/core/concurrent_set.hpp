@@ -1,0 +1,31 @@
+// lfbst: the ConcurrentSet concept shared by every tree in this repo.
+//
+// Tests, benchmarks and examples are written once against this concept
+// and instantiated per implementation, which is what makes the
+// cross-algorithm comparison of the paper's §4 reproducible from one
+// code path.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <string>
+
+namespace lfbst {
+
+/// The concurrent API every tree provides. `contains`, `insert` and
+/// `erase` are linearizable and safe to call from any number of threads
+/// concurrently; the *_slow observers require quiescence (except on the
+/// coarse tree, where the lock makes them always safe).
+template <typename T>
+concept ConcurrentSet = requires(T set, const T cset,
+                                 const typename T::key_type key) {
+  typename T::key_type;
+  { cset.contains(key) } -> std::same_as<bool>;
+  { set.insert(key) } -> std::same_as<bool>;
+  { set.erase(key) } -> std::same_as<bool>;
+  { cset.size_slow() } -> std::same_as<std::size_t>;
+  { cset.validate() } -> std::same_as<std::string>;
+  { T::algorithm_name } -> std::convertible_to<const char*>;
+};
+
+}  // namespace lfbst

@@ -1,0 +1,752 @@
+// lfbst: the paper's contribution — a lock-free external binary search
+// tree coordinated by edge marking (Natarajan & Mittal, PPoPP 2014).
+//
+// Shape: an *external* (leaf-oriented) BST. Client keys live only in
+// leaves; internal nodes hold routing keys and always have exactly two
+// children. Three sentinel keys ∞₀ < ∞₁ < ∞₂ (greater than all client
+// keys) anchor the structure so every access path has a parent and a
+// grandparent (paper Fig. 3): the root ℝ (key ∞₂) with right child
+// leaf(∞₂), ℝ's left child 𝕊 (key ∞₁) with right child leaf(∞₁), and
+// 𝕊's left child leaf(∞₀). All client activity happens in 𝕊's left
+// subtree; ℝ and 𝕊 and the three sentinel leaves are never removed and
+// their edges toward other sentinels are never marked.
+//
+// Coordination: a delete owns *edges*, not nodes. Each child word
+// carries two stolen bits (common/tagged_word.hpp):
+//   flag — head (a leaf) and tail both leave the tree,
+//   tag  — only the tail leaves the tree.
+// Marked words are frozen: their address part never changes again.
+//
+// Operations (paper §3.1–§3.2, Algorithms 1–4):
+//   search: one seek, no atomics.
+//   insert: seek; one CAS swings parent's child from the leaf to a new
+//           internal node with {new leaf, old leaf} as children. On CAS
+//           failure against a marked edge, help the conflicting delete
+//           by running cleanup(), then re-seek.
+//   delete: *injection* — CAS the flag bit onto the parent→leaf edge
+//           (one CAS; after it succeeds the operation cannot be
+//           aborted); *cleanup* — tag the sibling edge (BTS) and CAS the
+//           ancestor's child from the successor to the flagged leaf's
+//           sibling, copying the sibling edge's flag bit. Cleanup
+//           re-seeks and retries until the leaf is out of the tree; one
+//           ancestor CAS may excise a whole chain of logically deleted
+//           nodes at once (multi-leaf removal, Fig. 2).
+//
+// Progress: lock-free (§3.3). Safety: linearizable; linearization points
+// are the successful injection/removal CASes and, for searches, the end
+// of the seek phase (hit) or points derived from overlapping deletes
+// (miss) — see the paper's proof sketch, reproduced in tests by the
+// lincheck suite.
+//
+// Template policies:
+//   Key       — client key type. Must be copyable and, under the leaky
+//               reclaimer, trivially destructible.
+//   Compare   — strict weak order over Key.
+//   Reclaimer — reclaim::leaky (paper regime, default) or reclaim::epoch.
+//   Stats     — stats::none (default) or stats::counting (Table 1).
+//   Tagging   — tag_policy::bts (default) or tag_policy::cas_only.
+//   Payload   — void (default: a set) or a mapped value type (a map —
+//               see core/nm_map.hpp). With a payload, leaves carry the
+//               value and three extra operations appear: get(),
+//               insert(key, value), and insert_or_assign(), the last
+//               implementing the paper's §6 "replace" direction as a
+//               single CAS that swings the parent edge from the old
+//               leaf to a fresh (key, new value) leaf.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "alloc/node_pool.hpp"
+#include "common/assert.hpp"
+#include "common/tagged_word.hpp"
+#include "core/sentinel_key.hpp"
+#include "core/stats.hpp"
+#include "core/tag_policy.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/leaky.hpp"
+
+namespace lfbst {
+
+struct nm_tree_test_access;  // white-box hooks for the test suite
+
+template <typename Key, typename Compare = std::less<Key>,
+          typename Reclaimer = reclaim::leaky, typename Stats = stats::none,
+          typename Tagging = tag_policy::bts, typename Payload = void>
+class nm_tree {
+  static constexpr bool is_map = !std::is_void_v<Payload>;
+  struct empty_payload {};
+  /// What a leaf actually stores: nothing for a set, the value for a map.
+  using payload_t = std::conditional_t<is_map, Payload, empty_payload>;
+
+  static_assert(Reclaimer::reclaims_eagerly ||
+                    (std::is_trivially_destructible_v<Key> &&
+                     std::is_trivially_destructible_v<payload_t>),
+                "the leaky reclaimer never runs destructors of unreachable "
+                "nodes (paper regime); use reclaim::epoch for keys or "
+                "values that own resources");
+
+ public:
+  using key_type = Key;
+  using mapped_type = Payload;  // void for sets
+  using stats_policy = Stats;
+  using reclaimer_type = Reclaimer;
+
+  static constexpr const char* algorithm_name = "NM-BST";
+
+  nm_tree() : pool_(sizeof(node)) {
+    // Build the empty tree of Figure 3.
+    node* leaf_inf0 = make_leaf(skey::inf0());
+    node* leaf_inf1 = make_leaf(skey::inf1());
+    node* leaf_inf2 = make_leaf(skey::inf2());
+    s_ = make_internal(skey::inf1(), leaf_inf0, leaf_inf1);
+    r_ = make_internal(skey::inf2(), s_, leaf_inf2);
+  }
+
+  nm_tree(const nm_tree&) = delete;
+  nm_tree& operator=(const nm_tree&) = delete;
+
+  ~nm_tree() {
+    destroy_reachable(r_);
+    reclaimer_.drain_all_unsafe();
+    // pool_ releases all slabs on destruction.
+  }
+
+  /// True iff `key` is in the set. Wait-free given a quiescent tree;
+  /// lock-free in general. Executes zero atomic RMWs (paper §3.2.2).
+  [[nodiscard]] bool contains(const Key& key) const {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    seek_record sr;
+    seek(key, sr);
+    return less_.equal(key, sr.leaf->key);
+  }
+
+  /// Adds `key`; returns true iff the set changed (paper §3.2.3,
+  /// Alg. 2). Uncontended cost: one CAS, two allocations (Table 1).
+  /// For maps, the mapped value is default-constructed.
+  bool insert(const Key& key) {
+    return insert_impl(key, payload_t{}, /*assign_if_present=*/false);
+  }
+
+  // ------------------------------------------------------------------
+  // Map operations — available only when a Payload type is given
+  // (core/nm_map.hpp). Leaves are immutable once published, so a value
+  // read never races a value write; assignment replaces the whole leaf
+  // with one CAS.
+  // ------------------------------------------------------------------
+
+  /// Adds (key, value); returns true iff the key was absent. An existing
+  /// key keeps its old value (like std::map::insert).
+  bool insert(const Key& key, const payload_t& value)
+    requires is_map
+  {
+    return insert_impl(key, value, /*assign_if_present=*/false);
+  }
+
+  /// Adds (key, value) or replaces the value of an existing key; returns
+  /// true iff the key was inserted (like std::map::insert_or_assign).
+  /// The replace path is one CAS swinging the parent edge to a fresh
+  /// leaf — the §6 "replace" operation, coordinated with concurrent
+  /// deletes by the same marked-edge protocol as inserts.
+  bool insert_or_assign(const Key& key, const payload_t& value)
+    requires is_map
+  {
+    return insert_impl(key, value, /*assign_if_present=*/true);
+  }
+
+  /// The value mapped to `key`, or nullopt. Linearizes at the end of the
+  /// seek phase (hit) exactly like contains().
+  [[nodiscard]] std::optional<payload_t> get(const Key& key) const
+    requires is_map
+  {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    seek_record sr;
+    seek(key, sr);
+    if (!less_.equal(key, sr.leaf->key)) return std::nullopt;
+    return sr.leaf->payload;  // leaves are immutable: safe to copy out
+  }
+
+  /// Quiescent in-order walk over (key, value) pairs.
+  template <typename F>
+  void for_each_item_slow(F&& fn) const
+    requires is_map
+  {
+    walk_leaves(r_, [&](const node* leaf) {
+      if (!leaf->key.is_sentinel()) fn(leaf->key.key, leaf->payload);
+    });
+  }
+
+  /// Removes `key`; returns true iff the set changed (paper §3.2.4,
+  /// Alg. 3). Uncontended cost: three atomics (flag CAS, sibling BTS,
+  /// ancestor CAS), zero allocations (Table 1).
+  bool erase(const Key& key) {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    seek_record sr;
+    bool injected = false;  // INJECTION vs CLEANUP mode
+    node* leaf = nullptr;   // the leaf we flagged, once injected
+    for (;;) {
+      seek(key, sr);
+      if (!injected) {
+        // --- injection mode ---
+        leaf = sr.leaf;
+        if (!less_.equal(key, leaf->key)) return false;  // key absent
+        node* parent = sr.parent;
+        tagged_word<node>& child_field = child_field_for(parent, key);
+        ptr_t expected = ptr_t::clean(leaf);
+        Stats::on_cas();
+        if (child_field.compare_exchange(
+                expected, expected.with_marks(/*flagged=*/true,
+                                              /*tagged=*/false))) {
+          // Flag planted (Alg. 3 line 73): from here the delete is
+          // guaranteed to complete; switch to cleanup mode.
+          injected = true;
+          if constexpr (Reclaimer::requires_validated_traversal) {
+            // Keep the flagged leaf protected across the cleanup-mode
+            // re-seeks: the `sr.leaf != leaf` identity test below must
+            // not be spoofed by a freed-and-recycled address.
+            reclaimer_.domain().announce(Reclaimer::hp_flagged, leaf);
+          }
+          if (cleanup(key, sr)) return true;
+        } else {
+          // Injection failed; help the owning delete if the edge still
+          // addresses our leaf and is marked (Alg. 3 lines 79-81).
+          if (expected.address() == leaf && expected.marked()) {
+            Stats::on_help();
+            cleanup(key, sr);
+          }
+          Stats::on_seek_restart();
+        }
+      } else {
+        // --- cleanup mode (Alg. 3 lines 82-87) ---
+        if (sr.leaf != leaf) return true;  // someone removed it for us
+        if (cleanup(key, sr)) return true;
+        Stats::on_seek_restart();
+      }
+    }
+  }
+
+  // ----------------------------------------------------------------
+  // Quiescent observers — valid only while no concurrent operations
+  // run. Tests and examples use these; they are not part of the
+  // concurrent API.
+  // ----------------------------------------------------------------
+
+  /// Number of client keys. O(n) walk.
+  [[nodiscard]] std::size_t size_slow() const {
+    std::size_t n = 0;
+    for_each_slow([&n](const Key&) { ++n; });
+    return n;
+  }
+
+  [[nodiscard]] bool empty_slow() const { return size_slow() == 0; }
+
+  /// In-order traversal over client keys.
+  template <typename F>
+  void for_each_slow(F&& fn) const {
+    walk_leaves(r_, [&](const node* leaf) {
+      if (!leaf->key.is_sentinel()) fn(leaf->key.key);
+    });
+  }
+
+  /// Structural invariant check (quiescent): external shape, key order,
+  /// sentinel anchoring, and — since every completed delete physically
+  /// removes its marks from the reachable tree — no reachable marked
+  /// edges. Returns an empty string when healthy, else a diagnostic.
+  [[nodiscard]] std::string validate() const {
+    std::string err;
+    // Sentinel anchoring (Fig. 3).
+    if (r_->key.rank != 3) err += "root key is not inf2; ";
+    if (s_ != r_->left.load().address()) err += "S is not R.left; ";
+    const node* r_right = r_->right.load().address();
+    if (r_right == nullptr || r_right->key.rank != 3) {
+      err += "R.right is not leaf(inf2); ";
+    }
+    const node* s_right = s_->right.load().address();
+    if (s_right == nullptr || s_right->key.rank != 2) {
+      err += "S.right is not leaf(inf1); ";
+    }
+    validate_subtree(r_, /*low=*/nullptr, /*high=*/nullptr, err);
+    return err;
+  }
+
+  /// Depth of the deepest leaf (diagnostics).
+  [[nodiscard]] std::size_t height_slow() const { return height_of(r_); }
+
+  /// Bytes currently held by the node pool (includes unreclaimed nodes —
+  /// under the leaky policy this is the paper's memory regime).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return pool_.footprint_bytes();
+  }
+
+  /// Retired-but-unreclaimed node count of the reclaimer (0 for leaky).
+  [[nodiscard]] std::size_t reclaimer_pending() const {
+    return reclaimer_.pending();
+  }
+
+ private:
+  friend struct nm_tree_test_access;
+
+  using skey = sentinel_key<Key>;
+
+  struct node {
+    skey key;
+    // Empty for sets ([[no_unique_address]] erases the member); the
+    // mapped value for maps, set at construction and immutable while the
+    // leaf is published.
+    [[no_unique_address]] payload_t payload;
+    tagged_word<node> left;
+    tagged_word<node> right;
+  };
+  using ptr_t = tagged_ptr<node>;
+
+  static_assert(alignof(node) >= 4,
+                "node must be 4-byte aligned to steal two pointer bits");
+
+  /// The seek record of Alg. 1: the last two nodes of the access path
+  /// plus the tail (ancestor) and head (successor) of the last untagged
+  /// edge before the parent (Fig. 2).
+  struct seek_record {
+    node* ancestor = nullptr;
+    node* successor = nullptr;
+    node* parent = nullptr;
+    node* leaf = nullptr;
+  };
+
+  // --- the shared insert/assign machinery --------------------------------
+
+  /// Alg. 2 extended with the map replace path. Returns true iff the key
+  /// was newly inserted; with assign_if_present, an existing key's leaf
+  /// is replaced by a fresh (key, value) leaf via one CAS and false is
+  /// returned.
+  bool insert_impl(const Key& key, payload_t value, bool assign_if_present) {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    seek_record sr;
+    node* new_leaf = nullptr;      // scratch nodes, reused across retries;
+    node* new_internal = nullptr;  // never published until a CAS wins
+    for (;;) {
+      seek(key, sr);
+      node* parent = sr.parent;
+      node* leaf = sr.leaf;
+      if (less_.equal(key, leaf->key)) {
+        if (!assign_if_present) {
+          // Key already present. Return any speculatively allocated
+          // nodes (never published, so the pool reuses them directly).
+          if (new_leaf != nullptr) destroy_node(new_leaf);
+          if (new_internal != nullptr) destroy_node(new_internal);
+          return false;
+        }
+        // Replace path: swing the parent's edge from the old leaf to a
+        // fresh leaf carrying the new value. A delete that flagged the
+        // edge first wins (our CAS fails and we help); if we win, the
+        // old leaf is unreachable and we are its only retirer.
+        if (new_leaf == nullptr) new_leaf = make_leaf(skey(key), value);
+        tagged_word<node>& child_field = child_field_for(parent, key);
+        ptr_t expected = ptr_t::clean(leaf);
+        Stats::on_cas();
+        if (child_field.compare_exchange(expected, ptr_t::clean(new_leaf))) {
+          if constexpr (Reclaimer::reclaims_eagerly) {
+            reclaimer_.retire(leaf, &node_deleter, &pool_);
+          }
+          if (new_internal != nullptr) destroy_node(new_internal);
+          return false;  // assigned, not inserted
+        }
+        if (expected.address() == leaf && expected.marked()) {
+          Stats::on_help();
+          cleanup(key, sr);
+        }
+        Stats::on_seek_restart();
+        continue;
+      }
+
+      tagged_word<node>& child_field = child_field_for(parent, key);
+      if (new_leaf == nullptr) {
+        new_leaf = make_leaf(skey(key), value);
+      }
+      if (new_internal == nullptr) {
+        new_internal = make_internal(skey{}, nullptr, nullptr);
+      }
+      // (Re)wire the unpublished internal node for this attempt:
+      // key field = max(key, leaf->key); the new leaf sits on the side
+      // its key belongs, the existing leaf on the other (paper §3.2.3).
+      if (less_(key, leaf->key)) {
+        new_internal->key = leaf->key;
+        new_internal->left.store_relaxed(ptr_t::clean(new_leaf));
+        new_internal->right.store_relaxed(ptr_t::clean(leaf));
+      } else {
+        new_internal->key = skey(key);
+        new_internal->left.store_relaxed(ptr_t::clean(leaf));
+        new_internal->right.store_relaxed(ptr_t::clean(new_leaf));
+      }
+
+      ptr_t expected = ptr_t::clean(leaf);
+      Stats::on_cas();
+      if (child_field.compare_exchange(expected, ptr_t::clean(new_internal))) {
+        return true;  // Alg. 2 line 53 — linearization point
+      }
+      // CAS failed; `expected` now holds the observed word (the re-read
+      // of Alg. 2 line 55). Help iff the edge still addresses our leaf
+      // and is marked — i.e. a delete owns our injection point.
+      if (expected.address() == leaf && expected.marked()) {
+        Stats::on_help();
+        cleanup(key, sr);
+      }
+      Stats::on_seek_restart();
+    }
+  }
+
+  // --- node lifecycle -------------------------------------------------
+
+  node* make_leaf(skey k, payload_t payload = payload_t{}) {
+    Stats::on_alloc();
+    void* mem = pool_.allocate(sizeof(node));
+    node* n = new (mem) node{std::move(k), std::move(payload), {}, {}};
+    return n;
+  }
+
+  node* make_internal(skey k, node* left, node* right) {
+    Stats::on_alloc();
+    void* mem = pool_.allocate(sizeof(node));
+    node* n = new (mem) node{std::move(k), payload_t{}, {}, {}};
+    n->left.store_relaxed(ptr_t::clean(left));
+    n->right.store_relaxed(ptr_t::clean(right));
+    return n;
+  }
+
+  /// Immediate destruction — only for nodes that were never published.
+  void destroy_node(node* n) {
+    n->~node();
+    pool_.deallocate(n);
+  }
+
+  static void node_deleter(void* obj, void* ctx) noexcept {
+    auto* n = static_cast<node*>(obj);
+    n->~node();
+    static_cast<node_pool*>(ctx)->deallocate(obj);
+  }
+
+  // --- traversal ------------------------------------------------------
+
+  /// Child field of `parent` on the side `key` belongs (left iff
+  /// key < parent.key — ties go right, matching the paper's BST
+  /// property (b): right subtree holds keys >= node key).
+  tagged_word<node>& child_field_for(node* parent, const Key& key) const {
+    return less_(key, parent->key) ? parent->left : parent->right;
+  }
+
+  /// Dispatches to the plain Alg. 1 seek, or — when the reclaimer needs
+  /// per-node protection (reclaim::hazard) — to the validated seek that
+  /// publishes hazard pointers as it descends.
+  void seek(const Key& key, seek_record& sr) const {
+    if constexpr (Reclaimer::requires_validated_traversal) {
+      seek_protected(key, sr);
+    } else {
+      seek_plain(key, sr);
+    }
+  }
+
+  /// Hazard-pointer seek: same traversal as Alg. 1, but every node is
+  /// announced in a hazard slot and validated against the edge it was
+  /// read from *before* it is dereferenced. Validation failure (the edge
+  /// moved between the read and the announcement) restarts the seek.
+  /// Slot shuffling is safe without re-validation because each announce
+  /// copies a value that is still protected by its previous slot.
+  ///
+  /// Validation rules (the subtle part — ThreadSanitizer found the
+  /// original version wanting):
+  ///  * A *clean* edge is self-validating: a retired internal node
+  ///    always has both child edges marked, so a node whose incoming
+  ///    edge re-reads as clean-and-addressing-it has not been retired.
+  ///  * A *marked* edge is frozen and proves nothing: it keeps pointing
+  ///    into its region even after the region is excised and retired.
+  ///    Excision happens exactly by swinging the last clean edge above
+  ///    the region — the (ancestor → successor) edge this seek is
+  ///    already tracking — so after announcing a node reached over a
+  ///    marked edge we re-validate that anchor edge; if it no longer
+  ///    addresses the successor cleanly, the region may already be
+  ///    retired and the seek restarts.
+  void seek_protected(const Key& key, seek_record& sr) const {
+    auto& dom = reclaimer_.domain();
+    for (;;) {
+      sr.ancestor = r_;   // sentinels are never retired, but announcing
+      sr.successor = s_;  // them keeps the slot invariants uniform
+      sr.parent = s_;
+      dom.announce(Reclaimer::hp_ancestor, r_);
+      dom.announce(Reclaimer::hp_successor, s_);
+      dom.announce(Reclaimer::hp_parent, s_);
+
+      const tagged_word<node>* source = &s_->left;
+      ptr_t parent_field = source->load(std::memory_order_seq_cst);
+      node* candidate = parent_field.address();  // 𝕊's child: never null
+      dom.announce(Reclaimer::hp_leaf, candidate);
+      ptr_t recheck = source->load(std::memory_order_seq_cst);
+      if (recheck.address() != candidate) continue;  // edge moved: restart
+      parent_field = recheck;
+      sr.leaf = candidate;
+
+      const tagged_word<node>* current_source =
+          less_(key, sr.leaf->key) ? &sr.leaf->left : &sr.leaf->right;
+      ptr_t current_field = current_source->load(std::memory_order_seq_cst);
+      node* current = current_field.address();
+      bool restart = false;
+      while (current != nullptr) {
+        // Validated protect of `current`: announce in the scratch slot,
+        // re-read the edge from its (protected) owner.
+        dom.announce(Reclaimer::hp_scratch, current);
+        recheck = current_source->load(std::memory_order_seq_cst);
+        if (recheck.address() != current) {
+          restart = true;
+          break;
+        }
+        current_field = recheck;
+        if (!parent_field.tagged()) {
+          sr.ancestor = sr.parent;  // protected by hp_parent
+          sr.successor = sr.leaf;   // protected by hp_leaf
+          dom.announce(Reclaimer::hp_ancestor, sr.ancestor);
+          dom.announce(Reclaimer::hp_successor, sr.successor);
+        }
+        if (current_field.marked()) {
+          // `current` was reached over a frozen edge, which may point
+          // into an already-excised region. Re-validate the anchor: the
+          // last clean edge must still address the successor cleanly,
+          // proving the region was not yet detached when `current` was
+          // announced above (and any later retire's scan will see the
+          // announcement).
+          const ptr_t anchor =
+              child_field_for(sr.ancestor, key).load(
+                  std::memory_order_seq_cst);
+          if (anchor.marked() || anchor.address() != sr.successor) {
+            restart = true;
+            break;
+          }
+        }
+        sr.parent = sr.leaf;  // protected by hp_leaf
+        dom.announce(Reclaimer::hp_parent, sr.parent);
+        sr.leaf = current;  // protected by hp_scratch
+        dom.announce(Reclaimer::hp_leaf, current);
+        parent_field = current_field;
+        current_source =
+            less_(key, current->key) ? &current->left : &current->right;
+        current_field = current_source->load(std::memory_order_seq_cst);
+        current = current_field.address();
+      }
+      if (!restart) return;
+    }
+  }
+
+  /// Alg. 1 — the seek phase. Traverses from ℝ to a leaf, maintaining
+  /// (ancestor, successor) = the last untagged edge seen before the
+  /// parent. All loads are acquire loads via tagged_word::load.
+  void seek_plain(const Key& key, seek_record& sr) const {
+    sr.ancestor = r_;   // line 15
+    sr.successor = s_;  // line 16
+    sr.parent = s_;     // line 17
+    ptr_t parent_field = s_->left.load();  // line 19 (value of edge 𝕊→leaf)
+    sr.leaf = parent_field.address();      // line 18
+    ptr_t current_field = sr.leaf->left.load();  // line 20
+    node* current = current_field.address();     // line 21
+    while (current != nullptr) {  // line 22 — leaf reached when null
+      if (!parent_field.tagged()) {  // line 23
+        sr.ancestor = sr.parent;     // line 24
+        sr.successor = sr.leaf;      // line 25
+      }
+      sr.parent = sr.leaf;  // line 26
+      sr.leaf = current;    // line 27
+      parent_field = current_field;  // line 28
+      current_field = less_(key, current->key) ? current->left.load()
+                                               : current->right.load();
+      current = current_field.address();  // line 32
+    }
+  }
+
+  // --- cleanup (Alg. 4) -------------------------------------------------
+
+  /// Physically removes the flagged leaf nearest `key` together with its
+  /// parent (and any frozen chain between successor and parent — the
+  /// multi-leaf removal of Fig. 2). Invoked by the owning delete and by
+  /// helpers (failed insert/delete injections). Returns true iff this
+  /// call's ancestor CAS performed the removal.
+  bool cleanup(const Key& key, const seek_record& sr) {
+    node* ancestor = sr.ancestor;  // line 90
+    node* successor = sr.successor;
+    node* parent = sr.parent;
+
+    // Address of the ancestor's child field to swing (lines 94-96).
+    tagged_word<node>& successor_field = child_field_for(ancestor, key);
+
+    // Child and sibling fields of the parent (lines 97-102).
+    tagged_word<node>* child_field;
+    tagged_word<node>* sibling_field;
+    if (less_(key, parent->key)) {
+      child_field = &parent->left;
+      sibling_field = &parent->right;
+    } else {
+      child_field = &parent->right;
+      sibling_field = &parent->left;
+    }
+
+    if (!child_field->load().flagged()) {  // lines 103-105
+      // The leaf on our side is not the one being deleted, so the
+      // delete owns the *sibling* leaf; the edge to tag is the one we
+      // arrived on.
+      sibling_field = child_field;
+    }
+
+    // Tag the sibling edge (line 106). Unconditional; freezes the edge
+    // so parent can never again be an injection point.
+    Stats::on_bts();
+    Tagging::tag(*sibling_field);
+
+    // Re-read flag and address (line 107); both are now frozen (a tagged
+    // edge can no longer be flagged, and marked edges never change
+    // address), so this read is stable.
+    ptr_t sibling = sibling_field->load();
+
+    // Swing the ancestor's child from the successor to the sibling,
+    // copying the sibling's flag bit onto the new edge (line 108): if a
+    // concurrent delete already flagged the sibling leaf, the flag must
+    // survive the move so that delete can still complete.
+    ptr_t expected = ptr_t::clean(successor);
+    ptr_t desired(sibling.address(), sibling.flagged(), /*tagged=*/false);
+    Stats::on_cas();
+    const bool removed = successor_field.compare_exchange(expected, desired);
+
+    if (removed) {
+      if constexpr (Reclaimer::reclaims_eagerly) {
+        // We excised the region subtree(successor) ∖ subtree(sibling
+        // address). Every edge inside it is frozen, so walking it
+        // unsynchronized is safe; only this thread (the CAS winner)
+        // retires it, so nothing is retired twice.
+        retire_excised(successor, desired.address());
+      }
+    }
+    return removed;
+  }
+
+  /// Retires every node of the detached region rooted at `n`, except the
+  /// subtree rooted at `keep` (which was re-attached by the CAS). The
+  /// region is a frozen chain: internal nodes with both edges marked,
+  /// each carrying one flagged leaf, terminated by `keep`'s old parent.
+  void retire_excised(node* n, node* keep) {
+    if (n == keep) return;
+    node* l = n->left.load(std::memory_order_acquire).address();
+    node* r = n->right.load(std::memory_order_acquire).address();
+    if (l != nullptr) {  // internal node: recurse into the frozen region
+      retire_excised(l, keep);
+      retire_excised(r, keep);
+    }
+    reclaimer_.retire(n, &node_deleter, &pool_);
+  }
+
+  // --- quiescent helpers ----------------------------------------------
+
+  /// In-order leaf visit with an explicit stack: sequentially inserted
+  /// keys degenerate an (unbalanced) BST to O(n) depth, which would
+  /// overflow the call stack if these walks recursed.
+  template <typename F>
+  void walk_leaves(const node* root, F&& fn) const {
+    std::vector<const node*> stack;
+    const node* n = root;
+    while (n != nullptr || !stack.empty()) {
+      while (n != nullptr) {
+        stack.push_back(n);
+        n = n->left.load(std::memory_order_relaxed).address();
+      }
+      const node* top = stack.back();
+      stack.pop_back();
+      if (top->left.load(std::memory_order_relaxed).address() == nullptr) {
+        fn(top);
+      }
+      n = top->right.load(std::memory_order_relaxed).address();
+    }
+  }
+
+  void destroy_reachable(node* root) {
+    if (root == nullptr) return;
+    std::vector<node*> stack{root};
+    while (!stack.empty()) {
+      node* n = stack.back();
+      stack.pop_back();
+      if (node* l = n->left.load(std::memory_order_relaxed).address()) {
+        stack.push_back(l);
+      }
+      if (node* r = n->right.load(std::memory_order_relaxed).address()) {
+        stack.push_back(r);
+      }
+      destroy_node(n);
+    }
+  }
+
+  std::size_t height_of(const node* root) const {
+    std::size_t best = 0;
+    std::vector<std::pair<const node*, std::size_t>> stack{{root, 1}};
+    while (!stack.empty()) {
+      auto [n, depth] = stack.back();
+      stack.pop_back();
+      if (n == nullptr) continue;
+      best = std::max(best, depth);
+      stack.push_back({n->left.load(std::memory_order_relaxed).address(),
+                       depth + 1});
+      stack.push_back({n->right.load(std::memory_order_relaxed).address(),
+                       depth + 1});
+    }
+    return best;
+  }
+
+  void validate_subtree(const node* root, const skey* root_low,
+                        const skey* root_high, std::string& err) const {
+    struct frame {
+      const node* n;
+      const skey* low;
+      const skey* high;
+    };
+    std::vector<frame> stack{{root, root_low, root_high}};
+    while (!stack.empty()) {
+      auto [n, low, high] = stack.back();
+      stack.pop_back();
+      ptr_t lw = n->left.load(std::memory_order_relaxed);
+      ptr_t rw = n->right.load(std::memory_order_relaxed);
+      if (lw.marked() || rw.marked()) {
+        err += "reachable marked edge at quiescence; ";
+      }
+      const node* l = lw.address();
+      const node* r = rw.address();
+      if ((l == nullptr) != (r == nullptr)) {
+        err += "internal node with exactly one child (external shape "
+               "violated); ";
+        continue;
+      }
+      // Order bounds (paper §2 properties (a)/(b)): left subtree keys
+      // strictly below the node key, right subtree keys at or above.
+      if (low != nullptr && sless(n->key, *low)) {
+        err += "key below low bound; ";
+      }
+      if (high != nullptr && !sless(n->key, *high)) {
+        err += "key not below high bound; ";
+      }
+      if (l != nullptr) {
+        stack.push_back({l, low, &n->key});
+        stack.push_back({r, &n->key, high});
+      }
+    }
+  }
+
+  bool sless(const skey& a, const skey& b) const { return less_(a, b); }
+
+  // --- members ----------------------------------------------------------
+
+  [[no_unique_address]] sentinel_less<Key, Compare> less_{};
+  node_pool pool_;
+  mutable Reclaimer reclaimer_{};
+  node* r_ = nullptr;  // ℝ: root sentinel, key ∞₂ — never removed
+  node* s_ = nullptr;  // 𝕊: ℝ's left child, key ∞₁ — never removed
+};
+
+}  // namespace lfbst

@@ -1,0 +1,86 @@
+// lfbst: operation-cost instrumentation policies.
+//
+// Table 1 of the paper compares the lock-free algorithms by two static
+// costs: objects allocated per modify operation and atomic instructions
+// (CAS/BTS) executed per modify operation, in the absence of contention.
+// Every tree in this repo is templated on a Stats policy so the same
+// source reproduces that table:
+//
+//   * stats::none     — all hooks are empty inline functions; the
+//                       optimizer erases them. Default for benchmarks.
+//   * stats::counting — thread-local tallies of allocations, CAS, BTS,
+//                       seek restarts and help calls. Used by
+//                       bench_table1 and by the unit tests that pin the
+//                       exact uncontended instruction counts.
+//
+// The counting policy's counters are thread-local and *global to the
+// policy*, not per tree instance: bench_table1 and the tests run one
+// instrumented tree at a time, which keeps the hooks to a single
+// thread-local increment.
+#pragma once
+
+#include <cstdint>
+
+namespace lfbst::stats {
+
+struct op_record {
+  std::uint64_t objects_allocated = 0;
+  std::uint64_t cas_executed = 0;   // successful or failed, both count
+  std::uint64_t bts_executed = 0;
+  std::uint64_t seek_restarts = 0;  // re-seeks after a failed CAS
+  std::uint64_t helps = 0;          // cleanup invocations on behalf of others
+
+  [[nodiscard]] std::uint64_t atomics() const noexcept {
+    return cas_executed + bts_executed;
+  }
+
+  op_record& operator-=(const op_record& o) noexcept {
+    objects_allocated -= o.objects_allocated;
+    cas_executed -= o.cas_executed;
+    bts_executed -= o.bts_executed;
+    seek_restarts -= o.seek_restarts;
+    helps -= o.helps;
+    return *this;
+  }
+};
+
+/// Zero-cost policy: every hook is an empty constexpr-inlinable no-op.
+struct none {
+  static constexpr bool enabled = false;
+  static void on_alloc(std::uint64_t = 1) noexcept {}
+  static void on_cas() noexcept {}
+  static void on_bts() noexcept {}
+  static void on_seek_restart() noexcept {}
+  static void on_help() noexcept {}
+};
+
+/// Thread-local counting policy.
+struct counting {
+  static constexpr bool enabled = true;
+
+  static op_record& local() noexcept {
+    thread_local op_record rec;
+    return rec;
+  }
+
+  static void on_alloc(std::uint64_t n = 1) noexcept {
+    local().objects_allocated += n;
+  }
+  static void on_cas() noexcept { ++local().cas_executed; }
+  static void on_bts() noexcept { ++local().bts_executed; }
+  static void on_seek_restart() noexcept { ++local().seek_restarts; }
+  static void on_help() noexcept { ++local().helps; }
+
+  static void reset() noexcept { local() = op_record{}; }
+
+  /// Snapshot-and-subtract helper: capture before an operation, call
+  /// delta() after, get the operation's own costs.
+  static op_record snapshot() noexcept { return local(); }
+  static op_record delta(const op_record& before) noexcept {
+    op_record d = local();
+    d -= before;
+    return d;
+  }
+};
+
+}  // namespace lfbst::stats

@@ -1,0 +1,33 @@
+// lfbst: tagging-instruction policies for the NM-BST.
+//
+// The paper's delete uses a bit-test-and-set (BTS) instruction to tag
+// the sibling edge (§3.2.4, Alg. 4 line 106) and notes the algorithm
+// "can be easily modified to use only CAS atomic instructions" (§1, §6).
+// Both variants are provided; bench_ablation --study=tagging measures
+// the difference. The policies are stateless dispatch shims over
+// tagged_word's two tagging primitives.
+#pragma once
+
+namespace lfbst::tag_policy {
+
+/// fetch_or-based tagging — the paper's BTS instruction. One atomic RMW
+/// that cannot fail.
+struct bts {
+  static constexpr const char* name = "bts";
+  template <typename Word>
+  static auto tag(Word& word) noexcept {
+    return word.bts_tag();
+  }
+};
+
+/// CAS-loop emulation of BTS — the paper's CAS-only variant. May retry
+/// under contention on the same word; observable behaviour is identical.
+struct cas_only {
+  static constexpr const char* name = "cas_only";
+  template <typename Word>
+  static auto tag(Word& word) noexcept {
+    return word.bts_tag_cas_only();
+  }
+};
+
+}  // namespace lfbst::tag_policy

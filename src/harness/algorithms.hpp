@@ -1,0 +1,37 @@
+// lfbst: the algorithm roster — one place that knows every tree in the
+// comparison, so benches and tests sweep all of them from a single
+// template loop.
+#pragma once
+
+#include <utility>
+
+#include "baselines/bcco_tree.hpp"
+#include "baselines/coarse_tree.hpp"
+#include "baselines/dvy_tree.hpp"
+#include "baselines/efrb_tree.hpp"
+#include "baselines/hj_tree.hpp"
+#include "core/natarajan_tree.hpp"
+
+namespace lfbst::harness {
+
+/// Invokes `fn.template operator()<Tree>()` for each of the paper's four
+/// algorithms (NM, EFRB, HJ, BCCO), in the order the paper lists them.
+template <typename Key, typename F>
+void for_each_paper_algorithm(F&& fn) {
+  fn.template operator()<nm_tree<Key>>();
+  fn.template operator()<efrb_tree<Key>>();
+  fn.template operator()<hj_tree<Key>>();
+  fn.template operator()<bcco_tree<Key>>();
+}
+
+/// The paper's roster plus the related-work DVY tree (described in the
+/// paper's §1 but not in its evaluation) and the coarse-lock sanity
+/// floor.
+template <typename Key, typename F>
+void for_each_algorithm(F&& fn) {
+  for_each_paper_algorithm<Key>(std::forward<F>(fn));
+  fn.template operator()<dvy_tree<Key>>();
+  fn.template operator()<coarse_tree<Key>>();
+}
+
+}  // namespace lfbst::harness

@@ -1,0 +1,65 @@
+// lfbst: tiny shared flag parser for the reproduction binaries and
+// example applications. No dependency
+// beyond the standard library; flags are --name=value or --name value.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace lfbst::bench {
+
+class flags {
+ public:
+  flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == "--" + name) return true;
+      if (args_[i].rfind("--" + name + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const {
+    const std::string eq = "--" + name + "=";
+    const std::string bare = "--" + name;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].rfind(eq, 0) == 0) return args_[i].substr(eq.size());
+      if (args_[i] == bare && i + 1 < args_.size()) return args_[i + 1];
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const {
+    const std::string v = get(name, "");
+    return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+  }
+
+  /// Comma-separated integer list flag, e.g. --threads=1,2,4,8.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const {
+    const std::string v = get(name, "");
+    if (v.empty()) return fallback;
+    std::vector<std::int64_t> out;
+    std::size_t pos = 0;
+    while (pos < v.size()) {
+      const std::size_t comma = v.find(',', pos);
+      const std::string tok = v.substr(pos, comma - pos);
+      out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace lfbst::bench

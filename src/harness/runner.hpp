@@ -1,0 +1,132 @@
+// lfbst: timed throughput runner — the measurement loop behind every
+// Figure-4 data point.
+//
+// Protocol per data point (mirrors the paper's setup):
+//   1. Pre-populate the tree to key_range/2 with uniformly random keys.
+//   2. Launch T threads; each has a private PCG stream derived from
+//      (seed, thread index) so runs are reproducible and streams are
+//      decorrelated.
+//   3. All threads meet at a spin barrier; the main thread starts the
+//      clock, sleeps for the configured duration, then raises a stop
+//      flag.
+//   4. Each thread loops: draw r in [0,100), pick
+//      search/insert/erase by the mix percentages, draw a uniform key,
+//      execute, bump thread-local counters.
+//   5. Throughput = total operations / elapsed wall time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/cacheline.hpp"
+#include "common/rng.hpp"
+#include "core/concurrent_set.hpp"
+#include "harness/workload.hpp"
+
+namespace lfbst::harness {
+
+struct run_result {
+  std::uint64_t total_ops = 0;
+  std::uint64_t searches = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t successful_inserts = 0;
+  std::uint64_t successful_erases = 0;
+  double elapsed_seconds = 0.0;
+  std::size_t final_size = 0;
+
+  [[nodiscard]] double ops_per_second() const {
+    return elapsed_seconds > 0 ? static_cast<double>(total_ops) /
+                                     elapsed_seconds
+                               : 0.0;
+  }
+  [[nodiscard]] double mops_per_second() const {
+    return ops_per_second() / 1e6;
+  }
+};
+
+/// Fill `set` to roughly half the key range with uniform random keys
+/// (the paper pre-populates "rather than starting with an empty tree").
+/// Deterministic for a given seed.
+template <ConcurrentSet Set>
+void prepopulate_half(Set& set, std::uint64_t key_range,
+                      std::uint64_t seed) {
+  pcg32 rng(seed ^ 0x9E3779B97F4A7C15ULL);  // distinct stream from workers
+  const std::uint64_t target = key_range / 2;
+  std::uint64_t inserted = 0;
+  while (inserted < target) {
+    const auto key = static_cast<typename Set::key_type>(
+        rng.next64() % key_range);
+    if (set.insert(key)) ++inserted;
+  }
+}
+
+/// Run one timed data point. The set must already be constructed;
+/// pre-population happens here when the config asks for it.
+template <ConcurrentSet Set>
+run_result run_workload(Set& set, const workload_config& cfg) {
+  if (cfg.prepopulate) prepopulate_half(set, cfg.key_range, cfg.seed);
+
+  struct thread_counters {
+    std::uint64_t ops = 0;
+    std::uint64_t searches = 0, inserts = 0, erases = 0;
+    std::uint64_t ok_inserts = 0, ok_erases = 0;
+  };
+  std::vector<padded<thread_counters>> counters(cfg.threads);
+
+  spin_barrier start_line(cfg.threads + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+
+  for (unsigned tid = 0; tid < cfg.threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(cfg.seed, tid);
+      thread_counters local;
+      start_line.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint32_t roll = rng.bounded(100);
+        const auto key = static_cast<typename Set::key_type>(
+            rng.next64() % cfg.key_range);
+        if (roll < cfg.mix.search_pct) {
+          (void)set.contains(key);
+          ++local.searches;
+        } else if (roll < cfg.mix.search_pct + cfg.mix.insert_pct) {
+          local.ok_inserts += set.insert(key) ? 1 : 0;
+          ++local.inserts;
+        } else {
+          local.ok_erases += set.erase(key) ? 1 : 0;
+          ++local.erases;
+        }
+        ++local.ops;
+      }
+      counters[tid].value = local;
+    });
+  }
+
+  start_line.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(cfg.duration);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  run_result r;
+  r.elapsed_seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& c : counters) {
+    r.total_ops += c.value.ops;
+    r.searches += c.value.searches;
+    r.inserts += c.value.inserts;
+    r.erases += c.value.erases;
+    r.successful_inserts += c.value.ok_inserts;
+    r.successful_erases += c.value.ok_erases;
+  }
+  r.final_size = set.size_slow();
+  return r;
+}
+
+}  // namespace lfbst::harness

@@ -1,0 +1,63 @@
+// lfbst: small-sample statistics for repeated benchmark runs.
+//
+// The paper averages each data point "over multiple runs" (§4); single
+// runs on a busy machine can swing ±10%+. aggregate_runs repeats a
+// measurement and reports mean, standard deviation, min/max and the
+// relative spread, so harnesses can flag noisy points instead of
+// printing them with false confidence.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace lfbst::harness {
+
+struct run_stats {
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n-1)
+  double min = 0;
+  double max = 0;
+  std::size_t runs = 0;
+
+  /// Coefficient of variation — the "how noisy was this" number.
+  [[nodiscard]] double rel_spread() const {
+    return mean > 0 ? stddev / mean : 0.0;
+  }
+};
+
+inline run_stats summarize_runs(const std::vector<double>& samples) {
+  run_stats s;
+  s.runs = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (double v : samples) {
+    sum += v;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+/// Runs `measure()` (returning one throughput sample) `runs` times and
+/// aggregates. The first run can be discarded as warm-up with
+/// `discard_warmup`.
+template <typename F>
+run_stats aggregate_runs(F&& measure, std::size_t runs,
+                         bool discard_warmup = false) {
+  std::vector<double> samples;
+  samples.reserve(runs);
+  if (discard_warmup) (void)measure();
+  for (std::size_t i = 0; i < runs; ++i) samples.push_back(measure());
+  return summarize_runs(samples);
+}
+
+}  // namespace lfbst::harness

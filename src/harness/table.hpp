@@ -1,0 +1,75 @@
+// lfbst: fixed-width table and CSV emitters for the reproduction
+// harnesses. The Figure-4 binaries print one paper-style series per
+// (key range, workload) cell: thread count on the x-axis, one column of
+// throughput per algorithm, plus the NM-vs-best-rival ratio the paper
+// quotes in its prose.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lfbst::harness {
+
+/// Minimal aligned-column printer. Collect rows as strings; widths are
+/// computed from content on flush.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : empty_;
+        std::fprintf(out, "%-*s%s", static_cast<int>(width[i]), cell.c_str(),
+                     i + 1 < width.size() ? "  " : "\n");
+      }
+    };
+    print_row(header_);
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      std::fprintf(out, "%s%s", std::string(width[i], '-').c_str(),
+                   i + 1 < width.size() ? "  " : "\n");
+    }
+    for (const auto& r : rows_) print_row(r);
+  }
+
+  void print_csv(std::FILE* out) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        std::fprintf(out, "%s%s", row[i].c_str(),
+                     i + 1 < row.size() ? "," : "\n");
+      }
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  inline static const std::string empty_;
+};
+
+/// printf-style std::string helper.
+template <typename... Args>
+std::string format(const char* fmt, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+
+}  // namespace lfbst::harness

@@ -1,0 +1,64 @@
+// lfbst: workload specification for the paper's evaluation (§4).
+//
+// The paper's experimental grid is three-dimensional:
+//   * key-space size   — 1K, 10K, 100K, 1M ("Maximum Tree Size");
+//   * operation mix    — write-dominated 0/50/50, mixed 70/20/10,
+//                        read-dominated 90/9/1 (search/insert/delete);
+//   * thread count     — 1..256 ("Maximum Degree of Contention").
+// Trees are pre-populated to half the key range before timing starts and
+// keys are drawn uniformly from the range, following Bronson et al. and
+// Howley & Jones, whose setup the paper copies.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace lfbst::harness {
+
+/// Operation mix in percent; must sum to 100.
+struct op_mix {
+  const char* name;
+  unsigned search_pct;
+  unsigned insert_pct;
+  unsigned erase_pct;
+};
+
+/// The paper's three workload columns (Figure 4).
+inline constexpr op_mix write_dominated{"write-dominated", 0, 50, 50};
+inline constexpr op_mix mixed{"mixed", 70, 20, 10};
+inline constexpr op_mix read_dominated{"read-dominated", 90, 9, 1};
+
+inline constexpr std::array<op_mix, 3> paper_mixes{
+    write_dominated, mixed, read_dominated};
+
+/// The paper's four key-space rows (Figure 4).
+inline constexpr std::array<std::uint64_t, 4> paper_key_ranges{
+    1'000, 10'000, 100'000, 1'000'000};
+
+struct workload_config {
+  std::uint64_t key_range = 10'000;
+  op_mix mix = mixed;
+  unsigned threads = 4;
+  std::chrono::milliseconds duration{300};
+  std::uint64_t seed = 0x5EED;
+  /// Pre-populate the tree to key_range/2 before measuring (paper §4).
+  bool prepopulate = true;
+
+  [[nodiscard]] std::string label() const {
+    return std::string(mix.name) + " / " + std::to_string(key_range) +
+           " keys / " + std::to_string(threads) + " thr";
+  }
+};
+
+/// Parse a mix by name ("write-dominated" | "mixed" | "read-dominated");
+/// returns mixed on unknown input.
+inline op_mix mix_by_name(const std::string& name) {
+  for (const op_mix& m : paper_mixes) {
+    if (name == m.name) return m;
+  }
+  return mixed;
+}
+
+}  // namespace lfbst::harness

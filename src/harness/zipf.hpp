@@ -1,0 +1,73 @@
+// lfbst: Zipfian key generator — the standard skewed-access model
+// (YCSB-style). The paper's evaluation draws keys uniformly; skew is the
+// natural extension study because it concentrates operations on a few
+// hot keys, i.e. it manufactures exactly the high-contention regime the
+// paper's §4 identifies as NM's strength ("tree size is small or
+// workload is write-dominated") without shrinking the tree.
+//
+// Implementation: classic Zipf with parameter theta over [0, n), using
+// the Gray et al. (SIGMOD '94) constant-time approximation. zeta(n) is
+// precomputed at construction (O(n)); draws are O(1).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace lfbst::harness {
+
+class zipf_generator {
+ public:
+  /// `n` — key-space size; `theta` ∈ [0, 1) — skew (0 = uniform-ish,
+  /// 0.99 = heavy YCSB-style skew).
+  zipf_generator(std::uint64_t n, double theta)
+      : n_(n), theta_(theta), zetan_(zeta(n, theta)) {
+    LFBST_ASSERT(n > 0, "empty key space");
+    LFBST_ASSERT(theta >= 0.0 && theta < 1.0, "theta must be in [0,1)");
+    const double zeta2 = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// Draws a rank in [0, n); rank 0 is the hottest key. Callers usually
+  /// scramble ranks (e.g. multiply by a large odd constant mod n) so hot
+  /// keys are spread over the tree rather than clustered in key order.
+  std::uint64_t operator()(pcg32& rng) const {
+    const double u = rng.uniform01();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  /// Rank → scrambled key in [0, n): spreads hot ranks across the key
+  /// space so skew stresses contention, not tree imbalance.
+  [[nodiscard]] std::uint64_t scramble(std::uint64_t rank) const {
+    return (rank * 0x9E3779B97F4A7C15ULL) % n_;
+  }
+
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace lfbst::harness

@@ -1,0 +1,55 @@
+// lfbst — Fast Concurrent Lock-Free Binary Search Trees.
+//
+// Umbrella header: pulls in the paper's NM-BST (lfbst::nm_tree), the
+// three baselines from the paper's evaluation (efrb_tree, hj_tree,
+// bcco_tree), the coarse reference tree, and the policy types needed to
+// configure them. Include individual headers instead if you only need
+// one tree.
+//
+//   #include <lfbst/lfbst.hpp>
+//   lfbst::nm_tree<long> set;
+//   set.insert(42);
+//   set.contains(42);
+//   set.erase(42);
+#pragma once
+
+#include "common/backoff.hpp"
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "common/spinlock.hpp"
+#include "common/tagged_word.hpp"
+
+#include "alloc/node_pool.hpp"
+
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard_pointers.hpp"
+#include "reclaim/hazard_reclaimer.hpp"
+#include "reclaim/leaky.hpp"
+
+#include "core/concurrent_set.hpp"
+#include "core/natarajan_tree.hpp"
+#include "core/nm_map.hpp"
+#include "core/sentinel_key.hpp"
+#include "core/stats.hpp"
+#include "core/tag_policy.hpp"
+
+#include "extensions/kary_tree.hpp"
+
+#include "baselines/bcco_tree.hpp"
+#include "baselines/coarse_tree.hpp"
+#include "baselines/dvy_tree.hpp"
+#include "baselines/efrb_tree.hpp"
+#include "baselines/hj_tree.hpp"
+
+namespace lfbst {
+
+static_assert(ConcurrentSet<nm_tree<long>>);
+static_assert(ConcurrentSet<efrb_tree<long>>);
+static_assert(ConcurrentSet<hj_tree<long>>);
+static_assert(ConcurrentSet<bcco_tree<long>>);
+static_assert(ConcurrentSet<coarse_tree<long>>);
+static_assert(ConcurrentSet<dvy_tree<long>>);
+static_assert(ConcurrentSet<kary_tree<long, 4>>);
+static_assert(ConcurrentSet<nm_tree<long, std::less<long>, reclaim::hazard>>);
+
+}  // namespace lfbst

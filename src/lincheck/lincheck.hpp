@@ -1,0 +1,131 @@
+// lfbst: a linearizability checker for set histories (Wing & Gong style
+// exhaustive search with memoization).
+//
+// The paper's correctness claim is linearizability (§3.3); unit tests
+// cannot observe linearization points directly, but they can record
+// small concurrent histories and verify that *some* legal sequential
+// order explains them. That is what this checker decides.
+//
+// Model: each operation is an interval [invoke, response] on a global
+// timestamp axis plus (kind, key, observed result). A history is
+// linearizable iff there is a total order of the operations that (a)
+// respects real-time order (op A before op B whenever A.response <
+// B.invoke) and (b) replays correctly against the sequential set
+// semantics.
+//
+// Complexity: exponential in history length in the worst case, tamed by
+// memoizing (done-set, set-state) pairs. Designed for histories of up to
+// ~24 operations over key universes of up to 64 keys — ample for unit
+// tests, and each test runs hundreds of random small histories.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace lfbst::lincheck {
+
+enum class op_kind : std::uint8_t { insert, erase, contains };
+
+struct operation {
+  op_kind kind;
+  int key;      // must lie in [0, 64) for the bitmask state
+  bool result;  // observed return value
+  std::uint64_t invoke;
+  std::uint64_t response;
+};
+
+using history = std::vector<operation>;
+
+/// Decides linearizability of `h` against sequential set semantics.
+class checker {
+ public:
+  /// Maximum history length the bitmask representation supports.
+  static constexpr std::size_t max_ops = 64;
+
+  [[nodiscard]] static bool is_linearizable(const history& h,
+                                            std::uint64_t initial_state = 0) {
+    LFBST_ASSERT(h.size() <= max_ops, "history too long for checker");
+    for (const operation& op : h) {
+      LFBST_ASSERT(op.key >= 0 && op.key < 64,
+                   "checker keys must be in [0, 64)");
+      LFBST_ASSERT(op.invoke <= op.response, "inverted interval");
+    }
+    checker c(h);
+    return c.search(initial_state, /*done=*/0);
+  }
+
+ private:
+  explicit checker(const history& h) : ops_(h) {}
+
+  /// `state`: bit k set ⇔ key k in the set. `done`: bit i set ⇔ op i
+  /// already linearized.
+  bool search(std::uint64_t state, std::uint64_t done) {
+    if (done == (ops_.size() == 64
+                     ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << ops_.size()) - 1))) {
+      return true;
+    }
+    if (failed_.contains(pack_t{state, done})) return false;
+
+    // Earliest response among undone ops: any op whose invoke is later
+    // can not be linearized next (something must precede it).
+    std::uint64_t min_response = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!(done & (std::uint64_t{1} << i))) {
+        min_response = std::min(min_response, ops_[i].response);
+      }
+    }
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if (done & bit) continue;
+      if (ops_[i].invoke > min_response) continue;  // real-time violation
+      std::uint64_t next_state = state;
+      if (!apply(ops_[i], next_state)) continue;  // result contradicts spec
+      if (search(next_state, done | bit)) return true;
+    }
+    failed_.insert(pack_t{state, done});
+    return false;
+  }
+
+  /// Replays `op` on `state`; returns false when the recorded result is
+  /// impossible at this point.
+  static bool apply(const operation& op, std::uint64_t& state) {
+    const std::uint64_t bit = std::uint64_t{1} << op.key;
+    const bool present = state & bit;
+    switch (op.kind) {
+      case op_kind::insert:
+        if (op.result == present) return false;  // true iff was absent
+        state |= bit;
+        return true;
+      case op_kind::erase:
+        if (op.result != present) return false;  // true iff was present
+        state &= ~bit;
+        return true;
+      case op_kind::contains:
+        return op.result == present;
+    }
+    return false;
+  }
+
+  struct pack_t {
+    std::uint64_t state;
+    std::uint64_t done;
+    bool operator==(const pack_t&) const = default;
+  };
+  struct pack_hash {
+    std::size_t operator()(const pack_t& p) const noexcept {
+      std::uint64_t x = p.state * 0x9E3779B97F4A7C15ULL;
+      x ^= p.done + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  const history& ops_;
+  std::unordered_set<pack_t, pack_hash> failed_;
+};
+
+}  // namespace lfbst::lincheck

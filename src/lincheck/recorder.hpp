@@ -1,0 +1,59 @@
+// lfbst: concurrent history recorder feeding the linearizability
+// checker. Threads call the recording wrappers instead of the tree
+// directly; invoke/response timestamps come from one global atomic
+// counter, so A.response < B.invoke faithfully captures "A completed
+// before B began".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lincheck/lincheck.hpp"
+
+namespace lfbst::lincheck {
+
+class recorder {
+ public:
+  /// Executes `set.insert/erase/contains(key)` bracketed by timestamps
+  /// and appends the completed operation to the history.
+  template <typename Set>
+  bool insert(Set& set, int key) {
+    return record(op_kind::insert, key, [&] { return set.insert(key); });
+  }
+  template <typename Set>
+  bool erase(Set& set, int key) {
+    return record(op_kind::erase, key, [&] { return set.erase(key); });
+  }
+  template <typename Set>
+  bool contains(Set& set, int key) {
+    return record(op_kind::contains, key,
+                  [&] { return set.contains(key); });
+  }
+
+  /// The completed history; call only after all recording threads have
+  /// joined.
+  [[nodiscard]] history take() {
+    std::lock_guard<std::mutex> g(mutex_);
+    return std::move(ops_);
+  }
+
+ private:
+  template <typename F>
+  bool record(op_kind kind, int key, F&& run) {
+    const std::uint64_t invoke = clock_.fetch_add(1, std::memory_order_acq_rel);
+    const bool result = run();
+    const std::uint64_t response =
+        clock_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> g(mutex_);
+    ops_.push_back(operation{kind, key, result, invoke, response});
+    return result;
+  }
+
+  std::atomic<std::uint64_t> clock_{0};
+  std::mutex mutex_;
+  history ops_;
+};
+
+}  // namespace lfbst::lincheck

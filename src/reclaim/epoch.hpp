@@ -1,0 +1,185 @@
+// lfbst: epoch-based reclamation (EBR), the production alternative to
+// the paper's leaky regime.
+//
+// Scheme (classic 3-epoch EBR, Fraser 2004): a global epoch counter
+// advances only when every *pinned* thread has announced the current
+// epoch. An object retired in epoch e may be freed once the global epoch
+// reaches e+2 — by then every operation that could have held a reference
+// (pinned in epoch ≤ e) has finished, because an operation pins once and
+// never re-announces mid-operation.
+//
+// Why EBR composes cleanly with the NM-BST specifically: after the
+// ancestor-level CAS of cleanup() succeeds, every edge inside the
+// excised chain is frozen (flagged or tagged — paper §3.2, "once an edge
+// has been marked, it cannot be changed"), so the winning thread can
+// walk the chain to enumerate and retire its nodes without any
+// synchronization. Concurrent seeks may still be traversing those nodes;
+// the grace period is exactly what makes the deferred free safe.
+//
+// Costs relative to leaky (quantified in bench_ablation --study=reclaim):
+// one announcement store + fence per operation, plus the retire-list
+// bookkeeping on deletes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/cacheline.hpp"
+#include "common/thread_id.hpp"
+#include "reclaim/leaky.hpp"
+
+namespace lfbst::reclaim {
+
+class epoch {
+ public:
+  static constexpr bool reclaims_eagerly = true;
+  /// This policy keeps retired nodes alive through a global mechanism,
+  /// so tree traversals need no per-node cooperation.
+  static constexpr bool requires_validated_traversal = false;
+
+  epoch() = default;
+  epoch(const epoch&) = delete;
+  epoch& operator=(const epoch&) = delete;
+
+  ~epoch() { drain_all_unsafe(); }
+
+  class guard {
+   public:
+    explicit guard(epoch& domain) noexcept
+        : domain_(&domain), slot_(this_thread_index()) {
+      thread_state& ts = domain_->threads_[slot_].value;
+      if (ts.nesting++ == 0) {
+        // Announce the current global epoch, then set active. seq_cst on
+        // the announcement store pairs with the seq_cst scan in
+        // try_advance so a pinned thread is never overlooked.
+        const std::uint64_t e =
+            domain_->global_epoch_.load(std::memory_order_relaxed);
+        ts.local_epoch.store(e, std::memory_order_relaxed);
+        ts.active.store(true, std::memory_order_seq_cst);
+        // Re-read: if the epoch moved between our read and our announce,
+        // re-announce so we never pin a stale epoch forever.
+        const std::uint64_t e2 =
+            domain_->global_epoch_.load(std::memory_order_seq_cst);
+        if (e2 != e) ts.local_epoch.store(e2, std::memory_order_seq_cst);
+      }
+    }
+
+    ~guard() {
+      thread_state& ts = domain_->threads_[slot_].value;
+      LFBST_ASSERT(ts.nesting > 0, "unbalanced epoch guard");
+      if (--ts.nesting == 0) {
+        ts.active.store(false, std::memory_order_release);
+      }
+    }
+
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+
+   private:
+    epoch* domain_;
+    unsigned slot_;
+  };
+
+  [[nodiscard]] guard pin() noexcept { return guard(*this); }
+
+  /// Defers (object, deleter, context) until two epoch advances have
+  /// passed. Must be called while pinned (the retiring operation holds a
+  /// guard). Periodically attempts to advance the global epoch and flush.
+  void retire(void* object, deleter_fn deleter, void* context) {
+    thread_state& ts = threads_[this_thread_index()].value;
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    ts.limbo[e % 3].push_back({object, deleter, context});
+    ts.pending_count++;
+    if (++ts.retires_since_scan >= scan_interval) {
+      ts.retires_since_scan = 0;
+      try_advance_and_flush(ts);
+    }
+  }
+
+  /// Frees everything still pending, regardless of epochs. Caller must
+  /// guarantee quiescence (no concurrent operations) — used by tree
+  /// destructors and by tests between phases.
+  void drain_all_unsafe() {
+    for (auto& padded_ts : threads_) {
+      thread_state& ts = padded_ts.value;
+      for (auto& bucket : ts.limbo) {
+        for (const retired& r : bucket) r.deleter(r.object, r.context);
+        bucket.clear();
+      }
+      ts.pending_count = 0;
+    }
+  }
+
+  /// Retired-but-not-yet-freed object count (approximate under
+  /// concurrency; exact at quiescence).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    std::size_t n = 0;
+    for (const auto& ts : threads_) n += ts.value.pending_count;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct retired {
+    void* object;
+    deleter_fn deleter;
+    void* context;
+  };
+
+  struct thread_state {
+    std::atomic<bool> active{false};
+    std::atomic<std::uint64_t> local_epoch{0};
+    unsigned nesting = 0;
+    unsigned retires_since_scan = 0;
+    std::size_t pending_count = 0;
+    // One limbo bucket per epoch residue class. Bucket e%3 holds objects
+    // retired in epoch e; it is safe to flush when global >= e+2, at
+    // which point the bucket is about to be reused for epoch e+3.
+    std::vector<retired> limbo[3];
+  };
+
+  /// How many retires between advance attempts. Small enough that limbo
+  /// lists stay short in delete-heavy workloads, large enough that the
+  /// all-threads scan amortizes.
+  static constexpr unsigned scan_interval = 64;
+
+  void try_advance_and_flush(thread_state& me) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (const auto& padded_ts : threads_) {
+      const thread_state& ts = padded_ts.value;
+      if (ts.active.load(std::memory_order_seq_cst) &&
+          ts.local_epoch.load(std::memory_order_seq_cst) != e) {
+        return;  // someone is still in an older epoch; cannot advance
+      }
+    }
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_seq_cst);
+    // Whether we won or another thread advanced for us, re-read the
+    // global epoch g and flush our bucket (g+1)%3. That bucket holds
+    // only objects this thread retired at epochs ≡ g+1 (mod 3) that are
+    // ≤ g, i.e. epochs ≤ g-2 — exactly the two-advance grace period.
+    // (Flushing bucket g%3 would be wrong: it may hold objects retired
+    // in the current epoch g, which pinned readers can still reference.)
+    const std::uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+    flush_bucket(me, (g + 1) % 3);
+  }
+
+  void flush_bucket(thread_state& ts, std::size_t idx) {
+    auto& bucket = ts.limbo[idx];
+    ts.pending_count -= bucket.size();
+    for (const retired& r : bucket) r.deleter(r.object, r.context);
+    bucket.clear();
+  }
+
+  alignas(cacheline_size) std::atomic<std::uint64_t> global_epoch_{3};
+  padded<thread_state> threads_[max_threads];
+};
+
+}  // namespace lfbst::reclaim

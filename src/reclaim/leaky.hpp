@@ -1,0 +1,63 @@
+// lfbst: the paper-faithful "no reclamation" policy.
+//
+// Paper §3.2: "For ease of exposition, we assume that the memory
+// allocated to nodes that are no longer part of the tree is not
+// reclaimed" — and §4 measures every implementation with reclamation
+// disabled ("For a fair comparison, no memory reclamation is performed
+// in any of the implementations"). This policy reproduces that regime:
+// retire() is a no-op, so unlinked nodes simply remain in their
+// node_pool slabs until the owning tree is destroyed and the pool
+// releases the slabs wholesale.
+//
+// Consequences, spelled out:
+//   * The ABA problem cannot occur because addresses are never reused
+//     while the tree lives (paper §3.2's justification).
+//   * Node destructors of *unreachable* nodes never run; trees
+//     static_assert that the key type is trivially destructible when
+//     instantiated with this policy.
+//   * ASAN/valgrind remain clean: the memory is still owned by the pool
+//     and freed at destruction — "leaky" describes the reuse policy, not
+//     an actual leak.
+#pragma once
+
+#include <cstddef>
+
+namespace lfbst::reclaim {
+
+/// Deleter signature shared by all reclaimers: (object, context). The
+/// context is typically the node_pool the object came from.
+using deleter_fn = void (*)(void*, void*) noexcept;
+
+class leaky {
+ public:
+  /// Every reclaimer must declare whether retired nodes' deleters ever
+  /// run before drain; trees use this to gate the trivially-destructible
+  /// static_assert.
+  static constexpr bool reclaims_eagerly = false;
+  /// This policy keeps retired nodes alive through a global mechanism,
+  /// so tree traversals need no per-node cooperation.
+  static constexpr bool requires_validated_traversal = false;
+
+  /// RAII pin for the duration of one tree operation. No state needed:
+  /// with no reclamation there is no grace period to track.
+  struct guard {
+    guard() = default;
+    guard(const guard&) = delete;
+    guard& operator=(const guard&) = delete;
+  };
+
+  [[nodiscard]] guard pin() noexcept { return {}; }
+
+  /// Intentionally drops the node on the floor of its pool.
+  void retire(void* /*object*/, deleter_fn /*deleter*/,
+              void* /*context*/) noexcept {}
+
+  /// Nothing deferred, nothing to drain.
+  void drain_all_unsafe() noexcept {}
+
+  /// Number of retired-but-unreclaimed objects (always 0: we never even
+  /// record them).
+  [[nodiscard]] std::size_t pending() const noexcept { return 0; }
+};
+
+}  // namespace lfbst::reclaim

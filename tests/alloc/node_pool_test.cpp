@@ -1,0 +1,110 @@
+// Unit tests for the slab node pool: alignment (the NM tree steals two
+// pointer bits, so < 4-byte alignment would corrupt edges), reuse,
+// cross-thread deallocate, and footprint accounting.
+#include "alloc/node_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace lfbst {
+namespace {
+
+TEST(NodePool, BlocksAreAtLeast16ByteAligned) {
+  node_pool pool(24);
+  for (int i = 0; i < 1000; ++i) {
+    void* p = pool.allocate(24);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+  }
+}
+
+TEST(NodePool, BlockSizeRoundsUp) {
+  node_pool pool(17);
+  EXPECT_EQ(pool.block_size(), 32u);
+}
+
+TEST(NodePool, DistinctBlocksDoNotOverlap) {
+  node_pool pool(32);
+  std::vector<char*> blocks;
+  for (int i = 0; i < 4096; ++i) {
+    blocks.push_back(static_cast<char*>(pool.allocate(32)));
+    std::memset(blocks.back(), i & 0xFF, 32);
+  }
+  // Writing a pattern into each block must not disturb any other block.
+  for (int i = 0; i < 4096; ++i) {
+    for (int b = 0; b < 32; ++b) {
+      ASSERT_EQ(static_cast<unsigned char>(blocks[i][b]), i & 0xFF);
+    }
+  }
+}
+
+TEST(NodePool, DeallocatedBlocksAreReused) {
+  node_pool pool(64);
+  void* a = pool.allocate(64);
+  pool.deallocate(a);
+  void* b = pool.allocate(64);
+  EXPECT_EQ(a, b);  // LIFO free list returns the same block
+}
+
+TEST(NodePool, DeallocateNullIsNoop) {
+  node_pool pool(64);
+  pool.deallocate(nullptr);
+  SUCCEED();
+}
+
+TEST(NodePool, CrossThreadDeallocateIsSafe) {
+  // One thread allocates, another frees, first reallocates: the block
+  // migrates to the freeing thread's list and stays usable.
+  node_pool pool(48);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 1000; ++i) blocks.push_back(pool.allocate(48));
+  std::thread freer([&] {
+    for (void* p : blocks) pool.deallocate(p);
+    // This thread can now reuse them.
+    for (int i = 0; i < 1000; ++i) {
+      void* p = pool.allocate(48);
+      std::memset(p, 0xAB, 48);
+    }
+  });
+  freer.join();
+  SUCCEED();
+}
+
+TEST(NodePool, ConcurrentAllocationProducesDistinctBlocks) {
+  node_pool pool(32);
+  constexpr int kThreads = 4, kPerThread = 20'000;
+  std::vector<std::vector<void*>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &v = per_thread[t]] {
+      v.reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) v.push_back(pool.allocate(32));
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<void*> all;
+  for (const auto& v : per_thread) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(NodePool, FootprintGrowsWithAllocations) {
+  node_pool pool(64, /*slab_bytes=*/1 << 12);
+  const std::size_t before = pool.footprint_bytes();
+  for (int i = 0; i < 1000; ++i) pool.allocate(64);
+  EXPECT_GT(pool.footprint_bytes(), before);
+}
+
+TEST(NodePool, SmallSlabStillWorks) {
+  node_pool pool(64, /*slab_bytes=*/64);  // one block per slab
+  void* a = pool.allocate(64);
+  void* b = pool.allocate(64);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace lfbst

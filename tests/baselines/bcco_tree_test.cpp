@@ -1,0 +1,152 @@
+// BCCO-specific tests: relaxed-AVL balance under adversarial insertion
+// orders, partially-external deletion (routing-node demotion and
+// revival), version-word behaviour, and oracle churn.
+#include "baselines/bcco_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace lfbst {
+namespace {
+
+TEST(BccoTree, EmptyTree) {
+  bcco_tree<long> t;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(BccoTree, BasicSemantics) {
+  bcco_tree<long> t;
+  EXPECT_TRUE(t.insert(10));
+  EXPECT_FALSE(t.insert(10));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_TRUE(t.insert(15));
+  EXPECT_TRUE(t.erase(10));
+  EXPECT_FALSE(t.erase(10));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_EQ(t.size_slow(), 2u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(BccoTree, SequentialInsertStaysBalanced) {
+  // The raison d'être of the AVL machinery: ascending insertions, which
+  // degenerate the other trees to depth n, must stay at ~1.44·log2 n.
+  bcco_tree<long> t;
+  constexpr long n = 1 << 16;
+  for (long k = 0; k < n; ++k) ASSERT_TRUE(t.insert(k));
+  EXPECT_EQ(t.size_slow(), static_cast<std::size_t>(n));
+  EXPECT_LE(t.height_slow(), static_cast<std::size_t>(1.45 * 16) + 3);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(BccoTree, DescendingInsertStaysBalanced) {
+  bcco_tree<long> t;
+  constexpr long n = 1 << 15;
+  for (long k = n; k > 0; --k) ASSERT_TRUE(t.insert(k));
+  EXPECT_LE(t.height_slow(), static_cast<std::size_t>(1.45 * 15) + 3);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(BccoTree, ZigZagInsertTriggersDoubleRotations) {
+  bcco_tree<long> t;
+  // Alternating far-apart/middle keys forces LR/RL rotations.
+  for (long k = 0; k < 4096; ++k) {
+    const long key = (k % 2 == 0) ? k : 100000 - k;
+    ASSERT_TRUE(t.insert(key));
+  }
+  EXPECT_LE(t.height_slow(), 24u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(BccoTree, TwoChildDeleteLeavesRoutingNode) {
+  // Partially-external removal: the key disappears logically but the
+  // node may stay as a routing node; a re-insert revives it in place.
+  bcco_tree<long> t;
+  for (long k : {50L, 25L, 75L}) t.insert(k);
+  EXPECT_TRUE(t.erase(50));  // two children: demoted, not unlinked
+  EXPECT_FALSE(t.contains(50));
+  EXPECT_EQ(t.size_slow(), 2u);
+  EXPECT_TRUE(t.insert(50));  // revival path (attemptNodeAdd)
+  EXPECT_TRUE(t.contains(50));
+  EXPECT_EQ(t.size_slow(), 3u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(BccoTree, RoutingNodesAreEventuallyUnlinked) {
+  // Demote a routing node, then delete its children: rebalancing must
+  // clean the childless routing node (validate flags any leftover).
+  bcco_tree<long> t;
+  for (long k : {50L, 25L, 75L}) t.insert(k);
+  EXPECT_TRUE(t.erase(50));
+  EXPECT_TRUE(t.erase(25));
+  EXPECT_TRUE(t.erase(75));
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(BccoTree, RandomSoupMatchesStdSet) {
+  bcco_tree<long> t;
+  std::set<long> oracle;
+  pcg32 rng(123);
+  for (int i = 0; i < 150'000; ++i) {
+    const long k = rng.bounded(1024);
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), oracle.insert(k).second) << "i=" << i;
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0) << "i=" << i;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0) << "i=" << i;
+    }
+  }
+  EXPECT_EQ(t.size_slow(), oracle.size());
+  EXPECT_EQ(t.validate(), "");
+  std::vector<long> seen;
+  t.for_each_slow([&seen](long k) { seen.push_back(k); });
+  EXPECT_TRUE(
+      std::equal(seen.begin(), seen.end(), oracle.begin(), oracle.end()));
+}
+
+TEST(BccoTree, ChurnKeepsHeightBounded) {
+  // Long insert/delete churn over a sliding window: relaxed balancing
+  // must keep the height logarithmic in the live set, not in the total
+  // insertion count.
+  bcco_tree<long> t;
+  pcg32 rng(55);
+  for (long w = 0; w < 50; ++w) {
+    for (long k = w * 1000; k < (w + 1) * 1000; ++k) ASSERT_TRUE(t.insert(k));
+    if (w >= 2) {
+      for (long k = (w - 2) * 1000; k < (w - 1) * 1000; ++k) {
+        ASSERT_TRUE(t.erase(k));
+      }
+    }
+  }
+  EXPECT_LE(t.size_slow(), 3000u);
+  EXPECT_LE(t.height_slow(), 32u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(BccoTree, EpochReclaimerChurn) {
+  bcco_tree<long, std::less<long>, reclaim::epoch> t;
+  for (int round = 0; round < 30; ++round) {
+    for (long k = 0; k < 300; ++k) ASSERT_TRUE(t.insert(k));
+    for (long k = 0; k < 300; ++k) ASSERT_TRUE(t.erase(k));
+  }
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+}  // namespace
+}  // namespace lfbst

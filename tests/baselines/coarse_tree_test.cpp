@@ -1,0 +1,108 @@
+// Tests for the coarse-lock reference tree, including the classic BST
+// two-child deletion (successor stealing) and thread-safety under its
+// single lock.
+#include "baselines/coarse_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfbst {
+namespace {
+
+TEST(CoarseTree, EmptyTree) {
+  coarse_tree<long> t;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(CoarseTree, BasicSemantics) {
+  coarse_tree<long> t;
+  EXPECT_TRUE(t.insert(10));
+  EXPECT_FALSE(t.insert(10));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_TRUE(t.insert(15));
+  EXPECT_TRUE(t.erase(10));
+  EXPECT_FALSE(t.erase(10));
+  EXPECT_EQ(t.size_slow(), 2u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(CoarseTree, TwoChildDeletionStealsSuccessor) {
+  coarse_tree<long> t;
+  for (long k : {50L, 25L, 75L, 60L, 90L, 55L, 65L}) t.insert(k);
+  EXPECT_TRUE(t.erase(50));
+  for (long k : {25L, 75L, 60L, 90L, 55L, 65L}) EXPECT_TRUE(t.contains(k));
+  EXPECT_FALSE(t.contains(50));
+  std::vector<long> seen;
+  t.for_each_slow([&seen](long k) { seen.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(CoarseTree, SuccessorWithRightChild) {
+  // Successor (60) itself has a right child (65): the splice must
+  // reattach it.
+  coarse_tree<long> t;
+  for (long k : {50L, 25L, 75L, 60L, 65L}) t.insert(k);
+  EXPECT_TRUE(t.erase(50));
+  EXPECT_TRUE(t.contains(65));
+  EXPECT_TRUE(t.contains(60));
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(CoarseTree, RandomSoupMatchesStdSet) {
+  coarse_tree<long> t;
+  std::set<long> oracle;
+  pcg32 rng(4242);
+  for (int i = 0; i < 100'000; ++i) {
+    const long k = rng.bounded(512);
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(t.size_slow(), oracle.size());
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(CoarseTree, ConcurrentMixIsLinearizedByTheLock) {
+  coarse_tree<long> t;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < 4; ++tid) {
+    threads.emplace_back([&t, tid] {
+      pcg32 rng = pcg32::for_thread(9, tid);
+      for (int i = 0; i < 20'000; ++i) {
+        const long k = rng.bounded(256);
+        switch (rng.bounded(3)) {
+          case 0:
+            t.insert(k);
+            break;
+          case 1:
+            t.erase(k);
+            break;
+          default:
+            (void)t.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.validate(), "");
+}
+
+}  // namespace
+}  // namespace lfbst

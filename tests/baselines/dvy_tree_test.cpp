@@ -1,0 +1,204 @@
+// DVY-specific tests: the logical-ordering chain (the design's defining
+// feature), tree/list membership equality, the two-child relocation
+// path, settle-after-move behaviour, and oracle churn.
+#include "baselines/dvy_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace lfbst {
+namespace {
+
+TEST(DvyTree, EmptyTree) {
+  dvy_tree<long> t;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(DvyTree, BasicSemantics) {
+  dvy_tree<long> t;
+  EXPECT_TRUE(t.insert(10));
+  EXPECT_FALSE(t.insert(10));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_TRUE(t.insert(15));
+  EXPECT_TRUE(t.erase(10));
+  EXPECT_FALSE(t.erase(10));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_EQ(t.size_slow(), 2u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(DvyTree, LogicalChainIsAlwaysSorted) {
+  dvy_tree<long> t;
+  pcg32 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const long k = static_cast<long>(rng.next64() % 100'000);
+    if (rng.bounded(3) == 0) {
+      t.erase(k);
+    } else {
+      t.insert(k);
+    }
+  }
+  std::vector<long> chain;
+  t.for_each_slow([&chain](long k) { chain.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(chain.begin(), chain.end()));
+  EXPECT_EQ(t.validate(), "");  // includes tree==list member equality
+}
+
+TEST(DvyTree, TwoChildDeleteRelocatesSuccessor) {
+  dvy_tree<long> t;
+  for (long k : {50L, 25L, 75L, 60L, 90L, 55L, 65L}) ASSERT_TRUE(t.insert(k));
+  EXPECT_TRUE(t.erase(50));  // 50 has two children; successor 55 moves up
+  EXPECT_FALSE(t.contains(50));
+  for (long k : {25L, 75L, 60L, 90L, 55L, 65L}) EXPECT_TRUE(t.contains(k));
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(DvyTree, DeleteRootRepeatedly) {
+  dvy_tree<long> t;
+  for (long k = 0; k < 100; ++k) t.insert((k * 37) % 100);
+  for (long k = 0; k < 100; ++k) {
+    ASSERT_TRUE(t.erase(k)) << k;
+    ASSERT_EQ(t.validate(), "") << "after erasing " << k;
+  }
+  EXPECT_EQ(t.size_slow(), 0u);
+}
+
+TEST(DvyTree, RandomSoupMatchesStdSet) {
+  dvy_tree<long> t;
+  std::set<long> oracle;
+  pcg32 rng(2014);
+  for (int i = 0; i < 120'000; ++i) {
+    const long k = rng.bounded(800);
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), oracle.insert(k).second) << i;
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0) << i;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0) << i;
+    }
+  }
+  EXPECT_EQ(t.size_slow(), oracle.size());
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(DvyTree, EpochReclaimerChurn) {
+  dvy_tree<long, std::less<long>, reclaim::epoch> t;
+  for (int round = 0; round < 50; ++round) {
+    for (long k = 0; k < 200; ++k) ASSERT_TRUE(t.insert(k));
+    for (long k = 199; k >= 0; --k) ASSERT_TRUE(t.erase(k));
+  }
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(DvyTree, ConcurrentConservationHighContention) {
+  dvy_tree<long> t;
+  constexpr unsigned kThreads = 4;
+  std::atomic<long> net{0};
+  spin_barrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(5, tid);
+      long local = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 40'000; ++i) {
+        const long k = rng.bounded(64);
+        if (rng.bounded(2) == 0) {
+          if (t.insert(k)) ++local;
+        } else {
+          if (t.erase(k)) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.size_slow(), static_cast<std::size_t>(net.load()));
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(DvyTree, ReadersSettleThroughConcurrentRelocations) {
+  // The defining scenario: two-child deletes relocate nodes while
+  // readers traverse; the logical chain must keep anchor lookups exact.
+  dvy_tree<long, std::less<long>, reclaim::epoch> t;
+  constexpr long kAnchors = 64;
+  for (long a = 1; a <= kAnchors; ++a) ASSERT_TRUE(t.insert(-a));
+  // Build a deliberately branchy positive tree so deletes hit the
+  // two-child path often.
+  for (long k : {512L, 256L, 768L, 128L, 384L, 640L, 896L}) t.insert(k);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::thread churner([&] {
+    pcg32 rng(9);
+    for (int i = 0; i < 50'000; ++i) {
+      const long k = rng.bounded(1024);
+      if (rng.bounded(2) == 0) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      pcg32 rng = pcg32::for_thread(11, r);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!t.contains(-(1 + static_cast<long>(rng.bounded(kAnchors))))) {
+          misses.fetch_add(1);
+        }
+      }
+    });
+  }
+  churner.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(misses.load(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(DvyTree, DuelingDeletesEachKeyOnce) {
+  dvy_tree<long> t;
+  constexpr long kKeys = 2048;
+  for (long k = 0; k < kKeys; ++k) ASSERT_TRUE(t.insert(k));
+  std::atomic<long> wins{0};
+  spin_barrier barrier(4);
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < 4; ++tid) {
+    threads.emplace_back([&, tid] {
+      long local = 0;
+      barrier.arrive_and_wait();
+      if (tid % 2 == 0) {
+        for (long k = 0; k < kKeys; ++k) local += t.erase(k) ? 1 : 0;
+      } else {
+        for (long k = kKeys - 1; k >= 0; --k) local += t.erase(k) ? 1 : 0;
+      }
+      wins.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+}  // namespace
+}  // namespace lfbst

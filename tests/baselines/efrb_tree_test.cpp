@@ -1,0 +1,112 @@
+// EFRB-specific tests: Info-record coordination states, the abort/
+// backtrack path of deletes, external shape, and oracle churn.
+#include "baselines/efrb_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace lfbst {
+namespace {
+
+TEST(EfrbTree, EmptyTree) {
+  efrb_tree<long> t;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(EfrbTree, BasicSemantics) {
+  efrb_tree<long> t;
+  EXPECT_TRUE(t.insert(10));
+  EXPECT_FALSE(t.insert(10));
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_TRUE(t.insert(15));
+  EXPECT_TRUE(t.erase(10));
+  EXPECT_FALSE(t.erase(10));
+  EXPECT_FALSE(t.contains(10));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_EQ(t.size_slow(), 2u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(EfrbTree, LeafCopySemantics) {
+  // Inserting next to an existing key replaces the old leaf with a
+  // *copy* — the original leaf node leaves the tree but the key must
+  // remain reachable through the copy.
+  efrb_tree<long> t;
+  t.insert(10);
+  t.insert(20);  // displaces and copies leaf(10) or leaf(∞₁) internally
+  t.insert(15);
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.contains(20));
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(EfrbTree, DeleteLastKeyRestoresEmptyShape) {
+  efrb_tree<long> t;
+  t.insert(7);
+  EXPECT_TRUE(t.erase(7));
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+  EXPECT_TRUE(t.insert(7));  // and the tree is fully reusable
+  EXPECT_TRUE(t.contains(7));
+}
+
+TEST(EfrbTree, RandomSoupMatchesStdSet) {
+  efrb_tree<long> t;
+  std::set<long> oracle;
+  pcg32 rng(1010);
+  for (int i = 0; i < 100'000; ++i) {
+    const long k = rng.bounded(1024);
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), oracle.insert(k).second) << "i=" << i;
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0) << "i=" << i;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0) << "i=" << i;
+    }
+  }
+  EXPECT_EQ(t.size_slow(), oracle.size());
+  EXPECT_EQ(t.validate(), "");
+  std::vector<long> seen;
+  t.for_each_slow([&seen](long k) { seen.push_back(k); });
+  EXPECT_TRUE(
+      std::equal(seen.begin(), seen.end(), oracle.begin(), oracle.end()));
+}
+
+TEST(EfrbTree, EpochReclaimerChurn) {
+  efrb_tree<long, std::less<long>, reclaim::epoch> t;
+  for (int round = 0; round < 50; ++round) {
+    for (long k = 0; k < 200; ++k) ASSERT_TRUE(t.insert(k));
+    for (long k = 0; k < 200; ++k) ASSERT_TRUE(t.erase(k));
+  }
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(EfrbTree, AscendingAndDescendingOrders) {
+  efrb_tree<long> t;
+  for (long k = 0; k < 2000; ++k) ASSERT_TRUE(t.insert(k));
+  for (long k = 3999; k >= 2000; --k) ASSERT_TRUE(t.insert(k));
+  EXPECT_EQ(t.size_slow(), 4000u);
+  std::vector<long> seen;
+  t.for_each_slow([&seen](long k) { seen.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(t.validate(), "");
+}
+
+}  // namespace
+}  // namespace lfbst

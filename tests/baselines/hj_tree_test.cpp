@@ -1,0 +1,149 @@
+// HJ-specific tests: internal-tree shape, the key-relocation delete path
+// (the defining quirk of the algorithm), marked-node tombstones, and
+// oracle churn.
+#include "baselines/hj_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace lfbst {
+namespace {
+
+TEST(HjTree, EmptyTree) {
+  hj_tree<long> t;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(HjTree, BasicSemantics) {
+  hj_tree<long> t;
+  EXPECT_TRUE(t.insert(10));
+  EXPECT_FALSE(t.insert(10));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_TRUE(t.insert(15));
+  EXPECT_TRUE(t.erase(10));
+  EXPECT_FALSE(t.erase(10));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_EQ(t.size_slow(), 2u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(HjTree, DeleteLeafNode) {
+  hj_tree<long> t;
+  t.insert(50);
+  t.insert(25);
+  EXPECT_TRUE(t.erase(25));  // no children: mark + splice
+  EXPECT_FALSE(t.contains(25));
+  EXPECT_TRUE(t.contains(50));
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(HjTree, DeleteOneChildNode) {
+  hj_tree<long> t;
+  t.insert(50);
+  t.insert(25);
+  t.insert(10);  // 25 has exactly one (left) child
+  EXPECT_TRUE(t.erase(25));
+  EXPECT_FALSE(t.contains(25));
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.contains(50));
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(HjTree, DeleteTwoChildNodeRelocatesSuccessor) {
+  // Removing a two-child node moves the successor's key into it — the
+  // relocation path. All remaining keys must stay reachable and ordered.
+  hj_tree<long> t;
+  for (long k : {50L, 25L, 75L, 60L, 90L}) t.insert(k);
+  EXPECT_TRUE(t.erase(50));  // successor 60 relocates into node 50
+  EXPECT_FALSE(t.contains(50));
+  for (long k : {25L, 75L, 60L, 90L}) EXPECT_TRUE(t.contains(k));
+  EXPECT_EQ(t.size_slow(), 4u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(HjTree, DeleteRootWithTwoChildrenRepeatedly) {
+  hj_tree<long> t;
+  for (long k : {50L, 25L, 75L, 10L, 30L, 60L, 90L}) t.insert(k);
+  // Keep deleting the (current) middle element.
+  for (long k : {50L, 60L, 75L}) {
+    EXPECT_TRUE(t.erase(k));
+    EXPECT_FALSE(t.contains(k));
+    EXPECT_EQ(t.validate(), "");
+  }
+  EXPECT_EQ(t.size_slow(), 4u);
+}
+
+TEST(HjTree, InOrderIterationSorted) {
+  hj_tree<long> t;
+  pcg32 rng(5);
+  std::set<long> oracle;
+  for (int i = 0; i < 5000; ++i) {
+    const long k = static_cast<long>(rng.next64() % 100000);
+    t.insert(k);
+    oracle.insert(k);
+  }
+  std::vector<long> seen;
+  t.for_each_slow([&seen](long k) { seen.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), oracle.size());
+}
+
+TEST(HjTree, RandomSoupMatchesStdSet) {
+  hj_tree<long> t;
+  std::set<long> oracle;
+  pcg32 rng(77);
+  for (int i = 0; i < 100'000; ++i) {
+    const long k = rng.bounded(1024);
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), oracle.insert(k).second) << "i=" << i;
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0) << "i=" << i;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0) << "i=" << i;
+    }
+  }
+  EXPECT_EQ(t.size_slow(), oracle.size());
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(HjTree, EpochReclaimerChurn) {
+  hj_tree<long, std::less<long>, reclaim::epoch> t;
+  for (int round = 0; round < 50; ++round) {
+    for (long k = 0; k < 200; ++k) ASSERT_TRUE(t.insert(k));
+    for (long k = 199; k >= 0; --k) ASSERT_TRUE(t.erase(k));
+  }
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(HjTree, SearchPathShorterThanExternalTrees) {
+  // Qualitative check of the §5 discussion: an internal tree of n keys
+  // has no routing-only layer, so its node count is n (+1 sentinel),
+  // while external trees carry 2n-1 (+sentinels).
+  hj_tree<long> t;
+  pcg32 rng(3);
+  std::set<long> keys;
+  while (keys.size() < 1000) {
+    const long k = static_cast<long>(rng.next64() % 1'000'000);
+    if (keys.insert(k).second) {
+      ASSERT_TRUE(t.insert(k));
+    }
+  }
+  EXPECT_EQ(t.size_slow(), 1000u);
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -1,0 +1,189 @@
+// Unit tests for the tagged-pointer substrate: packing, mark semantics,
+// CAS behaviour, and both tagging primitives (BTS and CAS-only) — the
+// bedrock the NM algorithm's freeze property stands on.
+#include "common/tagged_word.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace lfbst {
+namespace {
+
+struct dummy_node {
+  int payload;
+};
+
+using ptr_t = tagged_ptr<dummy_node>;
+using word_t = tagged_word<dummy_node>;
+
+TEST(TaggedPtr, DefaultIsNullAndClean) {
+  ptr_t p;
+  EXPECT_EQ(p.address(), nullptr);
+  EXPECT_FALSE(p.flagged());
+  EXPECT_FALSE(p.tagged());
+  EXPECT_FALSE(p.marked());
+}
+
+TEST(TaggedPtr, PacksAddressAndMarksIndependently) {
+  dummy_node n{7};
+  for (bool flag : {false, true}) {
+    for (bool tag : {false, true}) {
+      ptr_t p(&n, flag, tag);
+      EXPECT_EQ(p.address(), &n);
+      EXPECT_EQ(p.flagged(), flag);
+      EXPECT_EQ(p.tagged(), tag);
+      EXPECT_EQ(p.marked(), flag || tag);
+    }
+  }
+}
+
+TEST(TaggedPtr, CleanFactoryClearsMarks) {
+  dummy_node n{0};
+  ptr_t p = ptr_t::clean(&n);
+  EXPECT_EQ(p.address(), &n);
+  EXPECT_FALSE(p.marked());
+}
+
+TEST(TaggedPtr, WithMarksPreservesAddress) {
+  dummy_node n{0};
+  ptr_t p = ptr_t::clean(&n);
+  ptr_t q = p.with_marks(true, false);
+  EXPECT_EQ(q.address(), &n);
+  EXPECT_TRUE(q.flagged());
+  EXPECT_FALSE(q.tagged());
+  ptr_t r = q.with_marks(false, true);
+  EXPECT_EQ(r.address(), &n);
+  EXPECT_FALSE(r.flagged());
+  EXPECT_TRUE(r.tagged());
+}
+
+TEST(TaggedPtr, EqualityIsBitwise) {
+  dummy_node n{0};
+  EXPECT_EQ(ptr_t::clean(&n), ptr_t::clean(&n));
+  EXPECT_NE(ptr_t::clean(&n), ptr_t(&n, true, false));
+  EXPECT_NE(ptr_t(&n, true, false), ptr_t(&n, false, true));
+}
+
+TEST(TaggedPtr, RawRoundTrips) {
+  dummy_node n{0};
+  ptr_t p(&n, true, true);
+  EXPECT_EQ(ptr_t::from_raw(p.raw()), p);
+}
+
+TEST(TaggedWord, LoadSeesStore) {
+  dummy_node n{0};
+  word_t w;
+  w.store_relaxed(ptr_t::clean(&n));
+  EXPECT_EQ(w.load().address(), &n);
+}
+
+TEST(TaggedWord, CasSucceedsOnExactMatch) {
+  dummy_node a{0}, b{0};
+  word_t w(ptr_t::clean(&a));
+  ptr_t expected = ptr_t::clean(&a);
+  EXPECT_TRUE(w.compare_exchange(expected, ptr_t::clean(&b)));
+  EXPECT_EQ(w.load().address(), &b);
+}
+
+TEST(TaggedWord, CasFailsOnMarkMismatchAndReportsObserved) {
+  // An insert expecting a clean edge must fail when a delete has flagged
+  // it — the exact conflict Alg. 2 line 51/55 handles.
+  dummy_node a{0}, b{0};
+  word_t w(ptr_t(&a, /*flagged=*/true, /*tagged=*/false));
+  ptr_t expected = ptr_t::clean(&a);
+  EXPECT_FALSE(w.compare_exchange(expected, ptr_t::clean(&b)));
+  EXPECT_EQ(expected.address(), &a);  // observed value reported back
+  EXPECT_TRUE(expected.flagged());
+  EXPECT_EQ(w.load().address(), &a);  // word unchanged
+}
+
+TEST(TaggedWord, BtsSetsTagAndReturnsPriorValue) {
+  dummy_node a{0};
+  word_t w(ptr_t(&a, /*flagged=*/true, /*tagged=*/false));
+  ptr_t before = w.bts_tag();
+  EXPECT_TRUE(before.flagged());
+  EXPECT_FALSE(before.tagged());  // prior value had no tag
+  ptr_t after = w.load();
+  EXPECT_TRUE(after.flagged());  // flag preserved (Alg. 4 line 107 relies
+  EXPECT_TRUE(after.tagged());   // on copying it to the new edge)
+  EXPECT_EQ(after.address(), &a);
+}
+
+TEST(TaggedWord, BtsIsIdempotent) {
+  dummy_node a{0};
+  word_t w(ptr_t::clean(&a));
+  w.bts_tag();
+  ptr_t before_second = w.bts_tag();
+  EXPECT_TRUE(before_second.tagged());
+  EXPECT_TRUE(w.load().tagged());
+}
+
+TEST(TaggedWord, CasOnlyTaggingMatchesBtsSemantics) {
+  dummy_node a{0};
+  word_t w1(ptr_t(&a, true, false));
+  word_t w2(ptr_t(&a, true, false));
+  ptr_t r1 = w1.bts_tag();
+  ptr_t r2 = w2.bts_tag_cas_only();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(w1.load(), w2.load());
+}
+
+TEST(TaggedWord, CasCannotOverwriteMarkedWord) {
+  // Once marked, the word is frozen against the clean-expected CAS used
+  // by inserts and by cleanup's ancestor swing.
+  dummy_node a{0}, b{0};
+  word_t w(ptr_t::clean(&a));
+  w.bts_tag();
+  ptr_t expected = ptr_t::clean(&a);
+  EXPECT_FALSE(w.compare_exchange(expected, ptr_t::clean(&b)));
+  EXPECT_EQ(w.load().address(), &a);
+}
+
+TEST(TaggedWord, ConcurrentBtsNeverLosesFlag) {
+  // Hammer one word with concurrent taggers while the flag is set;
+  // the flag must survive (tagging may not clobber other bits).
+  dummy_node a{0};
+  word_t w(ptr_t(&a, /*flagged=*/true, /*tagged=*/false));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&w] {
+      for (int i = 0; i < 10'000; ++i) w.bts_tag();
+    });
+  }
+  for (auto& t : threads) t.join();
+  ptr_t final = w.load();
+  EXPECT_TRUE(final.flagged());
+  EXPECT_TRUE(final.tagged());
+  EXPECT_EQ(final.address(), &a);
+}
+
+TEST(TaggedWord, ConcurrentCasExactlyOneWinner) {
+  // N threads race to swing the same clean edge; exactly one CAS
+  // succeeds — the property that makes the injection point unique.
+  dummy_node a{0};
+  std::vector<dummy_node> candidates(8);
+  word_t w(ptr_t::clean(&a));
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      ptr_t expected = ptr_t::clean(&a);
+      if (w.compare_exchange(expected, ptr_t::clean(&candidates[t]))) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(TaggedWord, SizeIsOneWord) {
+  EXPECT_EQ(sizeof(word_t), sizeof(std::uintptr_t));
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -1,0 +1,139 @@
+// Unit tests for the small concurrency utilities: spinlock mutual
+// exclusion, spin-barrier rendezvous and reuse, dense thread ids, and
+// backoff's termination behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/barrier.hpp"
+#include "common/spinlock.hpp"
+#include "common/thread_id.hpp"
+
+namespace lfbst {
+namespace {
+
+TEST(Spinlock, ProvidesMutualExclusion) {
+  spinlock lock;
+  long counter = 0;  // deliberately non-atomic: the lock must protect it
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4, kIters = 50'000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<spinlock> g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  spinlock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, WorksWithScopedLock) {
+  spinlock a, b;
+  std::scoped_lock g(a, b);
+  EXPECT_TRUE(a.is_locked_hint());
+  EXPECT_TRUE(b.is_locked_hint());
+}
+
+TEST(SpinBarrier, ReleasesAllParties) {
+  constexpr unsigned kParties = 4;
+  spin_barrier barrier(kParties);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      after.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(before.load(), static_cast<int>(kParties));
+  EXPECT_EQ(after.load(), static_cast<int>(kParties));
+}
+
+TEST(SpinBarrier, IsReusableAcrossGenerations) {
+  constexpr unsigned kParties = 3;
+  constexpr int kGenerations = 100;
+  spin_barrier barrier(kParties);
+  std::atomic<int> phase_sum{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        barrier.arrive_and_wait();
+        phase_sum.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Between the two barriers every thread of the generation has
+        // incremented; the count must be a multiple of kParties.
+        EXPECT_EQ(phase_sum.load() % kParties, 0u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(phase_sum.load(), static_cast<int>(kParties) * kGenerations);
+}
+
+TEST(ThreadId, StableWithinThread) {
+  const unsigned a = this_thread_index();
+  const unsigned b = this_thread_index();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadId, DistinctAcrossLiveThreads) {
+  std::mutex m;
+  std::set<unsigned> ids;
+  std::atomic<int> armed{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const unsigned id = this_thread_index();
+      {
+        std::lock_guard<std::mutex> g(m);
+        ids.insert(id);
+      }
+      armed.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (armed.load() < kThreads) std::this_thread::yield();
+  release.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads));
+  for (unsigned id : ids) EXPECT_LT(id, max_threads);
+}
+
+TEST(ThreadId, SlotsAreRecycled) {
+  // Sequential short-lived threads must not exhaust the table.
+  for (int i = 0; i < 2 * static_cast<int>(max_threads); ++i) {
+    std::thread([] { (void)this_thread_index(); }).join();
+  }
+  SUCCEED();
+}
+
+TEST(Backoff, TerminatesAndEscalates) {
+  backoff b(1, 8);
+  for (int i = 0; i < 100; ++i) b();  // must not hang even past threshold
+  b.reset();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -1,0 +1,149 @@
+// Fault-injection property tests for the NM tree: randomized *stalled
+// deletes* (operations that crashed right after their injection CAS —
+// the failure mode lock-freedom exists for) are planted among live
+// traffic, across many seeds. After the storm, a recovery sweep must be
+// able to complete every orphaned delete, and the tree must be exactly
+// the oracle's set.
+//
+// This is the closest a test can get to "kill -9 a thread mid-delete"
+// without actual process surgery: the flagged edge is indistinguishable
+// from a delete whose owner will never run again.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/natarajan_tree.hpp"
+#include "../core/nm_test_access.hpp"
+
+namespace lfbst {
+namespace {
+
+using access = nm_tree_test_access;
+
+struct fault_params {
+  std::uint64_t seed;
+  long key_range;
+  int stall_permille;  // fraction of deletes that stall instead
+};
+
+std::string fault_name(const ::testing::TestParamInfo<fault_params>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_range" +
+         std::to_string(info.param.key_range) + "_stall" +
+         std::to_string(info.param.stall_permille);
+}
+
+class FaultInjection : public ::testing::TestWithParam<fault_params> {};
+
+TEST_P(FaultInjection, StalledDeletesNeverCorruptAndAlwaysRecover) {
+  const fault_params p = GetParam();
+  nm_tree<long> t;
+  // Oracle tracks *intended* state: a stalled delete has not linearized,
+  // so its key remains a member until recovery completes it.
+  std::set<long> oracle;
+  std::set<long> stalled;  // keys with an orphaned flagged edge
+  pcg32 rng(p.seed);
+
+  for (int i = 0; i < 40'000; ++i) {
+    const long k = static_cast<long>(rng.next64() % p.key_range);
+    switch (rng.bounded(4)) {
+      case 0:
+        if (stalled.contains(k)) break;  // frozen edge: skip (see below)
+        ASSERT_EQ(t.insert(k), oracle.insert(k).second) << "i=" << i;
+        break;
+      case 1:
+        if (stalled.contains(k)) break;
+        if (oracle.contains(k) &&
+            rng.bounded(1000) < static_cast<std::uint32_t>(p.stall_permille)) {
+          // Crash a delete after its injection CAS. May fail if a
+          // neighbouring stalled edge blocks the flag — then skip.
+          if (access::inject_stalled_delete(t, k)) stalled.insert(k);
+          break;
+        }
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0) << "i=" << i;
+        break;
+      default:
+        // A stalled key is still logically present (its delete never
+        // linearized) *unless* helping already removed it — both answers
+        // are legal while the orphan is pending, so only assert on
+        // non-stalled keys.
+        if (!stalled.contains(k)) {
+          ASSERT_EQ(t.contains(k), oracle.contains(k)) << "i=" << i;
+        }
+    }
+  }
+
+  // Recovery sweep: complete every orphaned delete, as a helper would.
+  for (const long k : stalled) {
+    if (t.contains(k)) access::run_cleanup(t, k);
+    EXPECT_FALSE(t.contains(k)) << "orphaned delete of " << k
+                                << " not recoverable";
+    oracle.erase(k);
+  }
+
+  EXPECT_EQ(t.size_slow(), oracle.size());
+  EXPECT_EQ(t.validate(), "");
+  std::vector<long> seen;
+  t.for_each_slow([&seen](long k) { seen.push_back(k); });
+  EXPECT_TRUE(
+      std::equal(seen.begin(), seen.end(), oracle.begin(), oracle.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FaultInjection,
+    ::testing::Values(fault_params{1, 64, 200}, fault_params{2, 64, 500},
+                      fault_params{3, 1'000, 100},
+                      fault_params{4, 1'000, 300},
+                      fault_params{5, 20'000, 100},
+                      fault_params{6, 16, 400}, fault_params{7, 16, 700},
+                      fault_params{8, 500, 250}),
+    fault_name);
+
+TEST(FaultInjectionConcurrent, OrphansPlantedUnderLiveTrafficAreAbsorbed) {
+  // Stalled deletes planted *while* worker threads churn: workers must
+  // keep making progress (helping through the orphans), and a final
+  // sweep must clear every orphan.
+  nm_tree<long> t;
+  constexpr long kRange = 512;
+  for (long k = 0; k < kRange; ++k) ASSERT_TRUE(t.insert(k));
+
+  std::atomic<bool> stop{false};
+  std::vector<long> stalled;
+  std::thread saboteur([&] {
+    pcg32 rng(13);
+    for (int i = 0; i < 200; ++i) {
+      const long k = rng.bounded(kRange);
+      if (access::inject_stalled_delete(t, k)) stalled.push_back(k);
+      std::this_thread::yield();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> workers;
+  for (unsigned tid = 0; tid < 3; ++tid) {
+    workers.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(31, tid);
+      while (!stop.load(std::memory_order_acquire)) {
+        const long k = kRange + rng.bounded(kRange);  // disjoint stripe
+        if (rng.bounded(2) == 0) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  saboteur.join();
+  for (auto& w : workers) w.join();
+
+  for (const long k : stalled) {
+    if (t.contains(k)) access::run_cleanup(t, k);
+    EXPECT_FALSE(t.contains(k));
+  }
+  EXPECT_EQ(t.validate(), "");
+}
+
+}  // namespace
+}  // namespace lfbst

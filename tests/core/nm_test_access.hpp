@@ -1,0 +1,125 @@
+// White-box hooks into nm_tree for deterministic tests of the marking
+// and helping machinery. Declared a friend by the tree; everything here
+// is test-only and assumes single-threaded use unless stated otherwise.
+//
+// The key capability: simulating a *stalled* delete. A real delete that
+// crashed (or was preempted forever) right after its injection CAS
+// leaves a flagged edge in the tree; lock-freedom demands that other
+// operations complete it. These hooks plant exactly that state.
+#pragma once
+
+#include "core/natarajan_tree.hpp"
+
+namespace lfbst {
+
+struct nm_tree_test_access {
+  /// Runs a seek and reports the four access-path nodes as opaque
+  /// pointers plus their keys' client values where applicable.
+  template <typename Tree>
+  static auto seek(const Tree& t, const typename Tree::key_type& key) {
+    typename Tree::seek_record sr;
+    t.seek(key, sr);
+    return sr;
+  }
+
+  template <typename Tree>
+  static bool leaf_key_matches(const Tree& t,
+                               const typename Tree::key_type& key) {
+    auto sr = seek(t, key);
+    return t.less_.equal(key, sr.leaf->key);
+  }
+
+  /// Plants the flag a delete's injection CAS would plant, then stops —
+  /// the signature of a delete that stalled before cleanup. Returns
+  /// false if the key is absent or the edge was already marked.
+  template <typename Tree>
+  static bool inject_stalled_delete(Tree& t,
+                                    const typename Tree::key_type& key) {
+    typename Tree::seek_record sr;
+    t.seek(key, sr);
+    if (!t.less_.equal(key, sr.leaf->key)) return false;
+    auto& child_field = t.child_field_for(sr.parent, key);
+    auto expected = Tree::ptr_t::clean(sr.leaf);
+    return child_field.compare_exchange(
+        expected, expected.with_marks(/*flagged=*/true, /*tagged=*/false));
+  }
+
+  /// Plants flag + sibling tag — a delete stalled between its BTS and
+  /// its ancestor CAS. Returns false if the key is absent.
+  template <typename Tree>
+  static bool inject_stalled_delete_tagged(
+      Tree& t, const typename Tree::key_type& key) {
+    if (!inject_stalled_delete(t, key)) return false;
+    typename Tree::seek_record sr;
+    t.seek(key, sr);
+    auto& sibling_field = t.less_(key, sr.parent->key) ? sr.parent->right
+                                                       : sr.parent->left;
+    sibling_field.bts_tag();
+    return true;
+  }
+
+  /// Runs one cleanup pass for `key` using a fresh seek record; returns
+  /// whether this call's CAS performed the physical removal.
+  template <typename Tree>
+  static bool run_cleanup(Tree& t, const typename Tree::key_type& key) {
+    typename Tree::seek_record sr;
+    t.seek(key, sr);
+    return t.cleanup(key, sr);
+  }
+
+  /// True iff the edge from the seek parent to the seek leaf for `key`
+  /// is flagged / tagged right now.
+  template <typename Tree>
+  static std::pair<bool, bool> edge_marks(const Tree& t,
+                                          const typename Tree::key_type& key) {
+    typename Tree::seek_record sr;
+    t.seek(key, sr);
+    auto word = t.child_field_for(sr.parent, key).load();
+    return {word.flagged(), word.tagged()};
+  }
+
+  /// Depth of the leaf on the access path for `key` (root ℝ = depth 0).
+  template <typename Tree>
+  static std::size_t access_path_depth(const Tree& t,
+                                       const typename Tree::key_type& key) {
+    std::size_t depth = 0;
+    auto* n = t.r_;
+    while (n->left.load(std::memory_order_relaxed).address() != nullptr) {
+      n = t.less_(key, n->key)
+              ? n->left.load(std::memory_order_relaxed).address()
+              : n->right.load(std::memory_order_relaxed).address();
+      ++depth;
+    }
+    return depth;
+  }
+
+  /// Whether the seek's (ancestor,successor) differ from
+  /// (grandparent,parent) — i.e. the seek skipped a tagged region.
+  template <typename Tree>
+  static bool seek_skipped_tagged_region(const Tree& t,
+                                         const typename Tree::key_type& key) {
+    auto sr = seek(t, key);
+    return sr.successor != sr.parent;
+  }
+
+  /// Count of reachable nodes (internal + leaves, sentinels included).
+  template <typename Tree>
+  static std::size_t reachable_node_count(const Tree& t) {
+    std::size_t n = 0;
+    std::vector<typename Tree::node*> stack{t.r_};
+    while (!stack.empty()) {
+      auto* x = stack.back();
+      stack.pop_back();
+      ++n;
+      if (auto* l = x->left.load(std::memory_order_relaxed).address()) {
+        stack.push_back(l);
+      }
+      if (auto* r = x->right.load(std::memory_order_relaxed).address()) {
+        stack.push_back(r);
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace lfbst

@@ -1,0 +1,74 @@
+// Unit tests for the instrumentation policies behind Table 1.
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace lfbst {
+namespace {
+
+TEST(StatsCounting, HooksAccumulate) {
+  stats::counting::reset();
+  stats::counting::on_alloc();
+  stats::counting::on_alloc(3);
+  stats::counting::on_cas();
+  stats::counting::on_cas();
+  stats::counting::on_bts();
+  stats::counting::on_seek_restart();
+  stats::counting::on_help();
+  const stats::op_record& r = stats::counting::local();
+  EXPECT_EQ(r.objects_allocated, 4u);
+  EXPECT_EQ(r.cas_executed, 2u);
+  EXPECT_EQ(r.bts_executed, 1u);
+  EXPECT_EQ(r.seek_restarts, 1u);
+  EXPECT_EQ(r.helps, 1u);
+  EXPECT_EQ(r.atomics(), 3u);
+}
+
+TEST(StatsCounting, ResetClears) {
+  stats::counting::on_cas();
+  stats::counting::reset();
+  EXPECT_EQ(stats::counting::local().cas_executed, 0u);
+}
+
+TEST(StatsCounting, SnapshotDeltaIsolatesOneOperation) {
+  stats::counting::reset();
+  stats::counting::on_cas();
+  const auto before = stats::counting::snapshot();
+  stats::counting::on_cas();
+  stats::counting::on_bts();
+  stats::counting::on_alloc(2);
+  const auto d = stats::counting::delta(before);
+  EXPECT_EQ(d.cas_executed, 1u);
+  EXPECT_EQ(d.bts_executed, 1u);
+  EXPECT_EQ(d.objects_allocated, 2u);
+}
+
+TEST(StatsCounting, CountersAreThreadLocal) {
+  stats::counting::reset();
+  stats::counting::on_cas();
+  std::thread other([] {
+    stats::counting::reset();
+    EXPECT_EQ(stats::counting::local().cas_executed, 0u);
+    stats::counting::on_cas();
+    stats::counting::on_cas();
+    EXPECT_EQ(stats::counting::local().cas_executed, 2u);
+  });
+  other.join();
+  EXPECT_EQ(stats::counting::local().cas_executed, 1u);
+}
+
+TEST(StatsNone, IsCompletelyInert) {
+  // Compile-time property mostly; the hooks exist and do nothing.
+  stats::none::on_alloc();
+  stats::none::on_cas();
+  stats::none::on_bts();
+  stats::none::on_seek_restart();
+  stats::none::on_help();
+  EXPECT_FALSE(stats::none::enabled);
+  EXPECT_TRUE(stats::counting::enabled);
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -1,0 +1,199 @@
+// Pins the static per-operation costs of Table 1 of the paper:
+//
+//   Algorithm          objects alloc'd      atomics executed
+//                      insert  delete       insert  delete
+//   Ellen et al.         4       1            3       4
+//   Howley & Jones       2       1            3      up to 9
+//   This work (NM)       2       0            1       3
+//
+// Measured here in the absence of contention (single thread) with the
+// counting stats policy. These are exact equalities for NM and EFRB and
+// for HJ inserts; HJ deletes depend on the victim's child count (4 for
+// ≤1 child, 9 for the relocation path), so both cases are pinned.
+#include <gtest/gtest.h>
+
+#include "baselines/efrb_tree.hpp"
+#include "baselines/hj_tree.hpp"
+#include "core/natarajan_tree.hpp"
+#include "core/stats.hpp"
+
+namespace lfbst {
+namespace {
+
+using counting = stats::counting;
+
+template <typename F>
+stats::op_record measure(F&& op) {
+  const auto before = counting::snapshot();
+  op();
+  return counting::delta(before);
+}
+
+// --- NM-BST ----------------------------------------------------------------
+
+using nm_counted =
+    nm_tree<long, std::less<long>, reclaim::leaky, counting>;
+
+TEST(Table1, NmInsertIsOneCasTwoAllocations) {
+  nm_counted t;
+  t.insert(50);
+  const auto d = measure([&] { ASSERT_TRUE(t.insert(25)); });
+  EXPECT_EQ(d.objects_allocated, 2u);  // newInternal + newLeaf
+  EXPECT_EQ(d.cas_executed, 1u);       // the single child swing
+  EXPECT_EQ(d.bts_executed, 0u);
+  EXPECT_EQ(d.atomics(), 1u);
+}
+
+TEST(Table1, NmDeleteIsThreeAtomicsZeroAllocations) {
+  nm_counted t;
+  t.insert(50);
+  t.insert(25);
+  const auto d = measure([&] { ASSERT_TRUE(t.erase(25)); });
+  EXPECT_EQ(d.objects_allocated, 0u);
+  EXPECT_EQ(d.cas_executed, 2u);  // injection flag + ancestor swing
+  EXPECT_EQ(d.bts_executed, 1u);  // sibling tag
+  EXPECT_EQ(d.atomics(), 3u);
+}
+
+TEST(Table1, NmSearchExecutesNoAtomics) {
+  nm_counted t;
+  t.insert(50);
+  const auto d = measure([&] {
+    ASSERT_TRUE(t.contains(50));
+    ASSERT_FALSE(t.contains(51));
+  });
+  EXPECT_EQ(d.atomics(), 0u);
+  EXPECT_EQ(d.objects_allocated, 0u);
+}
+
+TEST(Table1, NmFailedInsertAllocatesNothingExtra) {
+  nm_counted t;
+  t.insert(50);
+  const auto d = measure([&] { ASSERT_FALSE(t.insert(50)); });
+  EXPECT_EQ(d.objects_allocated, 0u);
+  EXPECT_EQ(d.atomics(), 0u);
+}
+
+TEST(Table1, NmFailedDeleteExecutesNothing) {
+  nm_counted t;
+  t.insert(50);
+  const auto d = measure([&] { ASSERT_FALSE(t.erase(99)); });
+  EXPECT_EQ(d.objects_allocated, 0u);
+  EXPECT_EQ(d.atomics(), 0u);
+}
+
+TEST(Table1, NmCostsAreIndependentOfTreeSize) {
+  // The counts are per-operation constants, not functions of n.
+  nm_counted t;
+  for (long k = 0; k < 1000; ++k) t.insert(k * 2);
+  const auto di = measure([&] { ASSERT_TRUE(t.insert(1001)); });
+  EXPECT_EQ(di.atomics(), 1u);
+  EXPECT_EQ(di.objects_allocated, 2u);
+  const auto dd = measure([&] { ASSERT_TRUE(t.erase(500)); });
+  EXPECT_EQ(dd.atomics(), 3u);
+  EXPECT_EQ(dd.objects_allocated, 0u);
+}
+
+// --- EFRB-BST ----------------------------------------------------------------
+
+using efrb_counted =
+    efrb_tree<long, std::less<long>, reclaim::leaky, counting>;
+
+TEST(Table1, EfrbInsertIsThreeCasFourAllocations) {
+  efrb_counted t;
+  t.insert(50);
+  const auto d = measure([&] { ASSERT_TRUE(t.insert(25)); });
+  // Leaf, copied sibling leaf, internal node, IInfo record.
+  EXPECT_EQ(d.objects_allocated, 4u);
+  // IFLAG + child CAS + unflag.
+  EXPECT_EQ(d.cas_executed, 3u);
+  EXPECT_EQ(d.atomics(), 3u);
+}
+
+TEST(Table1, EfrbDeleteIsFourCasOneAllocation) {
+  efrb_counted t;
+  t.insert(50);
+  t.insert(25);
+  const auto d = measure([&] { ASSERT_TRUE(t.erase(25)); });
+  EXPECT_EQ(d.objects_allocated, 1u);  // DInfo record
+  // DFLAG(gp) + MARK(p) + child CAS + unflag(gp).
+  EXPECT_EQ(d.cas_executed, 4u);
+  EXPECT_EQ(d.atomics(), 4u);
+}
+
+TEST(Table1, EfrbSearchExecutesNoAtomics) {
+  efrb_counted t;
+  t.insert(50);
+  const auto d = measure([&] { ASSERT_TRUE(t.contains(50)); });
+  EXPECT_EQ(d.atomics(), 0u);
+}
+
+// --- HJ-BST ----------------------------------------------------------------
+
+using hj_counted = hj_tree<long, std::less<long>, reclaim::leaky, counting>;
+
+TEST(Table1, HjInsertIsThreeCasTwoAllocations) {
+  hj_counted t;
+  t.insert(50);
+  const auto d = measure([&] { ASSERT_TRUE(t.insert(25)); });
+  EXPECT_EQ(d.objects_allocated, 2u);  // node + ChildCASOp
+  EXPECT_EQ(d.cas_executed, 3u);       // op flag + child CAS + unflag
+  EXPECT_EQ(d.atomics(), 3u);
+}
+
+TEST(Table1, HjLeafDeleteIsFourCas) {
+  hj_counted t;
+  t.insert(50);
+  t.insert(25);  // 25 is a leaf (no children)
+  const auto d = measure([&] { ASSERT_TRUE(t.erase(25)); });
+  // MARK + (pred flag + child CAS + unflag) in helpMarked.
+  EXPECT_EQ(d.cas_executed, 4u);
+  EXPECT_EQ(d.objects_allocated, 1u);  // the splice ChildCASOp
+}
+
+TEST(Table1, HjTwoChildDeleteIsUpToNineAtomics) {
+  hj_counted t;
+  t.insert(50);
+  t.insert(25);
+  t.insert(75);  // 50 has two children: relocation path
+  const auto d = measure([&] { ASSERT_TRUE(t.erase(50)); });
+  // RelocateOp install + dest install + state CAS + key CAS + dest
+  // unflag + successor MARK + helpMarked(3) = 9 — the paper's ceiling.
+  EXPECT_EQ(d.cas_executed, 9u);
+  EXPECT_LE(d.objects_allocated, 2u);  // RelocateOp + splice ChildCASOp
+}
+
+TEST(Table1, HjSearchExecutesNoAtomicsWhenClean) {
+  hj_counted t;
+  t.insert(50);
+  const auto d = measure([&] { ASSERT_TRUE(t.contains(50)); });
+  EXPECT_EQ(d.atomics(), 0u);
+}
+
+// --- cross-algorithm relations the paper's §5 calls out --------------------
+
+TEST(Table1, NmExecutesStrictlyFewerAtomicsThanBothRivals) {
+  nm_counted nm;
+  efrb_counted efrb;
+  hj_counted hj;
+  nm.insert(50);
+  efrb.insert(50);
+  hj.insert(50);
+
+  const auto nm_i = measure([&] { nm.insert(25); });
+  const auto efrb_i = measure([&] { efrb.insert(25); });
+  const auto hj_i = measure([&] { hj.insert(25); });
+  EXPECT_LT(nm_i.atomics(), efrb_i.atomics());
+  EXPECT_LT(nm_i.atomics(), hj_i.atomics());
+  EXPECT_LT(nm_i.objects_allocated, efrb_i.objects_allocated);
+
+  const auto nm_d = measure([&] { nm.erase(25); });
+  const auto efrb_d = measure([&] { efrb.erase(25); });
+  const auto hj_d = measure([&] { hj.erase(25); });
+  EXPECT_LT(nm_d.atomics(), efrb_d.atomics());
+  EXPECT_LT(nm_d.atomics(), hj_d.atomics());
+  EXPECT_LT(nm_d.objects_allocated, efrb_d.objects_allocated);
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -1,0 +1,69 @@
+// Tests for the run-statistics helper used by the repeated-run modes of
+// the benchmark harnesses.
+#include "harness/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lfbst::harness {
+namespace {
+
+TEST(Statistics, EmptyIsZero) {
+  const run_stats s = summarize_runs({});
+  EXPECT_EQ(s.runs, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.rel_spread(), 0.0);
+}
+
+TEST(Statistics, SingleSample) {
+  const run_stats s = summarize_runs({5.0});
+  EXPECT_EQ(s.runs, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Statistics, KnownValues) {
+  const run_stats s = summarize_runs({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                      9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev of this classic set: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.rel_spread(), 2.13809 / 5.0, 1e-4);
+}
+
+TEST(Statistics, ConstantSamplesHaveZeroSpread) {
+  const run_stats s = summarize_runs({3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.rel_spread(), 0.0);
+}
+
+TEST(Statistics, AggregateRunsCallsMeasureNTimes) {
+  int calls = 0;
+  const run_stats s = aggregate_runs(
+      [&] {
+        ++calls;
+        return static_cast<double>(calls);
+      },
+      4);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(s.runs, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);  // 1+2+3+4 over 4
+}
+
+TEST(Statistics, WarmupIsDiscarded) {
+  int calls = 0;
+  const run_stats s = aggregate_runs(
+      [&] {
+        ++calls;
+        return calls == 1 ? 1000.0 : 2.0;  // outlier warm-up
+      },
+      3, /*discard_warmup=*/true);
+  EXPECT_EQ(calls, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+}  // namespace
+}  // namespace lfbst::harness

@@ -1,0 +1,106 @@
+// Tests for the Zipfian generator: bounds, determinism, monotone rank
+// frequencies, skew sensitivity, and the uniform-ish limit.
+#include "harness/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfbst::harness {
+namespace {
+
+TEST(Zipf, DrawsStayInRange) {
+  zipf_generator z(1000, 0.9);
+  pcg32 rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    EXPECT_LT(z(rng), 1000u);
+  }
+}
+
+TEST(Zipf, DeterministicGivenRngSeed) {
+  zipf_generator z(5000, 0.7);
+  pcg32 a(9), b(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z(a), z(b));
+}
+
+TEST(Zipf, RankZeroIsHottest) {
+  zipf_generator z(10'000, 0.9);
+  pcg32 rng(4);
+  std::array<int, 4> counts{};  // ranks 0..3
+  int total = 200'000;
+  for (int i = 0; i < total; ++i) {
+    const std::uint64_t r = z(rng);
+    if (r < counts.size()) ++counts[r];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[3]);
+  // Under theta=0.9, rank 0 draws several percent of all traffic.
+  EXPECT_GT(counts[0], total / 50);
+}
+
+TEST(Zipf, HigherThetaMoreSkew) {
+  pcg32 rng(5);
+  auto hot_fraction = [&rng](double theta) {
+    zipf_generator z(100'000, theta);
+    int hot = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) hot += (z(rng) < 100) ? 1 : 0;
+    return static_cast<double>(hot) / n;
+  };
+  const double mild = hot_fraction(0.5);
+  const double heavy = hot_fraction(0.99);
+  EXPECT_GT(heavy, 2 * mild);
+}
+
+TEST(Zipf, ThetaZeroIsNearUniform) {
+  zipf_generator z(1000, 0.0);
+  pcg32 rng(6);
+  std::vector<int> buckets(10, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++buckets[z(rng) / 100];
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 10 * 0.7);
+    EXPECT_LT(b, n / 10 * 1.3);
+  }
+}
+
+TEST(Zipf, ScrambleStaysInRangeAndSpreadsHotRanks) {
+  // The multiplicative scramble is not a bijection (the product wraps
+  // mod 2^64 before the mod-n), and does not need to be: the bench only
+  // needs hot ranks scattered across the key space with few collisions.
+  zipf_generator z(10'000, 0.9);
+  std::set<std::uint64_t> hot_keys;
+  std::uint64_t min_key = ~0ull, max_key = 0;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    const std::uint64_t k = z.scramble(r);
+    ASSERT_LT(k, 10'000u);
+    hot_keys.insert(k);
+    min_key = std::min(min_key, k);
+    max_key = std::max(max_key, k);
+  }
+  EXPECT_GE(hot_keys.size(), 95u);       // few collisions among hot ranks
+  EXPECT_GT(max_key - min_key, 5'000u);  // spread over the key space
+}
+
+TEST(Zipf, WorksWithTinySpaces) {
+  zipf_generator z(1, 0.9);
+  pcg32 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 0u);
+  zipf_generator z2(2, 0.5);
+  bool saw0 = false, saw1 = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = z2(rng);
+    saw0 |= (r == 0);
+    saw1 |= (r == 1);
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);
+}
+
+}  // namespace
+}  // namespace lfbst::harness

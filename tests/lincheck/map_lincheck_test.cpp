@@ -1,0 +1,166 @@
+// Tests for the map-history linearizability checker, plus recorded
+// nm_map histories: the single-CAS insert_or_assign replace path gets
+// the same exhaustive verification the set operations get.
+#include "lincheck/map_lincheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "core/nm_map.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace lfbst {
+namespace {
+
+using lincheck::map_checker;
+using lincheck::map_history;
+using lincheck::map_op_kind;
+using lincheck::map_operation;
+
+map_operation op(map_op_kind k, int key, std::int64_t value, bool result,
+                 std::uint64_t invoke, std::uint64_t response,
+                 bool found = false, std::int64_t observed = 0) {
+  return map_operation{k, key, value, result, found, observed, invoke,
+                       response};
+}
+
+TEST(MapChecker, EmptyHistory) {
+  EXPECT_TRUE(map_checker::is_linearizable({}));
+}
+
+TEST(MapChecker, SequentialLegal) {
+  map_history h{
+      op(map_op_kind::insert, 1, 100, true, 0, 1),
+      op(map_op_kind::get, 1, 0, true, 2, 3, true, 100),
+      op(map_op_kind::insert_assign, 1, 200, false, 4, 5),
+      op(map_op_kind::get, 1, 0, true, 6, 7, true, 200),
+      op(map_op_kind::erase, 1, 0, true, 8, 9),
+      op(map_op_kind::get, 1, 0, false, 10, 11, false, 0),
+  };
+  EXPECT_TRUE(map_checker::is_linearizable(h));
+}
+
+TEST(MapChecker, StaleValueReadIsCaught) {
+  // get observes 100 strictly after the assign to 200 completed.
+  map_history h{
+      op(map_op_kind::insert, 1, 100, true, 0, 1),
+      op(map_op_kind::insert_assign, 1, 200, false, 2, 3),
+      op(map_op_kind::get, 1, 0, true, 4, 5, true, 100),
+  };
+  EXPECT_FALSE(map_checker::is_linearizable(h));
+}
+
+TEST(MapChecker, OverlappingAssignAllowsEitherValue) {
+  for (std::int64_t seen : {100L, 200L}) {
+    map_history h{
+        op(map_op_kind::insert, 1, 100, true, 0, 1),
+        op(map_op_kind::insert_assign, 1, 200, false, 2, 10),
+        op(map_op_kind::get, 1, 0, true, 3, 9, true, seen),
+    };
+    EXPECT_TRUE(map_checker::is_linearizable(h)) << seen;
+  }
+}
+
+TEST(MapChecker, InsertDoesNotOverwrite) {
+  map_history h{
+      op(map_op_kind::insert, 1, 100, true, 0, 1),
+      op(map_op_kind::insert, 1, 200, false, 2, 3),  // keeps 100
+      op(map_op_kind::get, 1, 0, true, 4, 5, true, 200),  // impossible
+  };
+  EXPECT_FALSE(map_checker::is_linearizable(h));
+}
+
+TEST(MapChecker, InsertAssignResultDistinguishesInsertFromAssign) {
+  // Two sequential insert_or_assign calls: first must report inserted,
+  // second must report assigned.
+  map_history good{
+      op(map_op_kind::insert_assign, 5, 1, true, 0, 1),
+      op(map_op_kind::insert_assign, 5, 2, false, 2, 3),
+  };
+  EXPECT_TRUE(map_checker::is_linearizable(good));
+  map_history bad{
+      op(map_op_kind::insert_assign, 5, 1, true, 0, 1),
+      op(map_op_kind::insert_assign, 5, 2, true, 2, 3),
+  };
+  EXPECT_FALSE(map_checker::is_linearizable(bad));
+}
+
+TEST(MapChecker, ValueFromNowhereIsCaught) {
+  map_history h{
+      op(map_op_kind::insert, 1, 100, true, 0, 1),
+      op(map_op_kind::get, 1, 0, true, 2, 3, true, 777),  // never written
+  };
+  EXPECT_FALSE(map_checker::is_linearizable(h));
+}
+
+TEST(MapChecker, EraseThenGetOverlapping) {
+  for (bool found : {true, false}) {
+    map_history h{
+        op(map_op_kind::insert, 2, 42, true, 0, 1),
+        op(map_op_kind::erase, 2, 0, true, 2, 10),
+        op(map_op_kind::get, 2, 0, found, 3, 9, found, found ? 42 : 0),
+    };
+    EXPECT_TRUE(map_checker::is_linearizable(h)) << found;
+  }
+}
+
+// --- recorded histories from the real map ----------------------------------
+
+template <typename MapType>
+void run_recorded_map_histories(int rounds) {
+  pcg32 seed_rng(555);
+  for (int round = 0; round < rounds; ++round) {
+    MapType map;
+    lincheck::map_recorder rec;
+    constexpr unsigned kThreads = 3;
+    constexpr int kOpsPerThread = 6;
+    spin_barrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    const std::uint64_t base_seed = seed_rng.next64();
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+      threads.emplace_back([&, tid] {
+        pcg32 rng = pcg32::for_thread(base_seed, tid);
+        barrier.arrive_and_wait();
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const int key = static_cast<int>(rng.bounded(3));  // hot keys
+          const auto value =
+              static_cast<std::int64_t>(1 + rng.bounded(100));
+          switch (rng.bounded(4)) {
+            case 0:
+              rec.insert(map, key, value);
+              break;
+            case 1:
+              rec.insert_or_assign(map, key, value);
+              break;
+            case 2:
+              rec.erase(map, key);
+              break;
+            default:
+              rec.get(map, key);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const map_history h = rec.take();
+    ASSERT_TRUE(map_checker::is_linearizable(h))
+        << "non-linearizable map history in round " << round << " (seed "
+        << base_seed << ")";
+  }
+}
+
+TEST(MapLincheck, NmMapHistoriesAreLinearizable) {
+  run_recorded_map_histories<nm_map<long, std::int64_t>>(250);
+}
+
+TEST(MapLincheck, NmMapEpochHistoriesAreLinearizable) {
+  run_recorded_map_histories<
+      nm_map<long, std::int64_t, std::less<long>, reclaim::epoch>>(150);
+}
+
+}  // namespace
+}  // namespace lfbst

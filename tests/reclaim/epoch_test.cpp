@@ -1,0 +1,181 @@
+// Unit tests for epoch-based reclamation: the two-advance grace period,
+// pinning semantics, nesting, drain, and a multi-threaded
+// no-use-after-free hammer with canary values.
+#include "reclaim/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace lfbst {
+namespace {
+
+struct canary {
+  static constexpr std::uint64_t alive = 0xA11CE5AFEULL;
+  static constexpr std::uint64_t dead = 0xDEADDEADULL;
+  std::uint64_t state = alive;
+};
+
+void canary_deleter(void* obj, void* counter) noexcept {
+  auto* c = static_cast<canary*>(obj);
+  c->state = canary::dead;
+  static_cast<std::atomic<int>*>(counter)->fetch_add(1);
+}
+
+TEST(Epoch, RetireDoesNotFreeImmediately) {
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  canary c;
+  {
+    auto g = domain.pin();
+    domain.retire(&c, &canary_deleter, &freed);
+    EXPECT_EQ(freed.load(), 0);
+    EXPECT_EQ(c.state, canary::alive);
+  }
+  EXPECT_EQ(domain.pending(), 1u);
+}
+
+TEST(Epoch, DrainFreesEverything) {
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  std::vector<canary> cs(100);
+  {
+    auto g = domain.pin();
+    for (auto& c : cs) domain.retire(&c, &canary_deleter, &freed);
+  }
+  domain.drain_all_unsafe();
+  EXPECT_EQ(freed.load(), 100);
+  EXPECT_EQ(domain.pending(), 0u);
+  for (const auto& c : cs) EXPECT_EQ(c.state, canary::dead);
+}
+
+TEST(Epoch, EpochAdvancesWhenUnpinned) {
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  const std::uint64_t e0 = domain.current_epoch();
+  // Retire enough objects to trigger several advance attempts; with no
+  // pinned threads the epoch must move and old buckets must flush.
+  std::vector<canary> cs(1000);
+  for (auto& c : cs) {
+    auto g = domain.pin();
+    domain.retire(&c, &canary_deleter, &freed);
+  }
+  EXPECT_GT(domain.current_epoch(), e0);
+  EXPECT_GT(freed.load(), 0);
+}
+
+TEST(Epoch, PinnedReaderBlocksAdvance) {
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  std::atomic<bool> reader_pinned{false}, release_reader{false};
+  std::thread reader([&] {
+    auto g = domain.pin();
+    reader_pinned.store(true);
+    while (!release_reader.load()) std::this_thread::yield();
+  });
+  while (!reader_pinned.load()) std::this_thread::yield();
+
+  const std::uint64_t e0 = domain.current_epoch();
+  std::vector<canary> cs(1000);
+  for (auto& c : cs) {
+    auto g = domain.pin();
+    domain.retire(&c, &canary_deleter, &freed);
+  }
+  // The reader is parked in epoch e0: the global epoch may advance at
+  // most once past it but can never complete two advances, so nothing
+  // retired after its pin may be freed... precisely: objects retired in
+  // epochs >= e0 cannot be freed while the reader stays pinned.
+  EXPECT_LE(domain.current_epoch(), e0 + 1);
+  release_reader.store(true);
+  reader.join();
+  domain.drain_all_unsafe();
+  EXPECT_EQ(freed.load(), 1000);
+}
+
+TEST(Epoch, NestedPinsAreBalanced) {
+  reclaim::epoch domain;
+  auto g1 = domain.pin();
+  {
+    auto g2 = domain.pin();
+    auto g3 = domain.pin();
+  }
+  SUCCEED();  // inner guards must not clear the outer pin (asserts fire
+              // on imbalance)
+}
+
+TEST(Epoch, StressNoUseAfterFree) {
+  // Writers continuously retire canaries they just unpublished from a
+  // shared slot; readers pin, load the slot, and verify the canary is
+  // alive. Any grace-period bug turns the canary dead under a reader.
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  std::atomic<canary*> slot{new canary};
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 20'000; ++i) {
+      auto g = domain.pin();
+      auto* fresh = new canary;
+      canary* old = slot.exchange(fresh, std::memory_order_acq_rel);
+      domain.retire(
+          old,
+          +[](void* obj, void* ctr) noexcept {
+            auto* c = static_cast<canary*>(obj);
+            c->state = canary::dead;
+            static_cast<std::atomic<int>*>(ctr)->fetch_add(1);
+            delete c;
+          },
+          &freed);
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> dead_reads{0};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto g = domain.pin();
+        canary* c = slot.load(std::memory_order_acquire);
+        if (c->state != canary::alive) dead_reads.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(dead_reads.load(), 0u);
+  domain.drain_all_unsafe();
+  delete slot.load();
+  EXPECT_EQ(freed.load(), 20'000);
+}
+
+TEST(Epoch, PendingCountsAccurately) {
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  std::vector<canary> cs(10);
+  {
+    auto g = domain.pin();
+    for (auto& c : cs) domain.retire(&c, &canary_deleter, &freed);
+  }
+  EXPECT_EQ(domain.pending(), 10u);
+  domain.drain_all_unsafe();
+  EXPECT_EQ(domain.pending(), 0u);
+}
+
+TEST(Leaky, InterfaceIsInert) {
+  reclaim::leaky r;
+  [[maybe_unused]] auto g = r.pin();
+  canary c;
+  std::atomic<int> freed{0};
+  r.retire(&c, &canary_deleter, &freed);
+  r.drain_all_unsafe();
+  EXPECT_EQ(freed.load(), 0);  // leaky never runs deleters
+  EXPECT_EQ(c.state, canary::alive);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Plot the Figure 4 reproduction from bench_figure4's CSV output.
+
+Usage:
+    build/bench/bench_figure4 --csv [--full] > fig4.csv
+    tools/plot_figure4.py fig4.csv fig4.png
+
+Produces the paper's grid: one subplot per (key range, workload) cell,
+threads on the x axis, throughput (Mops/s) per algorithm. Requires
+matplotlib; degrades to an ASCII summary when it is unavailable.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    # rows[(key_range, workload)][algorithm] = [(threads, mops), ...]
+    cells = defaultdict(lambda: defaultdict(list))
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            cell = (int(row["key_range"]), row["workload"])
+            cells[cell][row["algorithm"]].append(
+                (int(row["threads"]), float(row["mops_per_sec"]))
+            )
+    for cell in cells.values():
+        for series in cell.values():
+            series.sort()
+    return cells
+
+
+def ascii_summary(cells):
+    for (key_range, workload), algos in sorted(cells.items()):
+        print(f"--- {key_range} keys, {workload} ---")
+        threads = [t for t, _ in next(iter(algos.values()))]
+        header = "threads " + "".join(f"{a:>12}" for a in algos)
+        print(header)
+        for i, t in enumerate(threads):
+            line = f"{t:>7} " + "".join(
+                f"{algos[a][i][1]:>12.3f}" for a in algos
+            )
+            print(line)
+        print()
+
+
+def plot(cells, out_path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    key_ranges = sorted({kr for kr, _ in cells})
+    workloads = ["write-dominated", "mixed", "read-dominated"]
+    workloads = [w for w in workloads if any(w == wl for _, wl in cells)]
+
+    fig, axes = plt.subplots(
+        len(key_ranges),
+        len(workloads),
+        figsize=(4.2 * len(workloads), 3.2 * len(key_ranges)),
+        squeeze=False,
+    )
+    for i, kr in enumerate(key_ranges):
+        for j, wl in enumerate(workloads):
+            ax = axes[i][j]
+            for algo, series in sorted(cells.get((kr, wl), {}).items()):
+                xs = [t for t, _ in series]
+                ys = [m for _, m in series]
+                ax.plot(xs, ys, marker="o", label=algo)
+            ax.set_title(f"{kr:,} keys — {wl}", fontsize=9)
+            ax.set_xscale("log", base=2)
+            ax.set_xlabel("threads")
+            ax.set_ylabel("Mops/s")
+            ax.grid(True, alpha=0.3)
+    axes[0][0].legend(fontsize=8)
+    fig.suptitle(
+        "Figure 4 reproduction — throughput of concurrent BSTs", fontsize=11
+    )
+    fig.tight_layout(rect=(0, 0, 1, 0.97))
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    cells = load(sys.argv[1])
+    if not cells:
+        print("no data rows found — did you pass bench_figure4 --csv output?")
+        return 1
+    if len(sys.argv) >= 3:
+        try:
+            plot(cells, sys.argv[2])
+            return 0
+        except ImportError:
+            print("matplotlib unavailable; ASCII summary instead:\n")
+    ascii_summary(cells)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
