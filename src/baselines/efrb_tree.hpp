@@ -46,8 +46,13 @@
 
 namespace lfbst {
 
+// The Atomics policy (common/atomics_policy.hpp) interposes on every
+// load/CAS of the child and update words, exactly as in nm_tree — the
+// dsched scheduler explores this baseline's Info-record helping protocol
+// with the same machinery.
 template <typename Key, typename Compare = std::less<Key>,
-          typename Reclaimer = reclaim::leaky, typename Stats = stats::none>
+          typename Reclaimer = reclaim::leaky, typename Stats = stats::none,
+          typename Atomics = atomics::native>
 class efrb_tree {
   static_assert(Reclaimer::reclaims_eagerly ||
                     std::is_trivially_destructible_v<Key>,
@@ -256,10 +261,12 @@ class efrb_tree {
 
   struct node {
     skey key;
-    tagged_word<info_record> update;  // coordination word (internal only)
-    tagged_word<node> left;
-    tagged_word<node> right;
+    // coordination word (internal only)
+    tagged_word<info_record, Atomics> update;
+    tagged_word<node, Atomics> left;
+    tagged_word<node, Atomics> right;
   };
+  using word_t = tagged_word<node, Atomics>;
 
   struct iinfo_fields {
     node* parent;
@@ -440,9 +447,9 @@ class efrb_tree {
   /// toward `new_child` (direction chosen by new_child's key — both old
   /// and new cover the same key interval).
   void cas_child(node* parent, node* old_child, node* new_child) {
-    tagged_word<node>& field = less_(new_child->key, parent->key)
-                                   ? parent->left
-                                   : parent->right;
+    word_t& field = less_(new_child->key, parent->key)
+                        ? parent->left
+                        : parent->right;
     tagged_ptr<node> expected = tagged_ptr<node>::clean(old_child);
     Stats::on_cas();
     field.compare_exchange(expected, tagged_ptr<node>::clean(new_child));

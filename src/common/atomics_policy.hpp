@@ -1,0 +1,32 @@
+// lfbst: atomics policies — the interposition seam for deterministic
+// schedule exploration.
+//
+// Every shared-memory step of the trees goes through tagged_word (loads,
+// CASes, BTSes of child/update words). tagged_word is parameterized over
+// an *atomics policy* whose single hook, shared_step(), runs immediately
+// before each such step:
+//
+//   * atomics::native (default) — shared_step() is an empty inline
+//     function; the optimizer erases it and the generated code is
+//     byte-identical to calling std::atomic directly. Production and
+//     benchmark builds use this and pay nothing.
+//   * dsched::sched_atomics (src/dsched/atomics.hpp) — shared_step()
+//     calls dsched::schedule_point(), handing control to the cooperative
+//     scheduler so a test can choose which logical thread performs the
+//     next shared-memory step. This is how tests/dsched/ drives the
+//     paper's narrow interleavings deterministically.
+//
+// A policy is any type with `static void shared_step() noexcept` and a
+// `name` constant; nothing else is required.
+#pragma once
+
+namespace lfbst::atomics {
+
+/// The zero-cost default: shared-memory steps run unobserved, exactly as
+/// std::atomic executes them.
+struct native {
+  static constexpr const char* name = "native";
+  static void shared_step() noexcept {}
+};
+
+}  // namespace lfbst::atomics

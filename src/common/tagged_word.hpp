@@ -19,6 +19,12 @@
 //     (bit-test-and-set on the tag bit, realized as fetch_or — the exact
 //     lowering x86-64 uses for LOCK BTS — plus a CAS-only fallback for
 //     the paper's "can be easily modified to use only CAS" variant).
+//
+// tagged_word takes an atomics policy (common/atomics_policy.hpp) as a
+// second parameter: the default atomics::native compiles every primitive
+// straight to std::atomic, while dsched::sched_atomics inserts a
+// schedule point before each shared-memory step so the deterministic
+// scheduler (src/dsched/) can explore interleavings.
 #pragma once
 
 #include <atomic>
@@ -26,6 +32,7 @@
 #include <type_traits>
 
 #include "common/assert.hpp"
+#include "common/atomics_policy.hpp"
 
 namespace lfbst {
 
@@ -103,10 +110,15 @@ class tagged_ptr {
 /// visible; all RMWs (CAS, BTS) use `acq_rel` semantics or stronger. The
 /// NM algorithm's correctness argument never relies on total store
 /// order across *different* words, so seq_cst is unnecessary.
-template <typename Node>
+///
+/// `Atomics` (common/atomics_policy.hpp) interposes on every
+/// shared-memory primitive: Atomics::shared_step() runs before each
+/// load/CAS/BTS. The native policy's hook is empty and vanishes.
+template <typename Node, typename Atomics = atomics::native>
 class tagged_word {
  public:
   using value_type = tagged_ptr<Node>;
+  using atomics_policy = Atomics;
 
   tagged_word() noexcept : word_(0) {}
   explicit tagged_word(value_type v) noexcept : word_(v.raw()) {}
@@ -116,6 +128,7 @@ class tagged_word {
 
   [[nodiscard]] value_type load(
       std::memory_order order = std::memory_order_acquire) const noexcept {
+    Atomics::shared_step();
     return value_type::from_raw(word_.load(order));
   }
 
@@ -132,6 +145,7 @@ class tagged_word {
   /// re-reads the child word after a failed CAS — the updated expected
   /// value serves as that read).
   bool compare_exchange(value_type& expected, value_type desired) noexcept {
+    Atomics::shared_step();
     std::uintptr_t raw = expected.raw();
     const bool ok = word_.compare_exchange_strong(
         raw, desired.raw(), std::memory_order_acq_rel,
@@ -145,6 +159,7 @@ class tagged_word {
   /// the address part is untouched. Returns the value observed *before*
   /// the set, whose flag bit callers copy to the replacement edge.
   value_type bts_tag() noexcept {
+    Atomics::shared_step();
     return value_type::from_raw(
         word_.fetch_or(value_type::tag_bit, std::memory_order_acq_rel));
   }
@@ -154,8 +169,10 @@ class tagged_word {
   /// instructions under contention — bench_ablation --study=tagging
   /// quantifies the difference.
   value_type bts_tag_cas_only() noexcept {
+    Atomics::shared_step();
     std::uintptr_t observed = word_.load(std::memory_order_acquire);
     while ((observed & value_type::tag_bit) == 0) {
+      Atomics::shared_step();
       if (word_.compare_exchange_weak(observed, observed | value_type::tag_bit,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {

@@ -52,6 +52,11 @@
 //               implementing the paper's §6 "replace" direction as a
 //               single CAS that swings the parent edge from the old
 //               leaf to a fresh (key, new value) leaf.
+//   Atomics   — atomics::native (default: raw std::atomic, zero
+//               overhead) or dsched::sched_atomics, which interposes a
+//               schedule point before every shared-memory step so the
+//               deterministic scheduler (src/dsched/) can explore
+//               interleavings of the flag/tag/CAS protocol.
 #pragma once
 
 #include <algorithm>
@@ -80,7 +85,8 @@ struct nm_tree_test_access;  // white-box hooks for the test suite
 
 template <typename Key, typename Compare = std::less<Key>,
           typename Reclaimer = reclaim::leaky, typename Stats = stats::none,
-          typename Tagging = tag_policy::bts, typename Payload = void>
+          typename Tagging = tag_policy::bts, typename Payload = void,
+          typename Atomics = atomics::native>
 class nm_tree {
   static constexpr bool is_map = !std::is_void_v<Payload>;
   struct empty_payload {};
@@ -199,7 +205,7 @@ class nm_tree {
         leaf = sr.leaf;
         if (!less_.equal(key, leaf->key)) return false;  // key absent
         node* parent = sr.parent;
-        tagged_word<node>& child_field = child_field_for(parent, key);
+        word_t& child_field = child_field_for(parent, key);
         ptr_t expected = ptr_t::clean(leaf);
         Stats::on_cas();
         if (child_field.compare_exchange(
@@ -302,10 +308,11 @@ class nm_tree {
     // mapped value for maps, set at construction and immutable while the
     // leaf is published.
     [[no_unique_address]] payload_t payload;
-    tagged_word<node> left;
-    tagged_word<node> right;
+    tagged_word<node, Atomics> left;
+    tagged_word<node, Atomics> right;
   };
   using ptr_t = tagged_ptr<node>;
+  using word_t = tagged_word<node, Atomics>;
 
   static_assert(alignof(node) >= 4,
                 "node must be 4-byte aligned to steal two pointer bits");
@@ -348,7 +355,7 @@ class nm_tree {
         // edge first wins (our CAS fails and we help); if we win, the
         // old leaf is unreachable and we are its only retirer.
         if (new_leaf == nullptr) new_leaf = make_leaf(skey(key), value);
-        tagged_word<node>& child_field = child_field_for(parent, key);
+        word_t& child_field = child_field_for(parent, key);
         ptr_t expected = ptr_t::clean(leaf);
         Stats::on_cas();
         if (child_field.compare_exchange(expected, ptr_t::clean(new_leaf))) {
@@ -366,7 +373,7 @@ class nm_tree {
         continue;
       }
 
-      tagged_word<node>& child_field = child_field_for(parent, key);
+      word_t& child_field = child_field_for(parent, key);
       if (new_leaf == nullptr) {
         new_leaf = make_leaf(skey(key), value);
       }
@@ -437,7 +444,7 @@ class nm_tree {
   /// Child field of `parent` on the side `key` belongs (left iff
   /// key < parent.key — ties go right, matching the paper's BST
   /// property (b): right subtree holds keys >= node key).
-  tagged_word<node>& child_field_for(node* parent, const Key& key) const {
+  word_t& child_field_for(node* parent, const Key& key) const {
     return less_(key, parent->key) ? parent->left : parent->right;
   }
 
@@ -482,7 +489,7 @@ class nm_tree {
       dom.announce(Reclaimer::hp_successor, s_);
       dom.announce(Reclaimer::hp_parent, s_);
 
-      const tagged_word<node>* source = &s_->left;
+      const word_t* source = &s_->left;
       ptr_t parent_field = source->load(std::memory_order_seq_cst);
       node* candidate = parent_field.address();  // 𝕊's child: never null
       dom.announce(Reclaimer::hp_leaf, candidate);
@@ -491,7 +498,7 @@ class nm_tree {
       parent_field = recheck;
       sr.leaf = candidate;
 
-      const tagged_word<node>* current_source =
+      const word_t* current_source =
           less_(key, sr.leaf->key) ? &sr.leaf->left : &sr.leaf->right;
       ptr_t current_field = current_source->load(std::memory_order_seq_cst);
       node* current = current_field.address();
@@ -579,11 +586,11 @@ class nm_tree {
     node* parent = sr.parent;
 
     // Address of the ancestor's child field to swing (lines 94-96).
-    tagged_word<node>& successor_field = child_field_for(ancestor, key);
+    word_t& successor_field = child_field_for(ancestor, key);
 
     // Child and sibling fields of the parent (lines 97-102).
-    tagged_word<node>* child_field;
-    tagged_word<node>* sibling_field;
+    word_t* child_field;
+    word_t* sibling_field;
     if (less_(key, parent->key)) {
       child_field = &parent->left;
       sibling_field = &parent->right;

@@ -1,0 +1,250 @@
+// lfbst dsched: scenario harness — run tree operations under the
+// deterministic scheduler and decide linearizability of every terminal
+// state.
+//
+// A scenario is: a sequential setup phase, N per-thread operation
+// scripts, and a key universe. The harness runs the scripts under a
+// strategy (strategies.hpp), records every operation as an interval on a
+// logical clock, then:
+//
+//   * appends one contains(k) "observation op" per universe key holding
+//     the tree's terminal membership, timestamped after everything — so
+//     the terminal state must be explained by the same linearization
+//     that explains the concurrent history;
+//   * runs the repo's Wing–Gong checker (lincheck/lincheck.hpp) over
+//     the combined history;
+//   * runs the tree's structural validator.
+//
+// Timestamps: a logical clock incremented at every invoke/response
+// event. Logical threads execute one at a time with mutex-ordered
+// handoffs, so clock order equals real-time order exactly — including
+// program order within a thread — and the checker's real-time constraint
+// is tight, not merely conservative.
+//
+// Every failure carries the execution's trace; replaying it
+// (strategies.hpp replay, or the printed `--trace` string) reproduces
+// the interleaving bit for bit, because scheduling is the scenario's
+// only source of nondeterminism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "dsched/scheduler.hpp"
+#include "dsched/strategies.hpp"
+#include "lincheck/lincheck.hpp"
+
+namespace lfbst::dsched {
+
+/// Records one logical thread's operations against the shared history.
+/// Scripts call these instead of the tree directly; results are passed
+/// through, so scripts can branch on them.
+template <typename Tree>
+class recorder {
+ public:
+  recorder(Tree& tree, lincheck::history& sink, std::uint64_t& clock)
+      : tree_(tree), sink_(sink), clock_(clock) {}
+
+  bool insert(int key) { return record(lincheck::op_kind::insert, key); }
+  bool erase(int key) { return record(lincheck::op_kind::erase, key); }
+  bool contains(int key) { return record(lincheck::op_kind::contains, key); }
+
+ private:
+  bool record(lincheck::op_kind kind, int key) {
+    LFBST_ASSERT(key >= 0 && key < 64, "dsched scenario keys live in [0,64)");
+    const std::uint64_t invoke = ++clock_;
+    bool result = false;
+    switch (kind) {
+      case lincheck::op_kind::insert:
+        result = tree_.insert(key);
+        break;
+      case lincheck::op_kind::erase:
+        result = tree_.erase(key);
+        break;
+      case lincheck::op_kind::contains:
+        result = tree_.contains(key);
+        break;
+    }
+    sink_.push_back({kind, key, result, invoke, ++clock_});
+    return result;
+  }
+
+  Tree& tree_;
+  lincheck::history& sink_;
+  std::uint64_t& clock_;
+};
+
+/// One schedule-exploration scenario over a tree type built with
+/// dsched::sched_atomics.
+template <typename Tree>
+struct scenario {
+  using script = std::function<void(recorder<Tree>&)>;
+
+  /// Sequential pre-population; runs outside the scheduler.
+  std::function<void(Tree&)> setup;
+  /// One operation script per logical thread.
+  std::vector<script> threads;
+  /// Keys whose terminal membership is folded into the linearizability
+  /// check. Must cover every key the scripts touch.
+  std::vector<int> universe;
+};
+
+/// Outcome of one scheduled execution.
+struct execution_report {
+  trace schedule;
+  bool linearizable = false;
+  std::string validate_error;
+  std::size_t steps = 0;
+
+  [[nodiscard]] bool ok() const {
+    return linearizable && validate_error.empty();
+  }
+  [[nodiscard]] std::string describe() const {
+    std::string out;
+    if (!linearizable) out += "terminal state not linearizable; ";
+    if (!validate_error.empty()) {
+      out += "structural validation failed: " + validate_error;
+    }
+    out += " replay trace: " + format_trace(schedule);
+    return out;
+  }
+};
+
+/// Runs `sc` once under `pick` and checks the terminal state.
+template <typename Tree>
+execution_report run_scenario(const scenario<Tree>& sc,
+                              const scheduler::strategy_fn& pick) {
+  Tree tree;
+  if (sc.setup) sc.setup(tree);
+
+  // Initial abstract state: membership after setup (sequential, exact).
+  std::uint64_t initial_state = 0;
+  for (const int k : sc.universe) {
+    LFBST_ASSERT(k >= 0 && k < 64, "universe keys live in [0,64)");
+    if (tree.contains(k)) initial_state |= std::uint64_t{1} << k;
+  }
+
+  lincheck::history h;
+  std::uint64_t clock = 0;
+  std::vector<scheduler::thread_fn> fns;
+  std::vector<recorder<Tree>> recs;
+  recs.reserve(sc.threads.size());  // stable addresses for the closures
+  for (const auto& script : sc.threads) {
+    recs.emplace_back(tree, h, clock);
+    recorder<Tree>& rec = recs.back();
+    fns.emplace_back([&script, &rec] { script(rec); });
+  }
+
+  execution_report report;
+  report.schedule = scheduler::run(std::move(fns), pick);
+  report.steps = report.schedule.size();
+
+  // Terminal observations: after the scheduler joins every logical
+  // thread, membership is quiescent; fold it into the history as
+  // late-timestamped contains ops.
+  for (const int k : sc.universe) {
+    const std::uint64_t t = ++clock;
+    h.push_back({lincheck::op_kind::contains, k, tree.contains(k), t, t});
+  }
+
+  report.validate_error = tree.validate();
+  report.linearizable = lincheck::checker::is_linearizable(h, initial_state);
+  return report;
+}
+
+/// Aggregate of an exploration run. `first_failure` holds a replayable
+/// description (trace, and seed where applicable) of the first failing
+/// execution, empty when all executions were sound.
+struct exploration_summary {
+  std::size_t executions = 0;
+  std::size_t failures = 0;
+  bool exhausted = false;  // DFS only: the whole space was visited
+  std::string first_failure;
+
+  [[nodiscard]] bool all_ok() const { return failures == 0; }
+};
+
+/// Bounded exhaustive DFS over every interleaving of `sc`, up to
+/// `max_executions`. Each execution is a distinct interleaving.
+template <typename Tree>
+exploration_summary explore_dfs(const scenario<Tree>& sc,
+                                std::size_t max_executions) {
+  dfs_explorer dfs(max_executions);
+  exploration_summary sum;
+  while (dfs.more()) {
+    execution_report r = run_scenario(sc, dfs.strategy());
+    dfs.commit(r.schedule);
+    if (!r.ok()) {
+      ++sum.failures;
+      if (sum.first_failure.empty()) {
+        sum.first_failure = "dfs execution #" +
+                            std::to_string(dfs.executions()) + ": " +
+                            r.describe();
+      }
+    }
+  }
+  sum.executions = dfs.executions();
+  sum.exhausted = dfs.exhausted();
+  return sum;
+}
+
+/// Runs `count` seeded random-walk executions (seeds base_seed,
+/// base_seed+1, ...). A failure names the seed that reproduces it.
+template <typename Tree>
+exploration_summary explore_random(const scenario<Tree>& sc,
+                                   std::uint64_t base_seed,
+                                   std::size_t count) {
+  exploration_summary sum;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    random_walk walk(seed);
+    execution_report r = run_scenario(
+        sc, [&walk](std::size_t s, std::uint32_t m) { return walk(s, m); });
+    ++sum.executions;
+    if (!r.ok()) {
+      ++sum.failures;
+      if (sum.first_failure.empty()) {
+        sum.first_failure =
+            "random walk seed " + std::to_string(seed) + ": " + r.describe();
+      }
+    }
+  }
+  return sum;
+}
+
+/// Runs `count` PCT executions with bug depth `depth` (seeds base_seed,
+/// base_seed+1, ...). `expected_steps` tunes where the priority-change
+/// points land; the first execution's observed length is a good value.
+template <typename Tree>
+exploration_summary explore_pct(const scenario<Tree>& sc,
+                                std::uint64_t base_seed, std::size_t count,
+                                unsigned depth,
+                                std::uint64_t expected_steps = 0) {
+  exploration_summary sum;
+  const unsigned nthreads = static_cast<unsigned>(sc.threads.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + i;
+    if (expected_steps == 0) expected_steps = 64;  // refined after run 1
+    pct prio(seed, nthreads, depth, expected_steps);
+    execution_report r = run_scenario(
+        sc, [&prio](std::size_t s, std::uint32_t m) { return prio(s, m); });
+    expected_steps = r.steps;
+    ++sum.executions;
+    if (!r.ok()) {
+      ++sum.failures;
+      if (sum.first_failure.empty()) {
+        sum.first_failure =
+            "pct seed " + std::to_string(seed) + " depth " +
+            std::to_string(depth) + ": " + r.describe();
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace lfbst::dsched

@@ -1,0 +1,238 @@
+// lfbst dsched: a cooperative deterministic scheduler for schedule
+// exploration of the lock-free trees.
+//
+// Problem: the NM-BST's correctness hangs on narrow interleavings — a
+// helper finishing a stalled delete's cleanup, two deletes racing for
+// the same injection edge, an insert CAS landing between a delete's flag
+// CAS and its tag BTS (PAPER.md §3.3–3.4). Wall-clock stress tests only
+// stumble into these windows probabilistically; dsched makes them a
+// deterministic, replayable function of a seed or a choice sequence.
+//
+// Model: N *logical* threads execute under the control of one
+// coordinator, with at most one logical thread running at any instant
+// (they are backed by real OS threads gated on a condition variable, so
+// the model is sanitizer-friendly — TSan sees properly synchronized
+// handoffs, and there is no fiber/stack trickery). Every shared-memory
+// primitive of a tree built with the dsched::sched_atomics policy calls
+// schedule_point(), which parks the calling logical thread and returns
+// control to the coordinator. The coordinator asks a *strategy* which
+// runnable thread performs the next shared-memory step. The sequence of
+// choices is the *trace*; scheduling is the only source of
+// nondeterminism in a scenario, so trace ⇒ execution, exactly.
+//
+// Granularity: one step = the code between two schedule points — i.e.
+// exactly one shared-memory access (one tagged_word load/CAS/BTS) plus
+// the thread-local computation around it. This is the same atomicity the
+// hardware provides, so every interleaving dsched can produce is a real
+// interleaving and vice versa (modulo weak-memory reorderings, which the
+// NM proof does not rely on — see docs/DSCHED.md).
+//
+// Progress: because the trees are lock-free, a thread never blocks
+// between schedule points; any strategy choice sequence terminates. A
+// step budget guards against runaway scenarios that keep hitting
+// schedule points: when it blows, every logical thread is unparked to
+// free-run to completion (schedule_point becomes a no-op), the threads
+// are joined, and run() throws. Scripts must terminate once scheduling
+// pressure is removed — every finite sequence of lock-free tree
+// operations does.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace lfbst::dsched {
+
+/// One scheduling decision: which logical thread ran, and which were
+/// runnable when it was chosen (the branch set — what DFS backtracks
+/// over).
+struct choice {
+  unsigned chosen;
+  std::uint32_t runnable;  // bitmask over logical thread ids
+};
+
+/// The full decision sequence of one execution. Feeding the same trace
+/// back through a replay strategy reproduces the execution exactly.
+using trace = std::vector<choice>;
+
+/// Renders a trace as the compact string printed on failure, e.g.
+/// "0:3 1:3 1:2 0:1" (chosen:runnable per step). Replay parses this.
+inline std::string format_trace(const trace& t) {
+  std::string out;
+  for (const choice& c : t) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(c.chosen) + ':' + std::to_string(c.runnable);
+  }
+  return out;
+}
+
+class scheduler;
+
+namespace detail {
+/// The scheduler controlling the calling OS thread, if any. Null on
+/// unmanaged threads (the coordinator, plain test code), where
+/// schedule_point() is a no-op — so scenario setup/teardown can call
+/// tree operations freely.
+inline thread_local scheduler* tl_scheduler = nullptr;
+inline thread_local unsigned tl_tid = 0;
+}  // namespace detail
+
+/// Parks the calling logical thread until the strategy schedules it
+/// again. Called by dsched::sched_atomics before every shared-memory
+/// step; a no-op outside a managed logical thread.
+void schedule_point() noexcept;
+
+/// Runs N logical threads to completion under a strategy. One instance
+/// per execution; not reusable.
+class scheduler {
+ public:
+  using thread_fn = std::function<void()>;
+  /// Strategy signature: (step index, runnable mask) -> chosen tid. The
+  /// returned tid must have its bit set in the mask.
+  using strategy_fn = std::function<unsigned(std::size_t, std::uint32_t)>;
+
+  static constexpr unsigned max_logical_threads = 32;
+
+  /// Runs `fns` to completion, consulting `pick` at every schedule
+  /// point. Returns the trace. Throws std::runtime_error if the step
+  /// budget is exhausted (a scenario that never terminates — e.g. a
+  /// lock-based tree — or a runaway strategy).
+  static trace run(std::vector<thread_fn> fns, const strategy_fn& pick,
+                   std::size_t max_steps = 1u << 20) {
+    scheduler s(std::move(fns));
+    return s.execute(pick, max_steps);
+  }
+
+  /// Global step counter of the active execution: the number of
+  /// scheduling decisions made so far. Monotone; used as the timestamp
+  /// axis for linearizability histories (harness.hpp). Returns 0 when no
+  /// execution is active on this thread's scheduler.
+  [[nodiscard]] std::uint64_t step_count() const noexcept {
+    return steps_.load(std::memory_order_relaxed);
+  }
+
+  /// The scheduler managing the calling thread (logical threads only).
+  static scheduler* current() noexcept { return detail::tl_scheduler; }
+
+ private:
+  friend void schedule_point() noexcept;
+
+  enum class lstate : std::uint8_t { at_point, running, finished };
+
+  explicit scheduler(std::vector<thread_fn> fns) : fns_(std::move(fns)) {
+    LFBST_ASSERT(!fns_.empty() && fns_.size() <= max_logical_threads,
+                 "1..32 logical threads");
+    states_.assign(fns_.size(), lstate::at_point);
+  }
+
+  trace execute(const strategy_fn& pick, std::size_t max_steps) {
+    const unsigned n = static_cast<unsigned>(fns_.size());
+    std::vector<std::thread> os_threads;
+    os_threads.reserve(n);
+    for (unsigned tid = 0; tid < n; ++tid) {
+      os_threads.emplace_back([this, tid] { thread_main(tid); });
+    }
+
+    trace out;
+    bool budget_blown = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (std::size_t step = 0;; ++step) {
+        const std::uint32_t runnable = runnable_mask_locked();
+        if (runnable == 0) break;  // all finished
+        if (step >= max_steps) {
+          budget_blown = true;
+          break;
+        }
+        const unsigned tid = pick(step, runnable);
+        LFBST_ASSERT(tid < n && (runnable & (1u << tid)) != 0,
+                     "strategy chose a non-runnable thread");
+        out.push_back({tid, runnable});
+        steps_.fetch_add(1, std::memory_order_relaxed);
+        // Hand the token to `tid`; it runs until its next schedule
+        // point (or completion) and hands the token back.
+        active_ = static_cast<int>(tid);
+        cv_.notify_all();
+        cv_.wait(lock, [this] { return active_ == -1; });
+      }
+      if (budget_blown) {
+        // Unblock every parked thread so the OS threads can be joined:
+        // fail them with the abort flag, which schedule_point turns
+        // into free-running (no further parking).
+        aborting_ = true;
+        cv_.notify_all();
+      }
+    }
+    for (std::thread& t : os_threads) t.join();
+    if (budget_blown) {
+      throw std::runtime_error(
+          "dsched: step budget exhausted — scenario does not terminate "
+          "under cooperative scheduling (blocking synchronization?)");
+    }
+    return out;
+  }
+
+  void thread_main(unsigned tid) {
+    detail::tl_scheduler = this;
+    detail::tl_tid = tid;
+    {
+      // Initial park: a logical thread takes no step until first chosen.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return aborting_ || active_ == static_cast<int>(tid);
+      });
+      states_[tid] = lstate::running;
+    }
+    fns_[tid]();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      states_[tid] = lstate::finished;
+      active_ = -1;
+      cv_.notify_all();
+    }
+    detail::tl_scheduler = nullptr;
+  }
+
+  void yield_at_point() {
+    const unsigned tid = detail::tl_tid;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (aborting_) return;  // budget blown: run free so join() can finish
+    states_[tid] = lstate::at_point;
+    active_ = -1;
+    cv_.notify_all();
+    cv_.wait(lock, [&] {
+      return aborting_ || active_ == static_cast<int>(tid);
+    });
+    states_[tid] = lstate::running;
+  }
+
+  [[nodiscard]] std::uint32_t runnable_mask_locked() const {
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i] != lstate::finished) mask |= 1u << i;
+    }
+    return mask;
+  }
+
+  std::vector<thread_fn> fns_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<lstate> states_;
+  int active_ = -1;  // tid holding the run token, -1 = coordinator
+  bool aborting_ = false;
+  std::atomic<std::uint64_t> steps_{0};
+};
+
+inline void schedule_point() noexcept {
+  if (scheduler* s = detail::tl_scheduler) s->yield_at_point();
+}
+
+}  // namespace lfbst::dsched

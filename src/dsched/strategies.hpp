@@ -1,0 +1,226 @@
+// lfbst dsched: scheduling strategies.
+//
+// A strategy answers one question, repeatedly: "threads in `runnable`
+// are each parked at their next shared-memory step — which one goes?"
+// Three families, each replayable:
+//
+//   * random_walk  — uniform choice from a seeded pcg32. The cheapest
+//     way to scatter executions across the interleaving space; replay =
+//     same seed.
+//   * pct          — the priority-based PCT sampler (Burckhardt et al.,
+//     ASPLOS 2010): random distinct priorities per thread, run the
+//     highest-priority runnable thread, and demote the running thread at
+//     d-1 randomly pre-chosen step indices. For a bug of preemption
+//     depth d, one run hits it with probability ≥ 1/(n·k^(d-1)) — far
+//     better than uniform random for the flag-CAS/BTS windows, which
+//     are depth-2 bugs. Replay = same seed.
+//   * replay       — forces a recorded trace (or any prefix of one),
+//     then falls back to lowest-runnable. This is what reruns a failure
+//     printed by the harness.
+//
+// Exhaustive enumeration lives in dfs_explorer: a stateful backtracker
+// that treats each execution's trace as a path in the schedule tree and
+// visits paths in depth-first order. Bounded by an execution budget;
+// with a small scenario (≤3 threads, ≤6 ops) and a generous budget it
+// visits the entire space and sets exhausted().
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "dsched/scheduler.hpp"
+
+namespace lfbst::dsched {
+
+namespace detail {
+inline unsigned lowest_bit(std::uint32_t mask) noexcept {
+  LFBST_ASSERT(mask != 0, "empty runnable mask");
+  return static_cast<unsigned>(__builtin_ctz(mask));
+}
+inline unsigned popcount(std::uint32_t mask) noexcept {
+  return static_cast<unsigned>(__builtin_popcount(mask));
+}
+/// k-th (0-based) set bit of mask.
+inline unsigned nth_bit(std::uint32_t mask, unsigned k) noexcept {
+  for (;;) {
+    const unsigned b = lowest_bit(mask);
+    if (k == 0) return b;
+    mask &= mask - 1;
+    --k;
+  }
+}
+}  // namespace detail
+
+/// Seeded uniform random walk over the schedule tree.
+class random_walk {
+ public:
+  explicit random_walk(std::uint64_t seed) : rng_(seed) {}
+
+  unsigned operator()(std::size_t /*step*/, std::uint32_t runnable) {
+    const unsigned n = detail::popcount(runnable);
+    return detail::nth_bit(runnable, rng_.bounded(n));
+  }
+
+ private:
+  pcg32 rng_;
+};
+
+/// PCT: randomized priorities with d-1 priority-change points spread
+/// over an (estimated) k-step execution. `depth` is the targeted bug
+/// depth d; `expected_steps` the estimate of k (overestimating only
+/// dilutes the change points, it never breaks anything).
+class pct {
+ public:
+  pct(std::uint64_t seed, unsigned nthreads, unsigned depth,
+      std::uint64_t expected_steps)
+      : rng_(seed) {
+    LFBST_ASSERT(nthreads >= 1 && depth >= 1, "bad pct parameters");
+    // Initial priorities: a random permutation of d, d+1, ..., d+n-1
+    // (all above every change-point priority 1..d-1).
+    priorities_.resize(nthreads);
+    for (unsigned i = 0; i < nthreads; ++i) priorities_[i] = depth + i;
+    for (unsigned i = nthreads; i > 1; --i) {
+      std::swap(priorities_[i - 1], priorities_[rng_.bounded(i)]);
+    }
+    // d-1 change points, each a step index paired with the priority
+    // (d-1, d-2, ..., 1) it assigns to the thread running at that step.
+    for (unsigned c = 0; c + 1 < depth; ++c) {
+      change_steps_.push_back(rng_.bounded(
+          static_cast<std::uint32_t>(expected_steps > 0 ? expected_steps
+                                                        : 1)));
+      change_prios_.push_back(depth - 1 - c);
+    }
+  }
+
+  unsigned operator()(std::size_t step, std::uint32_t runnable) {
+    // Highest-priority runnable thread.
+    unsigned best = detail::lowest_bit(runnable);
+    for (std::uint32_t m = runnable & (runnable - 1); m != 0; m &= m - 1) {
+      const unsigned tid = detail::lowest_bit(m);
+      if (priorities_[tid] > priorities_[best]) best = tid;
+    }
+    // Demote it if this step index is a change point.
+    for (std::size_t c = 0; c < change_steps_.size(); ++c) {
+      if (change_steps_[c] == step) priorities_[best] = change_prios_[c];
+    }
+    return best;
+  }
+
+ private:
+  pcg32 rng_;
+  std::vector<unsigned> priorities_;
+  std::vector<std::uint32_t> change_steps_;
+  std::vector<unsigned> change_prios_;
+};
+
+/// Forces a recorded trace; past its end, runs the lowest runnable
+/// thread (any fixed completion rule works — the divergence, if the
+/// trace came from a different binary, shows up as an assertion).
+class replay {
+ public:
+  explicit replay(trace t) : trace_(std::move(t)) {}
+
+  /// Parses the format printed by format_trace ("0:3 1:3 1:1 ...").
+  static replay from_string(const std::string& s) {
+    trace t;
+    std::istringstream in(s);
+    std::string tok;
+    while (in >> tok) {
+      const auto colon = tok.find(':');
+      LFBST_ASSERT(colon != std::string::npos, "malformed trace token");
+      t.push_back({static_cast<unsigned>(std::stoul(tok.substr(0, colon))),
+                   static_cast<std::uint32_t>(
+                       std::stoul(tok.substr(colon + 1)))});
+    }
+    return replay(std::move(t));
+  }
+
+  unsigned operator()(std::size_t step, std::uint32_t runnable) {
+    if (step < trace_.size()) {
+      const choice& c = trace_[step];
+      LFBST_ASSERT((runnable & (1u << c.chosen)) != 0,
+                   "replayed trace diverged: chosen thread not runnable");
+      return c.chosen;
+    }
+    return detail::lowest_bit(runnable);
+  }
+
+ private:
+  trace trace_;
+};
+
+/// Bounded exhaustive DFS over the schedule tree. Usage:
+///
+///   dfs_explorer dfs(budget);
+///   while (dfs.more()) {
+///     trace t = scheduler::run(make_threads(), dfs.strategy());
+///     dfs.commit(t);
+///     ... check the terminal state ...
+///   }
+///   // dfs.executions() interleavings explored; dfs.exhausted() tells
+///   // whether that was the whole space.
+///
+/// Every committed execution is a distinct interleaving: consecutive
+/// traces differ at the deepest branch point by construction.
+class dfs_explorer {
+ public:
+  explicit dfs_explorer(std::size_t max_executions)
+      : budget_(max_executions) {}
+
+  /// True while another (necessarily new) interleaving remains within
+  /// budget.
+  [[nodiscard]] bool more() const {
+    return !exhausted_ && executions_ < budget_;
+  }
+
+  /// Strategy for the next execution: replays the forced prefix, then
+  /// extends with the first-runnable rule.
+  scheduler::strategy_fn strategy() const {
+    return [this](std::size_t step, std::uint32_t runnable) -> unsigned {
+      if (step < forced_.size()) {
+        LFBST_ASSERT((runnable & (1u << forced_[step])) != 0,
+                     "dfs: forced choice not runnable — scenario is "
+                     "nondeterministic beyond scheduling");
+        return forced_[step];
+      }
+      return detail::lowest_bit(runnable);
+    };
+  }
+
+  /// Records the execution's trace and computes the next forced prefix:
+  /// backtrack to the deepest step with an untried sibling choice.
+  void commit(const trace& t) {
+    ++executions_;
+    std::vector<choice> path(t);
+    while (!path.empty()) {
+      const choice c = path.back();
+      // Untried alternatives: runnable tids numerically above chosen.
+      const std::uint32_t higher =
+          c.runnable & ~((std::uint32_t{2} << c.chosen) - 1);
+      if (higher != 0) {
+        path.pop_back();
+        forced_.clear();
+        for (const choice& p : path) forced_.push_back(p.chosen);
+        forced_.push_back(detail::lowest_bit(higher));
+        return;
+      }
+      path.pop_back();
+    }
+    exhausted_ = true;  // every branch point fully explored
+  }
+
+  [[nodiscard]] std::size_t executions() const { return executions_; }
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+ private:
+  std::size_t budget_;
+  std::size_t executions_ = 0;
+  bool exhausted_ = false;
+  std::vector<unsigned> forced_;
+};
+
+}  // namespace lfbst::dsched

@@ -86,6 +86,26 @@ TEST_P(PropertySweep, BccoTreeMatchesOracle) {
   run_sweep(t, GetParam(), 30'000);
 }
 
+TEST_P(PropertySweep, CoarseTreeMatchesOracle) {
+  coarse_tree<long> t;
+  run_sweep(t, GetParam(), 30'000);
+}
+
+TEST_P(PropertySweep, DvyTreeMatchesOracle) {
+  dvy_tree<long> t;
+  run_sweep(t, GetParam(), 30'000);
+}
+
+TEST_P(PropertySweep, KaryTreeMatchesOracle) {
+  kary_tree<long, 4> t;
+  run_sweep(t, GetParam(), 30'000);
+}
+
+TEST_P(PropertySweep, KaryTreeWideFanoutMatchesOracle) {
+  kary_tree<long, 8> t;
+  run_sweep(t, GetParam(), 30'000);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, PropertySweep,
     ::testing::Values(

@@ -1,0 +1,281 @@
+// Schedule-exploration scenarios pinning the paper's known-hard races
+// on the NM-BST (and the EFRB baseline) deterministically.
+//
+// Each scenario is explored three ways: bounded exhaustive DFS (every
+// interleaving up to a budget — distinct by construction), a PCT sweep
+// (priority preemption at random depths, strong on the depth-2
+// flag-CAS/BTS windows), and a seeded random walk. Every terminal state
+// is checked for (a) linearizability against the sequential set
+// semantics via the Wing–Gong checker, with the terminal membership
+// folded into the history, and (b) structural validity. Any failure
+// message carries the seed and the full schedule trace; rerunning with
+// dsched::replay::from_string(trace) reproduces the interleaving
+// exactly (see docs/DSCHED.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "baselines/efrb_tree.hpp"
+#include "core/natarajan_tree.hpp"
+#include "dsched/atomics.hpp"
+#include "dsched/harness.hpp"
+
+namespace lfbst {
+namespace {
+
+// The trees under schedule control. Leaky reclamation keeps the step
+// count per operation at the paper's protocol steps only (reclamation
+// atomics are not interposed and would only blur the exploration).
+using sched_nm = nm_tree<int, std::less<int>, reclaim::leaky, stats::none,
+                         tag_policy::bts, void, dsched::sched_atomics>;
+using sched_nm_cas_only =
+    nm_tree<int, std::less<int>, reclaim::leaky, stats::none,
+            tag_policy::cas_only, void, dsched::sched_atomics>;
+using sched_efrb = efrb_tree<int, std::less<int>, reclaim::leaky,
+                             stats::none, dsched::sched_atomics>;
+
+template <typename Tree>
+typename dsched::scenario<Tree>::script op_script(
+    std::vector<std::pair<char, int>> ops) {
+  return [ops = std::move(ops)](dsched::recorder<Tree>& r) {
+    for (const auto& [kind, key] : ops) {
+      switch (kind) {
+        case 'i':
+          r.insert(key);
+          break;
+        case 'e':
+          r.erase(key);
+          break;
+        case 'c':
+          r.contains(key);
+          break;
+      }
+    }
+  };
+}
+
+template <typename Tree>
+dsched::scenario<Tree> make_scenario(std::vector<int> setup_keys,
+                                     std::vector<std::vector<std::pair<char, int>>> threads,
+                                     std::vector<int> universe) {
+  dsched::scenario<Tree> sc;
+  sc.setup = [setup_keys = std::move(setup_keys)](Tree& t) {
+    for (const int k : setup_keys) ASSERT_TRUE(t.insert(k));
+  };
+  for (auto& ops : threads) sc.threads.push_back(op_script<Tree>(std::move(ops)));
+  sc.universe = std::move(universe);
+  return sc;
+}
+
+// --------------------------------------------------------------------
+// The acceptance scenario: two deletes race on sibling leaves. Their
+// cleanups contend for the same parent/ancestor edges — the delete that
+// loses the ancestor CAS must re-seek and excise through the other's
+// frozen region (paper §3.4's trickiest window).
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, DeleteDeleteOnSiblingLeavesExhaustive) {
+  auto sc = make_scenario<sched_nm>(
+      /*setup=*/{1, 2},
+      /*threads=*/{{{'e', 1}}, {{'e', 2}}},
+      /*universe=*/{1, 2});
+  const auto sum = dsched::explore_dfs(sc, /*max_executions=*/2048);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  // The acceptance bar: >= 1000 distinct interleavings, all sound.
+  EXPECT_GE(sum.executions, 1000u);
+}
+
+TEST(DschedScenarios, DeleteDeleteOnSiblingLeavesPct) {
+  auto sc = make_scenario<sched_nm>({1, 2}, {{{'e', 1}}, {{'e', 2}}},
+                                    {1, 2});
+  const auto sum = dsched::explore_pct(sc, /*base_seed=*/1, /*count=*/200,
+                                       /*depth=*/3);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_EQ(sum.executions, 200u);
+}
+
+// --------------------------------------------------------------------
+// Satellite scenario 1: exhaustive 2-thread insert/delete conflict on
+// adjacent keys. The insert's CAS targets the very edge the delete
+// flags; every relative position of the insert CAS against the delete's
+// flag CAS / tag BTS / ancestor CAS is visited, including the ones
+// where the insert must help the delete's cleanup before retrying.
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, InsertDeleteConflictOnAdjacentKeysExhaustive) {
+  auto sc = make_scenario<sched_nm>(
+      /*setup=*/{1},
+      /*threads=*/{{{'i', 2}}, {{'e', 1}}},
+      /*universe=*/{1, 2});
+  const auto sum = dsched::explore_dfs(sc, /*max_executions=*/2048);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GE(sum.executions, 1000u);
+}
+
+// Re-insert of the key being deleted: the insert can land on the edge
+// between the delete's flag CAS and its physical removal, which must
+// either fail-and-help or linearize after the delete.
+TEST(DschedScenarios, ReinsertRacesDeleteOfSameKey) {
+  auto sc = make_scenario<sched_nm>(
+      /*setup=*/{1, 2},
+      /*threads=*/{{{'e', 1}, {'i', 1}}, {{'e', 1}}},
+      /*universe=*/{1, 2});
+  const auto dfs = dsched::explore_dfs(sc, /*max_executions=*/1500);
+  EXPECT_TRUE(dfs.all_ok()) << dfs.first_failure;
+  const auto prio = dsched::explore_pct(sc, 11, 150, /*depth=*/3);
+  EXPECT_TRUE(prio.all_ok()) << prio.first_failure;
+}
+
+// --------------------------------------------------------------------
+// Satellite scenario 2: 3-thread helping chain. T0's delete stalls at
+// any point of its cleanup; T1's delete of the sibling and T2's insert
+// below the flagged edge must complete it (failed-injection helping,
+// Alg. 3 lines 79-81 and Alg. 2 line 55).
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, ThreeThreadHelpingChainDfs) {
+  auto sc = make_scenario<sched_nm>(
+      /*setup=*/{1, 2, 3},
+      /*threads=*/{{{'e', 1}}, {{'e', 2}}, {{'i', 0}}},
+      /*universe=*/{0, 1, 2, 3});
+  const auto sum = dsched::explore_dfs(sc, /*max_executions=*/1200);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GE(sum.executions, 1000u);
+}
+
+TEST(DschedScenarios, ThreeThreadHelpingChainPct) {
+  auto sc = make_scenario<sched_nm>({1, 2, 3},
+                                    {{{'e', 1}}, {{'e', 2}}, {{'i', 0}}},
+                                    {0, 1, 2, 3});
+  const auto sum = dsched::explore_pct(sc, /*base_seed=*/21, /*count=*/200,
+                                       /*depth=*/3);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+}
+
+// --------------------------------------------------------------------
+// Satellite scenario 3: multi-leaf cleanup excision (paper Fig. 2). A
+// chain of logically deleted leaves under one ancestor edge; the
+// winning cleanup's single ancestor CAS excises the whole frozen
+// region, and the losing deletes must still linearize.
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, MultiLeafExcisionChain) {
+  // Keys 1..3 inserted ascending degenerate to a right spine, so the
+  // three deletes' cleanup regions nest — the Fig. 2 configuration.
+  auto sc = make_scenario<sched_nm>(
+      /*setup=*/{1, 2, 3},
+      /*threads=*/{{{'e', 3}}, {{'e', 2}}, {{'e', 1}}},
+      /*universe=*/{1, 2, 3});
+  const auto dfs = dsched::explore_dfs(sc, /*max_executions=*/1200);
+  EXPECT_TRUE(dfs.all_ok()) << dfs.first_failure;
+  const auto prio = dsched::explore_pct(sc, 31, 200, /*depth=*/4);
+  EXPECT_TRUE(prio.all_ok()) << prio.first_failure;
+}
+
+// --------------------------------------------------------------------
+// Satellite scenario 4: PCT sweep over 1k seeds on a mixed scenario —
+// every seed is an independent, replayable priority schedule.
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, PctSweepOverThousandSeeds) {
+  auto sc = make_scenario<sched_nm>(
+      /*setup=*/{2, 4},
+      /*threads=*/{{{'e', 2}, {'i', 3}}, {{'i', 2}, {'e', 4}},
+                   {{'c', 2}, {'c', 3}}},
+      /*universe=*/{2, 3, 4});
+  const auto sum = dsched::explore_pct(sc, /*base_seed=*/1000,
+                                       /*count=*/1000, /*depth=*/3);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_EQ(sum.executions, 1000u);
+}
+
+TEST(DschedScenarios, RandomWalkSweep) {
+  auto sc = make_scenario<sched_nm>(
+      {1, 3}, {{{'e', 1}, {'i', 2}}, {{'e', 3}, {'i', 1}}}, {1, 2, 3});
+  const auto sum = dsched::explore_random(sc, /*base_seed=*/5000,
+                                          /*count=*/500);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+}
+
+// --------------------------------------------------------------------
+// Replay: a recorded schedule reruns to the identical trace — the
+// property every printed failure seed relies on.
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, FailureTraceFormatReplaysExactly) {
+  auto sc = make_scenario<sched_nm>({1, 2}, {{{'e', 1}}, {{'e', 2}}},
+                                    {1, 2});
+  dsched::random_walk walk(77);
+  const auto original = dsched::run_scenario<sched_nm>(
+      sc, [&](std::size_t s, std::uint32_t m) { return walk(s, m); });
+  ASSERT_TRUE(original.ok()) << original.describe();
+
+  auto rep =
+      dsched::replay::from_string(dsched::format_trace(original.schedule));
+  const auto rerun = dsched::run_scenario<sched_nm>(
+      sc, [&](std::size_t s, std::uint32_t m) { return rep(s, m); });
+  ASSERT_TRUE(rerun.ok()) << rerun.describe();
+  EXPECT_EQ(dsched::format_trace(rerun.schedule),
+            dsched::format_trace(original.schedule));
+}
+
+// --------------------------------------------------------------------
+// The CAS-only tagging variant must survive the same races: its BTS
+// emulation adds a load+CAS window inside cleanup that the BTS variant
+// does not have.
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, CasOnlyTaggingDeleteDeleteRace) {
+  auto sc = make_scenario<sched_nm_cas_only>(
+      {1, 2}, {{{'e', 1}}, {{'e', 2}}}, {1, 2});
+  const auto dfs = dsched::explore_dfs(sc, /*max_executions=*/1500);
+  EXPECT_TRUE(dfs.all_ok()) << dfs.first_failure;
+  const auto prio = dsched::explore_pct(sc, 41, 150, /*depth=*/3);
+  EXPECT_TRUE(prio.all_ok()) << prio.first_failure;
+}
+
+// --------------------------------------------------------------------
+// EFRB baseline under the same scheduler: its delete can *abort* (mark
+// CAS lost -> backtrack CAS on the grandparent), a window the NM paper
+// §5 contrasts with its own non-aborting deletes. The helping protocol
+// over Info records must stay linearizable through every interleaving.
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, EfrbDeleteDeleteRaceDfs) {
+  auto sc = make_scenario<sched_efrb>({1, 2}, {{{'e', 1}}, {{'e', 2}}},
+                                      {1, 2});
+  const auto sum = dsched::explore_dfs(sc, /*max_executions=*/1500);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GE(sum.executions, 1000u);
+}
+
+TEST(DschedScenarios, EfrbInsertDeleteConflictPct) {
+  auto sc = make_scenario<sched_efrb>(
+      {1}, {{{'i', 2}}, {{'e', 1}}}, {1, 2});
+  const auto sum = dsched::explore_pct(sc, /*base_seed=*/61, /*count=*/300,
+                                       /*depth=*/3);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+}
+
+// --------------------------------------------------------------------
+// Small-space sanity: a scenario tiny enough for the DFS to *exhaust*,
+// proving the explorer's termination-and-coverage logic on a real tree
+// (a lone insert against a lone contains in a fresh tree).
+// --------------------------------------------------------------------
+
+TEST(DschedScenarios, TinyScenarioExhaustsCompletely) {
+  auto sc = make_scenario<sched_nm>(
+      /*setup=*/{},
+      /*threads=*/{{{'i', 1}}, {{'c', 1}}},
+      /*universe=*/{1});
+  const auto sum = dsched::explore_dfs(sc, /*max_executions=*/100000);
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_TRUE(sum.exhausted);
+  EXPECT_GT(sum.executions, 1u);
+}
+
+}  // namespace
+}  // namespace lfbst
