@@ -29,11 +29,32 @@
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
 using namespace lfbst;
 using namespace lfbst::harness;
+
+/// Appends a study's table to the --json report, tagging every row with
+/// the study name so all four studies share one flat results array.
+void export_table(obs::bench_report* report, const char* study,
+                  const text_table& tbl) {
+  if (report == nullptr) return;
+  std::vector<std::string> header{"study"};
+  header.insert(header.end(), tbl.header().begin(), tbl.header().end());
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(tbl.rows().size());
+  for (const auto& r : tbl.rows()) {
+    std::vector<std::string> row{study};
+    row.insert(row.end(), r.begin(), r.end());
+    rows.push_back(std::move(row));
+  }
+  // Bind before iterating: range-for does not extend the life of a
+  // temporary reached through a member call until C++23.
+  const obs::json::value converted = obs::rows_from_table(header, rows);
+  for (const auto& row : converted.items()) report->add_result(row);
+}
 
 template <typename Tree>
 double throughput(std::uint64_t millis, std::uint64_t range,
@@ -48,7 +69,8 @@ double throughput(std::uint64_t millis, std::uint64_t range,
   return run_workload(tree, cfg).mops_per_second();
 }
 
-void study_tagging(std::uint64_t millis, std::uint64_t seed) {
+void study_tagging(std::uint64_t millis, std::uint64_t seed,
+                   obs::bench_report* report) {
   std::printf("--- study: tagging (BTS vs CAS-only), write-dominated ---\n");
   text_table tbl({"key_range", "threads", "bts Mops/s", "cas_only Mops/s",
                   "bts/cas_only"});
@@ -65,12 +87,14 @@ void study_tagging(std::uint64_t millis, std::uint64_t seed) {
     }
   }
   tbl.print();
+  export_table(report, "tagging", tbl);
   std::printf("Expected: near-parity uncontended; BTS pulls ahead as "
               "contention on the sibling word rises (one unconditional RMW "
               "vs a CAS retry loop).\n\n");
 }
 
-void study_reclaim(std::uint64_t millis, std::uint64_t seed) {
+void study_reclaim(std::uint64_t millis, std::uint64_t seed,
+                   obs::bench_report* report) {
   std::printf("--- study: reclamation (leaky vs epoch vs hazard), "
               "write-dominated ---\n");
   text_table tbl({"key_range", "threads", "leaky Mops/s", "epoch Mops/s",
@@ -93,6 +117,7 @@ void study_reclaim(std::uint64_t millis, std::uint64_t seed) {
     }
   }
   tbl.print();
+  export_table(report, "reclaim", tbl);
   std::printf("Expected: epoch costs one announcement per op plus retire "
               "bookkeeping; hazard pointers add a seq_cst store and a "
               "validating re-read per traversal step (steep, but garbage "
@@ -100,7 +125,8 @@ void study_reclaim(std::uint64_t millis, std::uint64_t seed) {
               "measures everything in the leaky regime.\n\n");
 }
 
-void study_fanout(std::uint64_t millis, std::uint64_t seed) {
+void study_fanout(std::uint64_t millis, std::uint64_t seed,
+                  obs::bench_report* report) {
   // §6 future work: k-ary generalization. Larger fanout = shorter paths
   // and cache-friendlier leaves, at the cost of fatter update copies.
   std::printf("--- study: k-ary fanout (kary_tree), mixed workload ---\n");
@@ -126,12 +152,14 @@ void study_fanout(std::uint64_t millis, std::uint64_t seed) {
                  format("%.3f", tp(std::type_identity<nm_tree<long>>{}))});
   }
   tbl.print();
+  export_table(report, "fanout", tbl);
   std::printf("Expected: fanout pays off as the key range (tree depth) "
               "grows; at small ranges the extra copying per update washes "
               "it out.\n\n");
 }
 
-void study_multileaf(std::uint64_t millis, std::uint64_t seed) {
+void study_multileaf(std::uint64_t millis, std::uint64_t seed,
+                     obs::bench_report* report) {
   // Under concurrent deletes on a small range, some ancestor CASes excise
   // chains (Fig. 2). We can't observe individual CASes from outside, but
   // node accounting exposes the effect: with E successful erases and
@@ -189,6 +217,7 @@ void study_multileaf(std::uint64_t millis, std::uint64_t seed) {
   tbl.add_row({"atomics per successful modify",
                format("%.2f", atomics_per_modify)});
   tbl.print();
+  export_table(report, "multileaf", tbl);
   std::printf("Uncontended floor is 2.0 (insert 1 + delete 3 averaged); "
               "values close to it under this much contention mean failed "
               "CASes are being amortized by chain excision and helping.\n\n");
@@ -203,9 +232,21 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 13));
 
   std::printf("=== NM-BST ablation studies ===\n\n");
-  if (study == "all" || study == "tagging") study_tagging(millis, seed);
-  if (study == "all" || study == "reclaim") study_reclaim(millis, seed);
-  if (study == "all" || study == "fanout") study_fanout(millis, seed);
-  if (study == "all" || study == "multileaf") study_multileaf(millis, seed);
+  obs::bench_report report("ablation");
+  report.config.set("study", study);
+  report.config.set("millis", millis);
+  report.config.set("seed", seed);
+  obs::bench_report* rep = flags.has("json") ? &report : nullptr;
+  if (study == "all" || study == "tagging") study_tagging(millis, seed, rep);
+  if (study == "all" || study == "reclaim") study_reclaim(millis, seed, rep);
+  if (study == "all" || study == "fanout") study_fanout(millis, seed, rep);
+  if (study == "all" || study == "multileaf") {
+    study_multileaf(millis, seed, rep);
+  }
+  if (rep != nullptr) {
+    const std::string path = flags.get("json", "ablation.json");
+    if (!report.write_file(path)) return 1;
+    std::printf("JSON report: %s\n", path.c_str());
+  }
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "core/natarajan_tree.hpp"
 #include "harness/table.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -96,5 +97,16 @@ int main(int argc, char** argv) {
                harness::format("%.2fx", nm / efrb)});
   tbl.add_row({"EFRB-BST", harness::format("%.3f", efrb), "1.00x"});
   tbl.print();
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "contention_window.json");
+    obs::bench_report report("contention_window");
+    report.config.set("millis", millis);
+    report.config.set("pairs", pairs);
+    report.config.set("seed", seed);
+    report.results = obs::rows_from_table(tbl.header(), tbl.rows());
+    if (!report.write_file(path)) return 1;
+    std::printf("\nJSON report: %s\n", path.c_str());
+  }
   return 0;
 }

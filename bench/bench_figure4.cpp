@@ -15,6 +15,15 @@
 // the paper's headline ratio (NM vs best rival); plus a final CSV dump
 // (--csv to print only the CSV). --extended adds the related-work DVY
 // tree (paper §1) and the coarse-lock floor to every cell.
+//
+// Structured output:
+//   --json <path>   write the whole grid as an lfbst-bench-v1 document
+//                   (the schema tools/plot_figure4.py consumes)
+//   --trace <path>  after the grid, run one extra contended NM point with
+//                   the obs::recording policy and a trace_log attached,
+//                   and write the drained Chrome trace_event JSON (loads
+//                   in Perfetto / chrome://tracing)
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -25,6 +34,9 @@
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -146,6 +158,58 @@ int main(int argc, char** argv) {
   } else {
     std::printf("=== CSV (for plotting) ===\n");
     csv.print_csv(stdout);
+  }
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "figure4.json");
+    obs::bench_report report("figure4");
+    report.config.set("millis", millis);
+    report.config.set("runs", static_cast<std::uint64_t>(runs));
+    report.config.set("seed", seed);
+    report.config.set("full", full);
+    report.config.set("extended", extended);
+    report.results = obs::rows_from_table(csv.header(), csv.rows());
+    if (!report.write_file(path)) return 1;
+    if (!csv_only) std::printf("\nJSON report: %s\n", path.c_str());
+  }
+
+  if (flags.has("trace")) {
+    const std::string path = flags.get("trace", "figure4.trace.json");
+    // One deliberately contended point: small range, write-dominated,
+    // with the recording policy mirroring every protocol event into a
+    // trace ring and the global sink catching substrate events.
+    using recorded_tree =
+        nm_tree<long, std::less<long>, reclaim::epoch, obs::recording>;
+    obs::trace_log trace;
+    recorded_tree tree;
+    tree.stats().attach_trace(&trace);
+    obs::set_global_trace_sink(&trace);
+    workload_config cfg;
+    cfg.key_range = 1'024;
+    cfg.mix = write_dominated;
+    cfg.threads = static_cast<unsigned>(
+        std::max<std::int64_t>(4, threads.back()));
+    cfg.duration = std::chrono::milliseconds(std::min<std::int64_t>(
+        millis, 100));  // a full ring is plenty; keep the file loadable
+    cfg.seed = seed;
+    run_workload(tree, cfg);
+    obs::set_global_trace_sink(nullptr);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+      return 1;
+    }
+    const std::string doc = trace.chrome_trace_json();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (!csv_only) {
+      std::printf("Chrome trace: %s (%llu events recorded, %llu dropped "
+                  "to ring overwrite)\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(trace.recorded()),
+                  static_cast<unsigned long long>(trace.dropped()));
+    }
   }
   return 0;
 }

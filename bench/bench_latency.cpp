@@ -4,98 +4,31 @@
 // bounded amount of helping, while lock-based designs inherit the lock
 // holder's scheduling luck.
 //
-// Method: each thread runs the paper's mixed workload and samples every
-// 64th operation with a steady_clock pair; samples are merged and
-// p50/p90/p99/p99.9/max reported per algorithm.
+// Method: the standard throughput runner with an obs::latency_observer
+// attached — every operation is timed with a steady_clock pair and
+// recorded into per-thread HDR histograms (src/obs/histogram.hpp),
+// merged at quiescence into p50/p90/p99/p99.9/max per op kind.
 //
 //   bench_latency [--keyrange N] [--threads N] [--millis N]
 //                 [--workload mixed|write-dominated|read-dominated]
-#include <algorithm>
-#include <atomic>
-#include <chrono>
+//                 [--json <path>]
 #include <cstdio>
-#include <thread>
+#include <string>
 #include <vector>
 
-#include "common/barrier.hpp"
-#include "common/rng.hpp"
 #include "harness/algorithms.hpp"
 #include "harness/flags.hpp"
+#include "harness/runner.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
 using namespace lfbst;
 using namespace lfbst::harness;
-
-struct latency_stats {
-  double p50, p90, p99, p999, worst;  // nanoseconds
-  std::size_t samples;
-};
-
-latency_stats summarize(std::vector<double>& ns) {
-  std::sort(ns.begin(), ns.end());
-  auto at = [&](double q) {
-    if (ns.empty()) return 0.0;
-    return ns[std::min(ns.size() - 1,
-                       static_cast<std::size_t>(q * static_cast<double>(
-                                                         ns.size())))];
-  };
-  return {at(0.50), at(0.90), at(0.99), at(0.999),
-          ns.empty() ? 0.0 : ns.back(), ns.size()};
-}
-
-template <typename Tree>
-latency_stats measure(const workload_config& cfg) {
-  Tree tree;
-  pcg32 fill(cfg.seed);
-  std::uint64_t filled = 0;
-  while (filled < cfg.key_range / 2) {
-    if (tree.insert(static_cast<long>(fill.next64() % cfg.key_range))) {
-      ++filled;
-    }
-  }
-  std::atomic<bool> stop{false};
-  spin_barrier barrier(cfg.threads + 1);
-  std::vector<std::vector<double>> samples(cfg.threads);
-  std::vector<std::thread> threads;
-  for (unsigned tid = 0; tid < cfg.threads; ++tid) {
-    threads.emplace_back([&, tid] {
-      pcg32 rng = pcg32::for_thread(cfg.seed, tid);
-      auto& local = samples[tid];
-      local.reserve(1 << 16);
-      std::uint64_t n = 0;
-      barrier.arrive_and_wait();
-      while (!stop.load(std::memory_order_relaxed)) {
-        const std::uint32_t roll = rng.bounded(100);
-        const long key = static_cast<long>(rng.next64() % cfg.key_range);
-        const bool sampled = (n++ % 64) == 0;
-        std::chrono::steady_clock::time_point t0;
-        if (sampled) t0 = std::chrono::steady_clock::now();
-        if (roll < cfg.mix.search_pct) {
-          (void)tree.contains(key);
-        } else if (roll < cfg.mix.search_pct + cfg.mix.insert_pct) {
-          (void)tree.insert(key);
-        } else {
-          (void)tree.erase(key);
-        }
-        if (sampled) {
-          local.push_back(std::chrono::duration<double, std::nano>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count());
-        }
-      }
-    });
-  }
-  barrier.arrive_and_wait();
-  std::this_thread::sleep_for(cfg.duration);
-  stop.store(true);
-  for (auto& t : threads) t.join();
-  std::vector<double> all;
-  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
-  return summarize(all);
-}
 
 }  // namespace
 
@@ -110,19 +43,45 @@ int main(int argc, char** argv) {
 
   std::printf("=== operation latency percentiles (ns) ===\n%s\n\n",
               cfg.label().c_str());
-  text_table tbl({"algorithm", "p50", "p90", "p99", "p99.9", "max",
+  text_table tbl({"algorithm", "op", "p50", "p90", "p99", "p99.9", "max",
                   "samples"});
   for_each_algorithm<long>([&]<typename Tree>() {
-    const latency_stats s = measure<Tree>(cfg);
-    tbl.add_row({Tree::algorithm_name, format("%.0f", s.p50),
-                 format("%.0f", s.p90), format("%.0f", s.p99),
-                 format("%.0f", s.p999), format("%.0f", s.worst),
-                 std::to_string(s.samples)});
+    Tree tree;
+    obs::latency_observer observer;
+    run_workload(tree, cfg, &observer);
+    auto add = [&](const char* op, const obs::histogram& h) {
+      tbl.add_row({Tree::algorithm_name, op,
+                   std::to_string(h.value_at_percentile(50)),
+                   std::to_string(h.value_at_percentile(90)),
+                   std::to_string(h.value_at_percentile(99)),
+                   std::to_string(h.value_at_percentile(99.9)),
+                   std::to_string(h.max()), std::to_string(h.count())});
+    };
+    add("all", observer.merged_all());
+    add("search", observer.merged(stats::op_kind::search));
+    add("insert", observer.merged(stats::op_kind::insert));
+    add("erase", observer.merged(stats::op_kind::erase));
   });
   tbl.print();
-  std::printf("\nNote: on an oversubscribed host the max column is "
-              "dominated by preemption (a whole scheduling quantum); the "
-              "p99/p99.9 gap between lock-free and lock-based rows is the "
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "latency.json");
+    obs::bench_report report("latency");
+    report.config.set("keyrange", cfg.key_range);
+    report.config.set("threads", cfg.threads);
+    report.config.set("millis",
+                      static_cast<std::uint64_t>(cfg.duration.count()));
+    report.config.set("workload", cfg.mix.name);
+    report.config.set("seed", cfg.seed);
+    report.results = obs::rows_from_table(tbl.header(), tbl.rows());
+    if (!report.write_file(path)) return 1;
+    std::printf("\nJSON report: %s\n", path.c_str());
+  }
+
+  std::printf("\nNote: percentiles are HDR-histogram bucket values (~3%%\n"
+              "resolution). On an oversubscribed host the max column is\n"
+              "dominated by preemption (a whole scheduling quantum); the\n"
+              "p99/p99.9 gap between lock-free and lock-based rows is the\n"
               "signal.\n");
   return 0;
 }

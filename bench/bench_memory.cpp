@@ -20,6 +20,7 @@
 #include "core/natarajan_tree.hpp"
 #include "harness/flags.hpp"
 #include "harness/table.hpp"
+#include "obs/export.hpp"
 #include "reclaim/hazard_reclaimer.hpp"
 
 namespace {
@@ -83,7 +84,7 @@ int main(int argc, char** argv) {
               "policy\n\n",
               (unsigned long long)key_range, thread_count);
 
-  text_table tbl({"policy", "ops so far", "slab KiB", "pending retire"});
+  text_table tbl({"policy", "ops", "slab_kib", "pending_retire"});
   auto emit = [&](const char* name, const std::vector<snapshot_row>& rows) {
     for (const auto& r : rows) {
       tbl.add_row({name, std::to_string(r.ops), std::to_string(r.footprint_kib),
@@ -97,6 +98,18 @@ int main(int argc, char** argv) {
   emit("hazard", churn<nm_tree<long, std::less<long>, reclaim::hazard>>(
                      key_range, rounds, thread_count));
   tbl.print();
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "memory.json");
+    obs::bench_report report("memory");
+    report.config.set("keyrange", key_range);
+    report.config.set("rounds", rounds);
+    report.config.set("threads", thread_count);
+    report.results = obs::rows_from_table(tbl.header(), tbl.rows());
+    if (!report.write_file(path)) return 1;
+    std::printf("\nJSON report: %s\n", path.c_str());
+  }
+
   std::printf("\nReading: leaky grows without bound (the paper's regime — "
               "fine for 30 s runs, fatal for services); epoch and hazard "
               "plateau. Hazard additionally *bounds* pending retirements; "

@@ -76,6 +76,14 @@ LFBST_REGISTER(coarse_tree<long>, "Coarse-BST");
 
 using nm_epoch = nm_tree<long, std::less<long>, reclaim::epoch>;
 LFBST_REGISTER(nm_epoch, "NM-BST-epoch");
+// Observability overhead guard: the same tree with the obs::recording
+// policy (striped counters + latency/seek histograms on every op). The
+// delta vs the plain "NM-BST" rows is the full cost of metrics; compare
+// with --benchmark_filter='NM-BST(-metrics)?/' and export JSON with
+// --benchmark_out=<path> --benchmark_out_format=json.
+using nm_metrics = nm_tree<long, std::less<long>, reclaim::leaky,
+                           obs::recording>;
+LFBST_REGISTER(nm_metrics, "NM-BST-metrics");
 using nm_hazard = nm_tree<long, std::less<long>, reclaim::hazard>;
 LFBST_REGISTER(nm_hazard, "NM-BST-hazard");
 using kst4 = kary_tree<long, 4>;

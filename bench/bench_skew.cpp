@@ -19,6 +19,7 @@
 #include "harness/flags.hpp"
 #include "harness/table.hpp"
 #include "harness/zipf.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -117,6 +118,19 @@ int main(int argc, char** argv) {
   text_table tbl(header);
   for (auto& r : rows) tbl.add_row(std::move(r));
   tbl.print();
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "skew.json");
+    obs::bench_report report("skew");
+    report.config.set("keyrange", key_range);
+    report.config.set("threads", thread_count);
+    report.config.set("millis", millis);
+    report.config.set("seed", seed);
+    report.results = obs::rows_from_table(tbl.header(), tbl.rows());
+    if (!report.write_file(path)) return 1;
+    std::printf("\nJSON report: %s\n", path.c_str());
+  }
+
   std::printf("\nReading: rising skew concentrates modify traffic on hot "
               "leaves; the algorithms with the smallest contention window "
               "and fewest atomics per modify degrade least.\n");

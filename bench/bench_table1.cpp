@@ -25,6 +25,7 @@
 #include "core/natarajan_tree.hpp"
 #include "core/stats.hpp"
 #include "harness/table.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -124,6 +125,17 @@ int main(int argc, char** argv) {
   row("HJ-BST (Howley-Jones)", hj, "2/1 allocs, 3/<=9 atomics");
   row("NM-BST (this work)", nm, "2/0 allocs, 1/3 atomics");
   tbl.print();
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "table1.json");
+    obs::bench_report report("table1");
+    report.config.set("ops", ops);
+    report.config.set("keyrange", range);
+    report.config.set("seed", seed);
+    report.results = obs::rows_from_table(tbl.header(), tbl.rows());
+    if (!report.write_file(path)) return 1;
+    std::printf("\nJSON report: %s\n", path.c_str());
+  }
 
   std::printf("\nNotes: HJ deletes average between 4 (short path) and 9\n"
               "(two-child relocation); its allocation mean sits between 1\n"

@@ -19,6 +19,7 @@
 //     frees from whichever thread flushes the limbo list).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -29,6 +30,7 @@
 #include "common/cacheline.hpp"
 #include "common/spinlock.hpp"
 #include "common/thread_id.hpp"
+#include "obs/trace.hpp"
 
 namespace lfbst {
 
@@ -90,6 +92,11 @@ class node_pool {
     return slabs_.size() * blocks_per_slab_ * block_size_;
   }
 
+  /// Number of slab grabs (allocation slow paths) — src/obs/ telemetry.
+  [[nodiscard]] std::uint64_t refill_count() const noexcept {
+    return refill_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct free_node {
     free_node* next;
@@ -114,6 +121,11 @@ class node_pool {
       std::lock_guard<spinlock> g(slabs_lock_);
       slabs_.push_back(slab);
     }
+    refill_count_.fetch_add(1, std::memory_order_relaxed);
+    // Refills happen once per blocks_per_slab_ allocations; the trace
+    // branch is invisible next to the operator new above.
+    obs::emit_global(obs::event_type::pool_refill,
+                     static_cast<std::uint32_t>(blocks_per_slab_));
     local.cursor = slab;
     local.remaining = blocks_per_slab_;
   }
@@ -123,6 +135,7 @@ class node_pool {
 
   mutable spinlock slabs_lock_;
   std::vector<void*> slabs_;
+  std::atomic<std::uint64_t> refill_count_{0};
 
   padded<local_state> locals_[max_threads];
 };

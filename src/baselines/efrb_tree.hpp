@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <new>
 #include <string>
@@ -85,19 +86,40 @@ class efrb_tree {
   }
 
   [[nodiscard]] bool contains(const Key& key) const {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    search_result s = search(key);
-    return less_.equal(key, s.leaf->key);
+    stats_.on_op_begin(stats::op_kind::search);
+    bool found;
+    {
+      [[maybe_unused]] auto guard = reclaimer_.pin();
+      search_result s = search(key);
+      found = less_.equal(key, s.leaf->key);
+    }
+    stats_.on_op_end(stats::op_kind::search, found);
+    return found;
   }
 
   bool insert(const Key& key) {
+    stats_.on_op_begin(stats::op_kind::insert);
+    const bool inserted = insert_impl(key);
+    stats_.on_op_end(stats::op_kind::insert, inserted);
+    return inserted;
+  }
+
+  bool erase(const Key& key) {
+    stats_.on_op_begin(stats::op_kind::erase);
+    const bool erased = erase_impl(key);
+    stats_.on_op_end(stats::op_kind::erase, erased);
+    return erased;
+  }
+
+ private:
+  bool insert_impl(const Key& key) {
     [[maybe_unused]] auto guard = reclaimer_.pin();
     for (;;) {
       search_result s = search(key);
       if (less_.equal(key, s.leaf->key)) return false;
       if (update_state(s.pupdate) != state::clean) {
         help(s.pupdate);
-        Stats::on_seek_restart();
+        stats_.on_seek_restart();
         continue;
       }
       // Four allocations, matching the original algorithm (and Table 1):
@@ -115,7 +137,7 @@ class efrb_tree {
       op->iinfo = {s.parent, s.leaf, new_internal};
 
       update_t expected = s.pupdate;
-      Stats::on_cas();
+      stats_.on_cas();
       if (s.parent->update.compare_exchange(
               expected, update_t(op, /*iflag=*/true, /*dflag=*/false))) {
         help_insert(op);  // completes the insert (child CAS + unflag)
@@ -129,35 +151,36 @@ class efrb_tree {
       }
       // Flag lost: the nodes we built were never published; recycle them
       // immediately and help whoever beat us.
+      stats_.on_cas_fail();
       destroy_node(new_leaf);
       destroy_node(sibling);
       destroy_node(new_internal);
       destroy_info(op);
       help(expected);
-      Stats::on_seek_restart();
+      stats_.on_seek_restart();
     }
   }
 
-  bool erase(const Key& key) {
+  bool erase_impl(const Key& key) {
     [[maybe_unused]] auto guard = reclaimer_.pin();
     for (;;) {
       search_result s = search(key);
       if (!less_.equal(key, s.leaf->key)) return false;
       if (update_state(s.gpupdate) != state::clean) {
         help(s.gpupdate);
-        Stats::on_seek_restart();
+        stats_.on_seek_restart();
         continue;
       }
       if (update_state(s.pupdate) != state::clean) {
         help(s.pupdate);
-        Stats::on_seek_restart();
+        stats_.on_seek_restart();
         continue;
       }
       info_record* op = make_info();
       op->dinfo = {s.grandparent, s.parent, s.leaf, s.pupdate};
 
       update_t expected = s.gpupdate;
-      Stats::on_cas();
+      stats_.on_cas();
       if (s.grandparent->update.compare_exchange(
               expected, update_t(op, /*iflag=*/false, /*dflag=*/true))) {
         if (help_delete(op)) {
@@ -173,13 +196,15 @@ class efrb_tree {
         // Aborted (mark lost): op is permanently retired below; retry.
         if constexpr (Reclaimer::reclaims_eagerly) retire_info_later(op);
       } else {
+        stats_.on_cas_fail();
         destroy_info(op);
         help(expected);
       }
-      Stats::on_seek_restart();
+      stats_.on_seek_restart();
     }
   }
 
+ public:
   // --- quiescent observers (same contract as nm_tree) -----------------
 
   [[nodiscard]] std::size_t size_slow() const {
@@ -247,6 +272,9 @@ class efrb_tree {
     return reclaimer_.pending();
   }
 
+  /// The Stats policy instance this tree reports into (see nm_tree).
+  [[nodiscard]] Stats& stats() const noexcept { return stats_; }
+
  private:
   using skey = sentinel_key<Key>;
 
@@ -309,14 +337,14 @@ class efrb_tree {
   // --- node/info lifecycle ---------------------------------------------
 
   node* make_leaf(skey k) {
-    Stats::on_alloc();
+    stats_.on_alloc();
     node* n = new (node_pool_.allocate(sizeof(node))) node{std::move(k),
                                                            {}, {}, {}};
     return n;
   }
 
   node* make_internal(skey k, node* l, node* r) {
-    Stats::on_alloc();
+    stats_.on_alloc();
     node* n = new (node_pool_.allocate(sizeof(node))) node{std::move(k),
                                                            {}, {}, {}};
     n->left.store_relaxed(tagged_ptr<node>::clean(l));
@@ -325,7 +353,7 @@ class efrb_tree {
   }
 
   info_record* make_info() {
-    Stats::on_alloc();
+    stats_.on_alloc();
     return new (info_pool_.allocate(sizeof(info_record))) info_record();
   }
 
@@ -362,8 +390,10 @@ class efrb_tree {
     search_result s;
     s.leaf = root_;
     node* current = root_;
+    [[maybe_unused]] std::uint64_t depth = 0;
     while (current->left.load(std::memory_order_acquire).address() !=
            nullptr) {
+      if constexpr (Stats::enabled) ++depth;
       s.grandparent = s.parent;
       s.gpupdate = s.pupdate;
       s.parent = current;
@@ -373,13 +403,16 @@ class efrb_tree {
                     : current->right.load().address();
       s.leaf = current;
     }
+    if constexpr (Stats::enabled) stats_.on_seek(depth);
     return s;
   }
 
   // --- helping ----------------------------------------------------------
 
   void help(update_t u) {
-    Stats::on_help();
+    // Info-record helping is node-level, not edge-marked: no flagged/
+    // tagged distinction to attribute.
+    stats_.on_help(stats::help_kind::unattributed);
     switch (update_state(u)) {
       case state::iflag:
         help_insert(u.address());
@@ -400,18 +433,21 @@ class efrb_tree {
     // internal node, then unflag.
     cas_child(op->iinfo.parent, op->iinfo.leaf, op->iinfo.new_internal);
     update_t expected(op, /*iflag=*/true, /*dflag=*/false);
-    Stats::on_cas();
-    op->iinfo.parent->update.compare_exchange(
-        expected, update_t(op, false, false));  // CLEAN, record kept
+    stats_.on_cas();
+    if (!op->iinfo.parent->update.compare_exchange(
+            expected, update_t(op, false, false))) {  // CLEAN, record kept
+      stats_.on_cas_fail();
+    }
   }
 
   /// Returns true if the delete committed, false if it must abort
   /// (backtrack) because the parent could not be marked.
   bool help_delete(info_record* op) {
     update_t expected = op->dinfo.pupdate;
-    Stats::on_cas();
+    stats_.on_cas();
     const bool marked = op->dinfo.parent->update.compare_exchange(
         expected, update_t(op, /*iflag=*/true, /*dflag=*/true));  // MARK
+    if (!marked) stats_.on_cas_fail();
     if (marked || expected == update_t(op, true, true)) {
       help_marked(op);
       return true;
@@ -420,9 +456,11 @@ class efrb_tree {
     // so the grandparent becomes CLEAN again and we can retry.
     help(expected);
     update_t gp_expected(op, /*iflag=*/false, /*dflag=*/true);
-    Stats::on_cas();
-    op->dinfo.grandparent->update.compare_exchange(
-        gp_expected, update_t(op, false, false));
+    stats_.on_cas();
+    if (!op->dinfo.grandparent->update.compare_exchange(
+            gp_expected, update_t(op, false, false))) {
+      stats_.on_cas_fail();
+    }
     return false;
   }
 
@@ -438,9 +476,11 @@ class efrb_tree {
     }
     cas_child(op->dinfo.grandparent, parent, sibling);
     update_t expected(op, /*iflag=*/false, /*dflag=*/true);
-    Stats::on_cas();
-    op->dinfo.grandparent->update.compare_exchange(
-        expected, update_t(op, false, false));
+    stats_.on_cas();
+    if (!op->dinfo.grandparent->update.compare_exchange(
+            expected, update_t(op, false, false))) {
+      stats_.on_cas_fail();
+    }
   }
 
   /// CAS the child edge of `parent` that currently addresses `old_child`
@@ -451,8 +491,10 @@ class efrb_tree {
                         ? parent->left
                         : parent->right;
     tagged_ptr<node> expected = tagged_ptr<node>::clean(old_child);
-    Stats::on_cas();
-    field.compare_exchange(expected, tagged_ptr<node>::clean(new_child));
+    stats_.on_cas();
+    if (!field.compare_exchange(expected, tagged_ptr<node>::clean(new_child))) {
+      stats_.on_cas_fail();
+    }
   }
 
   void destroy_reachable(node* root) {
@@ -474,6 +516,7 @@ class efrb_tree {
   }
 
   [[no_unique_address]] sentinel_less<Key, Compare> less_{};
+  [[no_unique_address]] mutable Stats stats_{};
   node_pool node_pool_;
   node_pool info_pool_;
   mutable Reclaimer reclaimer_{};

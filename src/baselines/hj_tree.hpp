@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <new>
 #include <string>
@@ -84,12 +85,33 @@ class hj_tree {
   }
 
   [[nodiscard]] bool contains(const Key& key) const {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    find_ctx c;
-    return find(key, c, root_) == find_result::found;
+    stats_.on_op_begin(stats::op_kind::search);
+    bool found;
+    {
+      [[maybe_unused]] auto guard = reclaimer_.pin();
+      find_ctx c;
+      found = find(key, c, root_) == find_result::found;
+    }
+    stats_.on_op_end(stats::op_kind::search, found);
+    return found;
   }
 
   bool insert(const Key& key) {
+    stats_.on_op_begin(stats::op_kind::insert);
+    const bool inserted = insert_impl(key);
+    stats_.on_op_end(stats::op_kind::insert, inserted);
+    return inserted;
+  }
+
+  bool erase(const Key& key) {
+    stats_.on_op_begin(stats::op_kind::erase);
+    const bool erased = erase_impl(key);
+    stats_.on_op_end(stats::op_kind::erase, erased);
+    return erased;
+  }
+
+ private:
+  bool insert_impl(const Key& key) {
     [[maybe_unused]] auto guard = reclaimer_.pin();
     for (;;) {
       find_ctx c;
@@ -104,7 +126,7 @@ class hj_tree {
       cas_op->child_cas = {is_left, old_child, new_node};
 
       op_t expected = c.curr_op;
-      Stats::on_cas();
+      stats_.on_cas();
       if (c.curr->op.compare_exchange(
               expected, op_t(cas_op, /*childcas=*/true, /*relocate=*/false))) {
         help_child_cas(cas_op, c.curr);
@@ -117,13 +139,14 @@ class hj_tree {
         return true;
       }
       // Never published: recycle immediately.
+      stats_.on_cas_fail();
       destroy_node(new_node);
       destroy_op(cas_op);
-      Stats::on_seek_restart();
+      stats_.on_seek_restart();
     }
   }
 
-  bool erase(const Key& key) {
+  bool erase_impl(const Key& key) {
     [[maybe_unused]] auto guard = reclaimer_.pin();
     for (;;) {
       find_ctx c;
@@ -134,26 +157,27 @@ class hj_tree {
         // Node has at most one child: MARK it (the linearization point),
         // then splice it out.
         op_t expected = c.curr_op;
-        Stats::on_cas();
+        stats_.on_cas();
         if (c.curr->op.compare_exchange(
                 expected, c.curr_op.with_marks(true, true))) {  // MARK
           help_marked(c.pred, c.pred_op, c.curr);
           return true;
         }
+        stats_.on_cas_fail();
       } else {
         // Node has two children: relocate the successor's key into it.
         find_ctx sc;
         const find_result r2 = find(key, sc, c.curr);
         if (r2 == find_result::abort ||
             c.curr->op.load().raw() != c.curr_op.raw()) {
-          Stats::on_seek_restart();
+          stats_.on_seek_restart();
           continue;
         }
         // sc.curr is the successor: leftmost node of c.curr's right
         // subtree (the search for `key` from c.curr goes right once,
         // then left at every node, ending NOT_FOUND_L there).
         if (r2 != find_result::not_found_l) {
-          Stats::on_seek_restart();
+          stats_.on_seek_restart();
           continue;  // right child vanished meanwhile; retry
         }
         operation* reloc_op = make_op();
@@ -166,7 +190,7 @@ class hj_tree {
             sc.curr->key.load(std::memory_order_acquire);
 
         op_t expected = sc.curr_op;
-        Stats::on_cas();
+        stats_.on_cas();
         if (sc.curr->op.compare_exchange(
                 expected,
                 op_t(reloc_op, /*childcas=*/false, /*relocate=*/true))) {
@@ -177,13 +201,15 @@ class hj_tree {
           }
           if (done) return true;
         } else {
+          stats_.on_cas_fail();
           destroy_op(reloc_op);  // never published
         }
       }
-      Stats::on_seek_restart();
+      stats_.on_seek_restart();
     }
   }
 
+ public:
   // --- quiescent observers ---------------------------------------------
 
   [[nodiscard]] std::size_t size_slow() const {
@@ -249,6 +275,9 @@ class hj_tree {
     return reclaimer_.pending();
   }
 
+  /// The Stats policy instance this tree reports into (see nm_tree).
+  [[nodiscard]] Stats& stats() const noexcept { return stats_; }
+
  private:
   struct operation;
   using op_t = tagged_ptr<operation>;
@@ -308,7 +337,9 @@ class hj_tree {
   // --- find (Howley & Jones `find`) --------------------------------------
 
   find_result find(const Key& key, find_ctx& c, node* aux_root) const {
+    [[maybe_unused]] std::uint64_t depth = 0;
   retry:
+    if constexpr (Stats::enabled) depth = 0;
     find_result result = find_result::not_found_r;
     c.curr = aux_root;
     c.curr_op = c.curr->op.load();
@@ -326,6 +357,7 @@ class hj_tree {
       node* last_right = c.curr;
       op_t last_right_op = c.curr_op;
       while (next != nullptr) {
+        if constexpr (Stats::enabled) ++depth;
         c.pred = c.curr;
         c.pred_op = c.curr_op;
         c.curr = next;
@@ -344,6 +376,7 @@ class hj_tree {
           last_right = c.curr;
           last_right_op = c.curr_op;
         } else {
+          if constexpr (Stats::enabled) stats_.on_seek(depth);
           return find_result::found;
         }
       }
@@ -352,13 +385,16 @@ class hj_tree {
       // have moved `key` past our traversal.
       if (last_right_op.raw() != last_right->op.load().raw()) goto retry;
     }
+    if constexpr (Stats::enabled) stats_.on_seek(depth);
     return result;
   }
 
   // --- helping ----------------------------------------------------------
 
   void help(node* pred, op_t pred_op, node* curr, op_t curr_op) const {
-    Stats::on_help();
+    // Operation-record helping is node-level, not edge-marked: no
+    // flagged/tagged distinction to attribute.
+    stats_.on_help(stats::help_kind::unattributed);
     switch (op_state(curr_op)) {
       case state_childcas:
         help_child_cas(curr_op.address(), curr);
@@ -378,12 +414,15 @@ class hj_tree {
     std::atomic<node*>& addr =
         op->child_cas.is_left ? dest->left : dest->right;
     node* expected = op->child_cas.expected;
-    Stats::on_cas();
+    stats_.on_cas();
     const bool swung = addr.compare_exchange_strong(
         expected, op->child_cas.update, std::memory_order_acq_rel);
+    if (!swung) stats_.on_cas_fail();
     op_t op_expected(op, /*childcas=*/true, /*relocate=*/false);
-    Stats::on_cas();
-    dest->op.compare_exchange(op_expected, op_t(op, false, false));
+    stats_.on_cas();
+    if (!dest->op.compare_exchange(op_expected, op_t(op, false, false))) {
+      stats_.on_cas_fail();
+    }
     if constexpr (Reclaimer::reclaims_eagerly) {
       // The victim of a splice is retired by whichever thread's child
       // CAS physically detached it — the only globally unique event.
@@ -413,13 +452,14 @@ class hj_tree {
       // Install the relocation on the destination (the node whose key is
       // being removed).
       op_t dest_expected = op->relocate.dest_op;
-      Stats::on_cas();
+      stats_.on_cas();
       const bool installed = op->relocate.dest->op.compare_exchange(
           dest_expected, op_t(op, /*childcas=*/false, /*relocate=*/true));
+      if (!installed) stats_.on_cas_fail();
       if (installed ||
           dest_expected == op_t(op, /*childcas=*/false, /*relocate=*/true)) {
         int expected_state = relocate_state::ongoing;
-        Stats::on_cas();
+        stats_.on_cas();
         op->relocate.state.compare_exchange_strong(
             expected_state, relocate_state::successful,
             std::memory_order_acq_rel);
@@ -428,7 +468,7 @@ class hj_tree {
         // The destination changed under us: the relocation fails unless
         // someone else already marked it successful.
         int expected_state = relocate_state::ongoing;
-        Stats::on_cas();
+        stats_.on_cas();
         op->relocate.state.compare_exchange_strong(
             expected_state, relocate_state::failed,
             std::memory_order_acq_rel);
@@ -439,11 +479,11 @@ class hj_tree {
       // Overwrite the destination's key with the successor's, then
       // release the destination.
       Key expected_key = op->relocate.remove_key;
-      Stats::on_cas();
+      stats_.on_cas();
       op->relocate.dest->key.compare_exchange_strong(
           expected_key, op->relocate.replace_key, std::memory_order_acq_rel);
       op_t dest_expected(op, false, true);
-      Stats::on_cas();
+      stats_.on_cas();
       op->relocate.dest->op.compare_exchange(dest_expected,
                                              op_t(op, false, false));
     }
@@ -452,7 +492,7 @@ class hj_tree {
     // Release (or mark for removal) the successor node that carried the
     // RelocateOp.
     op_t curr_expected(op, false, true);
-    Stats::on_cas();
+    stats_.on_cas();
     curr->op.compare_exchange(
         curr_expected,
         result ? op_t(op, true, true)     // MARK: splice the successor out
@@ -484,7 +524,7 @@ class hj_tree {
     cas_op->child_cas = {curr == pred->left.load(std::memory_order_acquire),
                          curr, new_ref};
     op_t expected = pred_op;
-    Stats::on_cas();
+    stats_.on_cas();
     if (pred->op.compare_exchange(
             expected, op_t(cas_op, /*childcas=*/true, /*relocate=*/false))) {
       // The spliced node itself is retired inside help_child_cas by the
@@ -495,6 +535,7 @@ class hj_tree {
         reclaimer_.retire(cas_op, &op_deleter, &op_pool_);
       }
     } else {
+      stats_.on_cas_fail();
       destroy_op(cas_op);  // never published
     }
   }
@@ -502,14 +543,14 @@ class hj_tree {
   // --- lifecycle ----------------------------------------------------------
 
   node* make_node(const Key& key) const {
-    Stats::on_alloc();
+    stats_.on_alloc();
     node* n = new (node_pool_.allocate(sizeof(node))) node{};
     n->key.store(key, std::memory_order_relaxed);
     return n;
   }
 
   operation* make_op() const {
-    Stats::on_alloc();
+    stats_.on_alloc();
     return new (op_pool_.allocate(sizeof(operation))) operation();
   }
 
@@ -547,6 +588,7 @@ class hj_tree {
   }
 
   [[no_unique_address]] Compare less_{};
+  [[no_unique_address]] mutable Stats stats_{};
   mutable node_pool node_pool_;
   mutable node_pool op_pool_;
   mutable Reclaimer reclaimer_{};

@@ -43,7 +43,9 @@
 //               reclaimer, trivially destructible.
 //   Compare   — strict weak order over Key.
 //   Reclaimer — reclaim::leaky (paper regime, default) or reclaim::epoch.
-//   Stats     — stats::none (default) or stats::counting (Table 1).
+//   Stats     — stats::none (default), stats::counting (Table 1) or
+//               obs::recording (per-instance counters, latency/seek
+//               histograms, event tracing — src/obs/).
 //   Tagging   — tag_policy::bts (default) or tag_policy::cas_only.
 //   Payload   — void (default: a set) or a mapped value type (a map —
 //               see core/nm_map.hpp). With a payload, leaves carry the
@@ -129,17 +131,27 @@ class nm_tree {
   /// True iff `key` is in the set. Wait-free given a quiescent tree;
   /// lock-free in general. Executes zero atomic RMWs (paper §3.2.2).
   [[nodiscard]] bool contains(const Key& key) const {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    seek_record sr;
-    seek(key, sr);
-    return less_.equal(key, sr.leaf->key);
+    stats_.on_op_begin(stats::op_kind::search);
+    bool found;
+    {
+      [[maybe_unused]] auto guard = reclaimer_.pin();
+      seek_record sr;
+      seek(key, sr);
+      found = less_.equal(key, sr.leaf->key);
+    }
+    stats_.on_op_end(stats::op_kind::search, found);
+    return found;
   }
 
   /// Adds `key`; returns true iff the set changed (paper §3.2.3,
   /// Alg. 2). Uncontended cost: one CAS, two allocations (Table 1).
   /// For maps, the mapped value is default-constructed.
   bool insert(const Key& key) {
-    return insert_impl(key, payload_t{}, /*assign_if_present=*/false);
+    stats_.on_op_begin(stats::op_kind::insert);
+    const bool inserted =
+        insert_impl(key, payload_t{}, /*assign_if_present=*/false);
+    stats_.on_op_end(stats::op_kind::insert, inserted);
+    return inserted;
   }
 
   // ------------------------------------------------------------------
@@ -154,7 +166,11 @@ class nm_tree {
   bool insert(const Key& key, const payload_t& value)
     requires is_map
   {
-    return insert_impl(key, value, /*assign_if_present=*/false);
+    stats_.on_op_begin(stats::op_kind::insert);
+    const bool inserted =
+        insert_impl(key, value, /*assign_if_present=*/false);
+    stats_.on_op_end(stats::op_kind::insert, inserted);
+    return inserted;
   }
 
   /// Adds (key, value) or replaces the value of an existing key; returns
@@ -165,7 +181,10 @@ class nm_tree {
   bool insert_or_assign(const Key& key, const payload_t& value)
     requires is_map
   {
-    return insert_impl(key, value, /*assign_if_present=*/true);
+    stats_.on_op_begin(stats::op_kind::insert);
+    const bool inserted = insert_impl(key, value, /*assign_if_present=*/true);
+    stats_.on_op_end(stats::op_kind::insert, inserted);
+    return inserted;
   }
 
   /// The value mapped to `key`, or nullopt. Linearizes at the end of the
@@ -173,11 +192,18 @@ class nm_tree {
   [[nodiscard]] std::optional<payload_t> get(const Key& key) const
     requires is_map
   {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    seek_record sr;
-    seek(key, sr);
-    if (!less_.equal(key, sr.leaf->key)) return std::nullopt;
-    return sr.leaf->payload;  // leaves are immutable: safe to copy out
+    stats_.on_op_begin(stats::op_kind::search);
+    std::optional<payload_t> result;
+    {
+      [[maybe_unused]] auto guard = reclaimer_.pin();
+      seek_record sr;
+      seek(key, sr);
+      if (less_.equal(key, sr.leaf->key)) {
+        result = sr.leaf->payload;  // leaves are immutable: safe to copy out
+      }
+    }
+    stats_.on_op_end(stats::op_kind::search, result.has_value());
+    return result;
   }
 
   /// Quiescent in-order walk over (key, value) pairs.
@@ -194,49 +220,10 @@ class nm_tree {
   /// Alg. 3). Uncontended cost: three atomics (flag CAS, sibling BTS,
   /// ancestor CAS), zero allocations (Table 1).
   bool erase(const Key& key) {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    seek_record sr;
-    bool injected = false;  // INJECTION vs CLEANUP mode
-    node* leaf = nullptr;   // the leaf we flagged, once injected
-    for (;;) {
-      seek(key, sr);
-      if (!injected) {
-        // --- injection mode ---
-        leaf = sr.leaf;
-        if (!less_.equal(key, leaf->key)) return false;  // key absent
-        node* parent = sr.parent;
-        word_t& child_field = child_field_for(parent, key);
-        ptr_t expected = ptr_t::clean(leaf);
-        Stats::on_cas();
-        if (child_field.compare_exchange(
-                expected, expected.with_marks(/*flagged=*/true,
-                                              /*tagged=*/false))) {
-          // Flag planted (Alg. 3 line 73): from here the delete is
-          // guaranteed to complete; switch to cleanup mode.
-          injected = true;
-          if constexpr (Reclaimer::requires_validated_traversal) {
-            // Keep the flagged leaf protected across the cleanup-mode
-            // re-seeks: the `sr.leaf != leaf` identity test below must
-            // not be spoofed by a freed-and-recycled address.
-            reclaimer_.domain().announce(Reclaimer::hp_flagged, leaf);
-          }
-          if (cleanup(key, sr)) return true;
-        } else {
-          // Injection failed; help the owning delete if the edge still
-          // addresses our leaf and is marked (Alg. 3 lines 79-81).
-          if (expected.address() == leaf && expected.marked()) {
-            Stats::on_help();
-            cleanup(key, sr);
-          }
-          Stats::on_seek_restart();
-        }
-      } else {
-        // --- cleanup mode (Alg. 3 lines 82-87) ---
-        if (sr.leaf != leaf) return true;  // someone removed it for us
-        if (cleanup(key, sr)) return true;
-        Stats::on_seek_restart();
-      }
-    }
+    stats_.on_op_begin(stats::op_kind::erase);
+    const bool erased = erase_impl(key);
+    stats_.on_op_end(stats::op_kind::erase, erased);
+    return erased;
   }
 
   // ----------------------------------------------------------------
@@ -297,6 +284,11 @@ class nm_tree {
     return reclaimer_.pending();
   }
 
+  /// The Stats policy instance this tree reports into. Stateless for
+  /// none/counting; obs::recording exposes per-instance counters,
+  /// latency/seek-depth histograms and trace attachment through here.
+  [[nodiscard]] Stats& stats() const noexcept { return stats_; }
+
  private:
   friend struct nm_tree_test_access;
 
@@ -326,6 +318,64 @@ class nm_tree {
     node* parent = nullptr;
     node* leaf = nullptr;
   };
+
+  // --- the operation bodies ----------------------------------------------
+
+  /// Alg. 3. The public erase() wraps this with the op begin/end hooks.
+  bool erase_impl(const Key& key) {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    seek_record sr;
+    bool injected = false;  // INJECTION vs CLEANUP mode
+    node* leaf = nullptr;   // the leaf we flagged, once injected
+    for (;;) {
+      seek(key, sr);
+      if (!injected) {
+        // --- injection mode ---
+        leaf = sr.leaf;
+        if (!less_.equal(key, leaf->key)) return false;  // key absent
+        node* parent = sr.parent;
+        word_t& child_field = child_field_for(parent, key);
+        ptr_t expected = ptr_t::clean(leaf);
+        stats_.on_cas();
+        if (child_field.compare_exchange(
+                expected, expected.with_marks(/*flagged=*/true,
+                                              /*tagged=*/false))) {
+          // Flag planted (Alg. 3 line 73): from here the delete is
+          // guaranteed to complete; switch to cleanup mode.
+          injected = true;
+          if constexpr (Reclaimer::requires_validated_traversal) {
+            // Keep the flagged leaf protected across the cleanup-mode
+            // re-seeks: the `sr.leaf != leaf` identity test below must
+            // not be spoofed by a freed-and-recycled address.
+            reclaimer_.domain().announce(Reclaimer::hp_flagged, leaf);
+          }
+          if (cleanup(key, sr)) return true;
+        } else {
+          stats_.on_cas_fail();
+          // Injection failed; help the owning delete if the edge still
+          // addresses our leaf and is marked (Alg. 3 lines 79-81).
+          if (expected.address() == leaf && expected.marked()) {
+            stats_.on_help(help_kind_of(expected));
+            cleanup(key, sr);
+          }
+          stats_.on_seek_restart();
+        }
+      } else {
+        // --- cleanup mode (Alg. 3 lines 82-87) ---
+        if (sr.leaf != leaf) return true;  // someone removed it for us
+        if (cleanup(key, sr)) return true;
+        stats_.on_seek_restart();
+      }
+    }
+  }
+
+  /// A marked edge we failed a CAS against tells us which kind of delete
+  /// we are about to help: flagged — the leaf itself leaves; tagged — the
+  /// parent leaves (its sibling edge carries the tag).
+  static stats::help_kind help_kind_of(ptr_t observed) noexcept {
+    return observed.flagged() ? stats::help_kind::flagged_edge
+                              : stats::help_kind::tagged_edge;
+  }
 
   // --- the shared insert/assign machinery --------------------------------
 
@@ -357,7 +407,7 @@ class nm_tree {
         if (new_leaf == nullptr) new_leaf = make_leaf(skey(key), value);
         word_t& child_field = child_field_for(parent, key);
         ptr_t expected = ptr_t::clean(leaf);
-        Stats::on_cas();
+        stats_.on_cas();
         if (child_field.compare_exchange(expected, ptr_t::clean(new_leaf))) {
           if constexpr (Reclaimer::reclaims_eagerly) {
             reclaimer_.retire(leaf, &node_deleter, &pool_);
@@ -365,11 +415,12 @@ class nm_tree {
           if (new_internal != nullptr) destroy_node(new_internal);
           return false;  // assigned, not inserted
         }
+        stats_.on_cas_fail();
         if (expected.address() == leaf && expected.marked()) {
-          Stats::on_help();
+          stats_.on_help(help_kind_of(expected));
           cleanup(key, sr);
         }
-        Stats::on_seek_restart();
+        stats_.on_seek_restart();
         continue;
       }
 
@@ -394,32 +445,33 @@ class nm_tree {
       }
 
       ptr_t expected = ptr_t::clean(leaf);
-      Stats::on_cas();
+      stats_.on_cas();
       if (child_field.compare_exchange(expected, ptr_t::clean(new_internal))) {
         return true;  // Alg. 2 line 53 — linearization point
       }
+      stats_.on_cas_fail();
       // CAS failed; `expected` now holds the observed word (the re-read
       // of Alg. 2 line 55). Help iff the edge still addresses our leaf
       // and is marked — i.e. a delete owns our injection point.
       if (expected.address() == leaf && expected.marked()) {
-        Stats::on_help();
+        stats_.on_help(help_kind_of(expected));
         cleanup(key, sr);
       }
-      Stats::on_seek_restart();
+      stats_.on_seek_restart();
     }
   }
 
   // --- node lifecycle -------------------------------------------------
 
   node* make_leaf(skey k, payload_t payload = payload_t{}) {
-    Stats::on_alloc();
+    stats_.on_alloc();
     void* mem = pool_.allocate(sizeof(node));
     node* n = new (mem) node{std::move(k), std::move(payload), {}, {}};
     return n;
   }
 
   node* make_internal(skey k, node* left, node* right) {
-    Stats::on_alloc();
+    stats_.on_alloc();
     void* mem = pool_.allocate(sizeof(node));
     node* n = new (mem) node{std::move(k), payload_t{}, {}, {}};
     n->left.store_relaxed(ptr_t::clean(left));
@@ -503,7 +555,9 @@ class nm_tree {
       ptr_t current_field = current_source->load(std::memory_order_seq_cst);
       node* current = current_field.address();
       bool restart = false;
+      [[maybe_unused]] std::uint64_t depth = 0;
       while (current != nullptr) {
+        if constexpr (Stats::enabled) ++depth;
         // Validated protect of `current`: announce in the scratch slot,
         // re-read the edge from its (protected) owner.
         dom.announce(Reclaimer::hp_scratch, current);
@@ -544,7 +598,10 @@ class nm_tree {
         current_field = current_source->load(std::memory_order_seq_cst);
         current = current_field.address();
       }
-      if (!restart) return;
+      if (!restart) {
+        if constexpr (Stats::enabled) stats_.on_seek(depth);
+        return;
+      }
     }
   }
 
@@ -559,7 +616,9 @@ class nm_tree {
     sr.leaf = parent_field.address();      // line 18
     ptr_t current_field = sr.leaf->left.load();  // line 20
     node* current = current_field.address();     // line 21
+    [[maybe_unused]] std::uint64_t depth = 0;
     while (current != nullptr) {  // line 22 — leaf reached when null
+      if constexpr (Stats::enabled) ++depth;
       if (!parent_field.tagged()) {  // line 23
         sr.ancestor = sr.parent;     // line 24
         sr.successor = sr.leaf;      // line 25
@@ -571,6 +630,7 @@ class nm_tree {
                                                : current->right.load();
       current = current_field.address();  // line 32
     }
+    if constexpr (Stats::enabled) stats_.on_seek(depth);
   }
 
   // --- cleanup (Alg. 4) -------------------------------------------------
@@ -581,6 +641,7 @@ class nm_tree {
   /// helpers (failed insert/delete injections). Returns true iff this
   /// call's ancestor CAS performed the removal.
   bool cleanup(const Key& key, const seek_record& sr) {
+    stats_.on_cleanup();
     node* ancestor = sr.ancestor;  // line 90
     node* successor = sr.successor;
     node* parent = sr.parent;
@@ -608,7 +669,7 @@ class nm_tree {
 
     // Tag the sibling edge (line 106). Unconditional; freezes the edge
     // so parent can never again be an injection point.
-    Stats::on_bts();
+    stats_.on_bts();
     Tagging::tag(*sibling_field);
 
     // Re-read flag and address (line 107); both are now frozen (a tagged
@@ -622,10 +683,16 @@ class nm_tree {
     // survive the move so that delete can still complete.
     ptr_t expected = ptr_t::clean(successor);
     ptr_t desired(sibling.address(), sibling.flagged(), /*tagged=*/false);
-    Stats::on_cas();
+    stats_.on_cas();
     const bool removed = successor_field.compare_exchange(expected, desired);
 
     if (removed) {
+      if constexpr (Stats::enabled) {
+        // Excision size: >2 means the single ancestor CAS removed a
+        // frozen chain of logically deleted nodes (Fig. 2's multi-leaf
+        // removal). The walk only happens for instrumented builds.
+        stats_.on_excision(count_excised(successor, desired.address()));
+      }
       if constexpr (Reclaimer::reclaims_eagerly) {
         // We excised the region subtree(successor) ∖ subtree(sibling
         // address). Every edge inside it is frozen, so walking it
@@ -633,8 +700,25 @@ class nm_tree {
         // retires it, so nothing is retired twice.
         retire_excised(successor, desired.address());
       }
+    } else {
+      stats_.on_cas_fail();
     }
     return removed;
+  }
+
+  /// Node count of the detached region rooted at `n`, excluding the
+  /// re-attached subtree at `keep`. Same frozen-region walk as
+  /// retire_excised; only runs when a Stats policy wants on_excision.
+  std::uint64_t count_excised(const node* n, const node* keep) const {
+    if (n == keep) return 0;
+    const node* l = n->left.load(std::memory_order_acquire).address();
+    const node* r = n->right.load(std::memory_order_acquire).address();
+    std::uint64_t total = 1;
+    if (l != nullptr) {
+      total += count_excised(l, keep);
+      total += count_excised(r, keep);
+    }
+    return total;
   }
 
   /// Retires every node of the detached region rooted at `n`, except the
@@ -750,6 +834,10 @@ class nm_tree {
   // --- members ----------------------------------------------------------
 
   [[no_unique_address]] sentinel_less<Key, Compare> less_{};
+  // Hooks fire through the instance (stats_.on_cas()) so policies may
+  // carry per-instance state; for the stateless none/counting policies
+  // the member is empty and the calls resolve to the static no-ops.
+  [[no_unique_address]] mutable Stats stats_{};
   node_pool pool_;
   mutable Reclaimer reclaimer_{};
   node* r_ = nullptr;  // ℝ: root sentinel, key ∞₂ — never removed

@@ -12,23 +12,62 @@
 //                       seek restarts and help calls. Used by
 //                       bench_table1 and by the unit tests that pin the
 //                       exact uncontended instruction counts.
+//   * obs::recording  — (src/obs/metrics.hpp) per-tree-instance striped
+//                       counters plus latency/seek-depth histograms and
+//                       optional event tracing. Unlike counting, two
+//                       recording trees can be instrumented at once.
 //
 // The counting policy's counters are thread-local and *global to the
 // policy*, not per tree instance: bench_table1 and the tests run one
 // instrumented tree at a time, which keeps the hooks to a single
-// thread-local increment.
+// thread-local increment. Per-instance attribution is exactly what
+// obs::recording adds.
+//
+// Hooks are invoked through a (possibly empty) policy *instance* held by
+// the tree (`stats_.on_cas()`), so policies may carry per-instance
+// state; none and counting keep static hooks, which instance syntax
+// calls just as well. The `enabled` flag gates work that only exists to
+// feed the hooks (seek-depth counting, excision sizing) behind
+// `if constexpr`, preserving the zero-overhead default.
 #pragma once
 
 #include <cstdint>
 
 namespace lfbst::stats {
 
+/// Operation classes for the op_begin/op_end hooks and the harness
+/// observer. Values are stable: they appear in trace events and JSON.
+enum class op_kind : std::uint16_t { search = 0, insert = 1, erase = 2 };
+
+[[nodiscard]] inline const char* op_kind_name(op_kind k) noexcept {
+  switch (k) {
+    case op_kind::search: return "search";
+    case op_kind::insert: return "insert";
+    case op_kind::erase: return "erase";
+  }
+  return "op";
+}
+
+/// What kind of marked edge a helping operation ran cleanup for. In the
+/// NM tree a failed injection CAS observes either a *flagged* edge (a
+/// delete owns the leaf we wanted to modify) or a *tagged* edge (a
+/// delete owns the sibling; our parent is leaving the tree) — the paper
+/// attributes different contention behavior to the two cases.
+enum class help_kind : std::uint16_t {
+  flagged_edge = 0,
+  tagged_edge = 1,
+  unattributed = 2,  // baselines whose helping is not edge-marked
+};
+
 struct op_record {
   std::uint64_t objects_allocated = 0;
   std::uint64_t cas_executed = 0;   // successful or failed, both count
+  std::uint64_t cas_failed = 0;     // the subset that lost a race
   std::uint64_t bts_executed = 0;
   std::uint64_t seek_restarts = 0;  // re-seeks after a failed CAS
   std::uint64_t helps = 0;          // cleanup invocations on behalf of others
+  std::uint64_t helps_flagged = 0;  // ... for a flagged edge (leaf leaving)
+  std::uint64_t helps_tagged = 0;   // ... for a tagged edge (parent leaving)
 
   [[nodiscard]] std::uint64_t atomics() const noexcept {
     return cas_executed + bts_executed;
@@ -37,9 +76,12 @@ struct op_record {
   op_record& operator-=(const op_record& o) noexcept {
     objects_allocated -= o.objects_allocated;
     cas_executed -= o.cas_executed;
+    cas_failed -= o.cas_failed;
     bts_executed -= o.bts_executed;
     seek_restarts -= o.seek_restarts;
     helps -= o.helps;
+    helps_flagged -= o.helps_flagged;
+    helps_tagged -= o.helps_tagged;
     return *this;
   }
 };
@@ -49,9 +91,16 @@ struct none {
   static constexpr bool enabled = false;
   static void on_alloc(std::uint64_t = 1) noexcept {}
   static void on_cas() noexcept {}
+  static void on_cas_fail() noexcept {}
   static void on_bts() noexcept {}
   static void on_seek_restart() noexcept {}
   static void on_help() noexcept {}
+  static void on_help(help_kind) noexcept {}
+  static void on_cleanup() noexcept {}
+  static void on_excision(std::uint64_t) noexcept {}
+  static void on_op_begin(op_kind) noexcept {}
+  static void on_op_end(op_kind, bool) noexcept {}
+  static void on_seek(std::uint64_t) noexcept {}
 };
 
 /// Thread-local counting policy.
@@ -67,9 +116,23 @@ struct counting {
     local().objects_allocated += n;
   }
   static void on_cas() noexcept { ++local().cas_executed; }
+  static void on_cas_fail() noexcept { ++local().cas_failed; }
   static void on_bts() noexcept { ++local().bts_executed; }
   static void on_seek_restart() noexcept { ++local().seek_restarts; }
   static void on_help() noexcept { ++local().helps; }
+  static void on_help(help_kind kind) noexcept {
+    op_record& r = local();
+    ++r.helps;
+    if (kind == help_kind::flagged_edge) ++r.helps_flagged;
+    if (kind == help_kind::tagged_edge) ++r.helps_tagged;
+  }
+  // Structural hooks the Table-1 accounting does not need: no-ops so the
+  // pinned uncontended counts stay exactly the paper's.
+  static void on_cleanup() noexcept {}
+  static void on_excision(std::uint64_t) noexcept {}
+  static void on_op_begin(op_kind) noexcept {}
+  static void on_op_end(op_kind, bool) noexcept {}
+  static void on_seek(std::uint64_t) noexcept {}
 
   static void reset() noexcept { local() = op_record{}; }
 

@@ -25,9 +25,20 @@
 #include "common/cacheline.hpp"
 #include "common/rng.hpp"
 #include "core/concurrent_set.hpp"
+#include "core/stats.hpp"
 #include "harness/workload.hpp"
 
 namespace lfbst::harness {
+
+/// Default observer: observes nothing, adds nothing to the measurement
+/// loop (the per-op timing reads are compiled out entirely). Drop-in
+/// alternatives: obs::latency_observer (src/obs/metrics.hpp) or any type
+/// with `static constexpr bool observes_ops` and a matching on_op.
+struct null_observer {
+  static constexpr bool observes_ops = false;
+  void on_op(unsigned /*worker*/, stats::op_kind /*kind*/, bool /*result*/,
+             std::uint64_t /*latency_ns*/) noexcept {}
+};
 
 struct run_result {
   std::uint64_t total_ops = 0;
@@ -66,9 +77,14 @@ void prepopulate_half(Set& set, std::uint64_t key_range,
 }
 
 /// Run one timed data point. The set must already be constructed;
-/// pre-population happens here when the config asks for it.
-template <ConcurrentSet Set>
-run_result run_workload(Set& set, const workload_config& cfg) {
+/// pre-population happens here when the config asks for it. The observer
+/// (see null_observer) receives every operation's kind, result and wall
+/// latency when its observes_ops flag is set; with the default observer
+/// the timing reads vanish at compile time, keeping the measurement loop
+/// identical to the pre-observer harness.
+template <ConcurrentSet Set, typename Observer = null_observer>
+run_result run_workload(Set& set, const workload_config& cfg,
+                        Observer* observer = nullptr) {
   if (cfg.prepopulate) prepopulate_half(set, cfg.key_range, cfg.seed);
 
   struct thread_counters {
@@ -92,16 +108,39 @@ run_result run_workload(Set& set, const workload_config& cfg) {
         const std::uint32_t roll = rng.bounded(100);
         const auto key = static_cast<typename Set::key_type>(
             rng.next64() % cfg.key_range);
+        stats::op_kind kind;
+        bool ok;
+        std::uint64_t t_begin = 0;
+        if constexpr (Observer::observes_ops) {
+          t_begin = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count());
+        }
         if (roll < cfg.mix.search_pct) {
-          (void)set.contains(key);
+          kind = stats::op_kind::search;
+          ok = set.contains(key);
           ++local.searches;
         } else if (roll < cfg.mix.search_pct + cfg.mix.insert_pct) {
-          local.ok_inserts += set.insert(key) ? 1 : 0;
+          kind = stats::op_kind::insert;
+          ok = set.insert(key);
+          local.ok_inserts += ok ? 1 : 0;
           ++local.inserts;
         } else {
-          local.ok_erases += set.erase(key) ? 1 : 0;
+          kind = stats::op_kind::erase;
+          ok = set.erase(key);
+          local.ok_erases += ok ? 1 : 0;
           ++local.erases;
         }
+        if constexpr (Observer::observes_ops) {
+          const auto t_end = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count());
+          observer->on_op(tid, kind, ok, t_end - t_begin);
+        }
+        (void)kind;
+        (void)ok;
         ++local.ops;
       }
       counters[tid].value = local;

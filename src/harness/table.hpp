@@ -58,6 +58,16 @@ class text_table {
     for (const auto& r : rows_) emit(r);
   }
 
+  /// Accessors for structured exporters (obs::rows_from_table turns the
+  /// collected cells into JSON result rows).
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -21,6 +21,11 @@
 
 #include "alloc/node_pool.hpp"
 
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "reclaim/hazard_reclaimer.hpp"

@@ -1,0 +1,538 @@
+// lfbst: JSON snapshot export for the observability layer.
+//
+// A deliberately small hand-rolled JSON DOM (json::value) with dump()
+// and parse(): enough to serialize metrics snapshots, histograms and
+// bench results, and to round-trip them in tests — not a general JSON
+// library. Strings are escaped; numbers are either int64 (exact) or
+// double; parse() accepts exactly what dump() produces plus ordinary
+// whitespace.
+//
+// The bench export schema ("lfbst-bench-v1") is the contract between
+// every bench's --json flag, tools/check_bench_json.py and
+// tools/plot_figure4.py:
+//
+//   {
+//     "schema": "lfbst-bench-v1",
+//     "bench": "<bench name>",
+//     "config": { ... flat scalars: flags, build info ... },
+//     "results": [ { ... one flat row per measurement ... }, ... ]
+//   }
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace lfbst::obs::json {
+
+/// Minimal JSON DOM. Object keys keep insertion order (stable output).
+class value {
+ public:
+  enum class kind { null, boolean, integer, number, string, array, object };
+
+  value() : kind_(kind::null) {}
+  value(std::nullptr_t) : kind_(kind::null) {}
+  value(bool b) : kind_(kind::boolean), bool_(b) {}
+  value(std::int64_t i) : kind_(kind::integer), int_(i) {}
+  value(std::uint64_t u)
+      : kind_(kind::integer), int_(static_cast<std::int64_t>(u)) {}
+  value(int i) : kind_(kind::integer), int_(i) {}
+  value(unsigned u) : kind_(kind::integer), int_(u) {}
+  value(double d) : kind_(kind::number), num_(d) {}
+  value(const char* s) : kind_(kind::string), str_(s) {}
+  value(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+
+  static value array() {
+    value v;
+    v.kind_ = kind::array;
+    return v;
+  }
+  static value object() {
+    value v;
+    v.kind_ = kind::object;
+    return v;
+  }
+
+  [[nodiscard]] kind type() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == kind::null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == kind::object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == kind::array; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return kind_ == kind::number ? static_cast<std::int64_t>(num_) : int_;
+  }
+  [[nodiscard]] std::uint64_t as_uint() const {
+    return static_cast<std::uint64_t>(as_int());
+  }
+  [[nodiscard]] double as_double() const {
+    return kind_ == kind::integer ? static_cast<double>(int_) : num_;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  // --- array ----------------------------------------------------------
+  void push_back(value v) {
+    kind_ = kind::array;
+    items_.push_back(std::move(v));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] const value& operator[](std::size_t i) const {
+    return items_[i];
+  }
+  [[nodiscard]] const std::vector<value>& items() const noexcept {
+    return items_;
+  }
+
+  // --- object ---------------------------------------------------------
+  value& set(const std::string& key, value v) {
+    kind_ = kind::object;
+    for (auto& [k, existing] : members_) {
+      if (k == key) {
+        existing = std::move(v);
+        return *this;
+      }
+    }
+    members_.emplace_back(key, std::move(v));
+    return *this;
+  }
+  [[nodiscard]] bool contains(const std::string& key) const noexcept {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const value& at(const std::string& key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return v;
+    }
+    throw std::out_of_range("json: missing key: " + key);
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, value>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  // --- serialization --------------------------------------------------
+  [[nodiscard]] std::string dump(int indent = 0) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+  }
+
+  /// Parses a complete JSON document; throws std::runtime_error on any
+  /// syntax error or trailing garbage.
+  [[nodiscard]] static value parse(const std::string& text) {
+    std::size_t pos = 0;
+    value v = parse_value(text, pos);
+    skip_ws(text, pos);
+    if (pos != text.size()) {
+      throw std::runtime_error("json: trailing characters at offset " +
+                               std::to_string(pos));
+    }
+    return v;
+  }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const {
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     (static_cast<std::size_t>(depth) + 1),
+                                 ' ')
+                   : std::string();
+    const std::string close_pad =
+        indent > 0 ? std::string(
+                         static_cast<std::size_t>(indent) *
+                             static_cast<std::size_t>(depth),
+                         ' ')
+                   : std::string();
+    const char* nl = indent > 0 ? "\n" : "";
+    switch (kind_) {
+      case kind::null: out += "null"; break;
+      case kind::boolean: out += bool_ ? "true" : "false"; break;
+      case kind::integer: out += std::to_string(int_); break;
+      case kind::number: {
+        if (std::isfinite(num_)) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.17g", num_);
+          out += buf;
+        } else {
+          out += "null";  // JSON has no inf/nan
+        }
+        break;
+      }
+      case kind::string: append_escaped(out, str_); break;
+      case kind::array: {
+        if (items_.empty()) {
+          out += "[]";
+          break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          out += pad;
+          items_[i].dump_to(out, indent, depth + 1);
+          if (i + 1 < items_.size()) out += ',';
+          out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case kind::object: {
+        if (members_.empty()) {
+          out += "{}";
+          break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out += pad;
+          append_escaped(out, members_[i].first);
+          out += indent > 0 ? ": " : ":";
+          members_[i].second.dump_to(out, indent, depth + 1);
+          if (i + 1 < members_.size()) out += ',';
+          out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+  }
+
+  static void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  static void skip_ws(const std::string& s, std::size_t& pos) {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[noreturn]] static void fail(const char* what, std::size_t pos) {
+    throw std::runtime_error(std::string("json: ") + what + " at offset " +
+                             std::to_string(pos));
+  }
+
+  static value parse_value(const std::string& s, std::size_t& pos) {
+    skip_ws(s, pos);
+    if (pos >= s.size()) fail("unexpected end of input", pos);
+    switch (s[pos]) {
+      case '{': return parse_object(s, pos);
+      case '[': return parse_array(s, pos);
+      case '"': return value(parse_string(s, pos));
+      case 't':
+        expect(s, pos, "true");
+        return value(true);
+      case 'f':
+        expect(s, pos, "false");
+        return value(false);
+      case 'n':
+        expect(s, pos, "null");
+        return value(nullptr);
+      default: return parse_number(s, pos);
+    }
+  }
+
+  static void expect(const std::string& s, std::size_t& pos,
+                     const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos) {
+      if (pos >= s.size() || s[pos] != *p) fail("invalid literal", pos);
+    }
+  }
+
+  static value parse_object(const std::string& s, std::size_t& pos) {
+    value obj = value::object();
+    ++pos;  // '{'
+    skip_ws(s, pos);
+    if (pos < s.size() && s[pos] == '}') {
+      ++pos;
+      return obj;
+    }
+    while (true) {
+      skip_ws(s, pos);
+      if (pos >= s.size() || s[pos] != '"') fail("expected object key", pos);
+      std::string key = parse_string(s, pos);
+      skip_ws(s, pos);
+      if (pos >= s.size() || s[pos] != ':') fail("expected ':'", pos);
+      ++pos;
+      obj.set(key, parse_value(s, pos));
+      skip_ws(s, pos);
+      if (pos >= s.size()) fail("unterminated object", pos);
+      if (s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (s[pos] == '}') {
+        ++pos;
+        return obj;
+      }
+      fail("expected ',' or '}'", pos);
+    }
+  }
+
+  static value parse_array(const std::string& s, std::size_t& pos) {
+    value arr = value::array();
+    ++pos;  // '['
+    skip_ws(s, pos);
+    if (pos < s.size() && s[pos] == ']') {
+      ++pos;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value(s, pos));
+      skip_ws(s, pos);
+      if (pos >= s.size()) fail("unterminated array", pos);
+      if (s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (s[pos] == ']') {
+        ++pos;
+        return arr;
+      }
+      fail("expected ',' or ']'", pos);
+    }
+  }
+
+  static std::string parse_string(const std::string& s, std::size_t& pos) {
+    ++pos;  // '"'
+    std::string out;
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos];
+      if (c == '\\') {
+        ++pos;
+        if (pos >= s.size()) fail("unterminated escape", pos);
+        switch (s[pos]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 >= s.size()) fail("truncated \\u escape", pos);
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = s[pos + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape", pos);
+            }
+            pos += 4;
+            // Only BMP code points below 0x80 are emitted by dump();
+            // encode anything else as UTF-8 for completeness.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("invalid escape", pos);
+        }
+        ++pos;
+      } else {
+        out += c;
+        ++pos;
+      }
+    }
+    if (pos >= s.size()) fail("unterminated string", pos);
+    ++pos;  // closing '"'
+    return out;
+  }
+
+  static value parse_number(const std::string& s, std::size_t& pos) {
+    const std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    bool is_float = false;
+    while (pos < s.size()) {
+      char c = s[pos];
+      if (c >= '0' && c <= '9') {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_float = true;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) fail("invalid number", pos);
+    const std::string tok = s.substr(start, pos - start);
+    try {
+      if (is_float) return value(std::stod(tok));
+      return value(static_cast<std::int64_t>(std::stoll(tok)));
+    } catch (const std::exception&) {
+      fail("unparsable number", start);
+    }
+  }
+
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<value> items_;
+  std::vector<std::pair<std::string, value>> members_;
+};
+
+}  // namespace lfbst::obs::json
+
+namespace lfbst::obs {
+
+/// Histogram → JSON: summary stats and the standard percentile ladder.
+[[nodiscard]] inline json::value histogram_to_json(const histogram& h) {
+  json::value v = json::value::object();
+  v.set("count", h.count());
+  v.set("sum", h.sum());
+  v.set("min", h.min());
+  v.set("max", h.max());
+  v.set("mean", h.mean());
+  v.set("p50", h.value_at_percentile(50));
+  v.set("p90", h.value_at_percentile(90));
+  v.set("p99", h.value_at_percentile(99));
+  v.set("p999", h.value_at_percentile(99.9));
+  return v;
+}
+
+/// Metrics snapshot → JSON object of counter-name → value.
+[[nodiscard]] inline json::value metrics_to_json(const metrics_snapshot& s) {
+  json::value v = json::value::object();
+  for (std::size_t i = 0; i < counter_count; ++i) {
+    v.set(counter_name(static_cast<counter>(i)), s.values[i]);
+  }
+  return v;
+}
+
+[[nodiscard]] inline json::value metrics_to_json(const metrics& m) {
+  return metrics_to_json(m.snapshot());
+}
+
+/// Full snapshot of a recording policy: counters + per-op latency
+/// histograms + seek-depth distribution. Quiescence required.
+[[nodiscard]] inline json::value snapshot_to_json(const recording& rec) {
+  json::value v = json::value::object();
+  v.set("counters", metrics_to_json(rec.counters()));
+  json::value lat = json::value::object();
+  for (auto kind : {stats::op_kind::search, stats::op_kind::insert,
+                    stats::op_kind::erase}) {
+    lat.set(stats::op_kind_name(kind),
+            histogram_to_json(rec.latency_histogram(kind)));
+  }
+  v.set("latency_ns", std::move(lat));
+  v.set("seek_depth", histogram_to_json(rec.seek_depth_histogram()));
+  return v;
+}
+
+/// The bench --json contract. Benches fill config with their flags and
+/// append one flat row per measurement; write_file() emits the document
+/// checked by tools/check_bench_json.py and read by plot_figure4.py.
+struct bench_report {
+  static constexpr const char* schema_version = "lfbst-bench-v1";
+
+  explicit bench_report(std::string bench_name)
+      : bench(std::move(bench_name)) {}
+
+  std::string bench;
+  json::value config = json::value::object();
+  json::value results = json::value::array();
+
+  void add_result(json::value row) { results.push_back(std::move(row)); }
+
+  [[nodiscard]] json::value to_json() const {
+    json::value doc = json::value::object();
+    doc.set("schema", schema_version);
+    doc.set("bench", bench);
+    doc.set("config", config);
+    doc.set("results", results);
+    return doc;
+  }
+
+  /// Returns false (and prints to stderr) if the file cannot be written.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write JSON to %s\n", path.c_str());
+      return false;
+    }
+    const std::string text = to_json().dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+};
+
+/// Converts a harness::text_table (header + string rows) into flat JSON
+/// rows, coercing numeric-looking cells to numbers so downstream tools
+/// get real types. Benches that already build a table for text output
+/// reuse it for --json.
+[[nodiscard]] inline json::value rows_from_table(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  auto coerce = [](const std::string& cell) -> json::value {
+    if (cell.empty()) return json::value(cell);
+    char* end = nullptr;
+    const long long i = std::strtoll(cell.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return json::value(static_cast<std::int64_t>(i));
+    }
+    const double d = std::strtod(cell.c_str(), &end);
+    if (end != nullptr && *end == '\0') return json::value(d);
+    return json::value(cell);
+  };
+  json::value out = json::value::array();
+  for (const auto& row : rows) {
+    json::value obj = json::value::object();
+    for (std::size_t c = 0; c < header.size() && c < row.size(); ++c) {
+      obj.set(header[c], coerce(row[c]));
+    }
+    out.push_back(std::move(obj));
+  }
+  return out;
+}
+
+}  // namespace lfbst::obs

@@ -1,0 +1,148 @@
+// lfbst: mergeable log-linear (HDR-style) histogram.
+//
+// The observability layer records per-operation latencies and
+// seek-path lengths into per-thread histogram instances that are merged
+// at read time, so the record path is a single array increment with no
+// synchronization. The bucket layout is the classic HDR scheme: values
+// below 2*subbucket_count are recorded exactly (one bucket per value);
+// above that, each power-of-two range is split into `subbucket_count`
+// linear sub-buckets, bounding the relative quantization error by
+// 1/subbucket_count (3.125% with the default 32 sub-buckets).
+//
+// Thread-safety: none. One histogram per thread, merged at quiescence —
+// merge() is bucket-wise addition, hence associative and commutative
+// (pinned by tests/obs/histogram_test.cpp).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace lfbst::obs {
+
+class histogram {
+ public:
+  /// 2^5 = 32 linear sub-buckets per power-of-two range.
+  static constexpr unsigned subbucket_bits = 5;
+  static constexpr std::uint64_t subbucket_count = 1ull << subbucket_bits;
+  /// Largest distinguishable value (~1.1e12 — 18 minutes in ns); larger
+  /// samples clamp to this instead of being dropped.
+  static constexpr std::uint64_t max_trackable = (1ull << 40) - 1;
+  static constexpr std::size_t bucket_count_ =
+      2 * subbucket_count +
+      (40 - (subbucket_bits + 1)) * subbucket_count;  // 64 + 34*32 = 1152
+
+  void record(std::uint64_t value, std::uint64_t count = 1) noexcept {
+    if (value > max_trackable) value = max_trackable;
+    buckets_[bucket_index(value)] += count;
+    count_ += count;
+    sum_ += value * count;
+    if (count_ == count || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Smallest recorded-value upper bound v such that at least
+  /// `percentile`% of all recorded samples are <= v. Exact for values
+  /// below 2*subbucket_count; within 1/subbucket_count relative error
+  /// above. percentile is in [0, 100]; 0 returns min(), 100 max().
+  [[nodiscard]] std::uint64_t value_at_percentile(
+      double percentile) const noexcept {
+    if (count_ == 0) return 0;
+    if (percentile <= 0.0) return min();
+    double target_d = (percentile / 100.0) * static_cast<double>(count_);
+    auto target = static_cast<std::uint64_t>(target_d);
+    if (static_cast<double>(target) < target_d) ++target;
+    if (target == 0) target = 1;
+    if (target > count_) target = count_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bucket_count_; ++i) {
+      cumulative += buckets_[i];
+      if (cumulative >= target) {
+        const std::uint64_t v = highest_equivalent(i);
+        return v > max_ ? max_ : v;
+      }
+    }
+    return max_;
+  }
+
+  /// Bucket-wise addition. Associative and commutative; merging an empty
+  /// histogram is the identity.
+  void merge(const histogram& other) noexcept {
+    for (std::size_t i = 0; i < bucket_count_; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    if (other.count_ > 0) {
+      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void reset() noexcept { *this = histogram{}; }
+
+  /// Lowest/highest value mapping to the same bucket as `value` — the
+  /// quantization interval (exposed for the exactness tests).
+  [[nodiscard]] static std::uint64_t lowest_equivalent(
+      std::uint64_t value) noexcept {
+    return lowest_of(bucket_index(value > max_trackable ? max_trackable
+                                                        : value));
+  }
+  [[nodiscard]] static std::uint64_t highest_equivalent_value(
+      std::uint64_t value) noexcept {
+    return highest_equivalent(
+        bucket_index(value > max_trackable ? max_trackable : value));
+  }
+
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t idx) const noexcept {
+    return buckets_[idx];
+  }
+
+ private:
+  static std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < 2 * subbucket_count) return static_cast<std::size_t>(v);
+    // msb position >= subbucket_bits + 1 here.
+    const unsigned top = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = top - subbucket_bits;
+    const auto sub = static_cast<std::size_t>(v >> shift);  // [sb, 2sb)
+    return 2 * subbucket_count + (shift - 1) * subbucket_count +
+           (sub - subbucket_count);
+  }
+
+  static std::uint64_t lowest_of(std::size_t idx) noexcept {
+    if (idx < 2 * subbucket_count) return idx;
+    const std::size_t rel = idx - 2 * subbucket_count;
+    const unsigned shift = static_cast<unsigned>(rel / subbucket_count) + 1;
+    const std::uint64_t sub = rel % subbucket_count + subbucket_count;
+    return sub << shift;
+  }
+
+  static std::uint64_t highest_equivalent(std::size_t idx) noexcept {
+    if (idx < 2 * subbucket_count) return idx;
+    const std::size_t rel = idx - 2 * subbucket_count;
+    const unsigned shift = static_cast<unsigned>(rel / subbucket_count) + 1;
+    const std::uint64_t sub = rel % subbucket_count + subbucket_count;
+    return ((sub + 1) << shift) - 1;
+  }
+
+  std::array<std::uint64_t, bucket_count_> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace lfbst::obs

@@ -1,0 +1,350 @@
+// lfbst: per-tree-instance metrics — the observability layer's answer
+// to the "one instrumented tree at a time" limitation of
+// stats::counting (core/stats.hpp).
+//
+// Three pieces:
+//
+//   * metrics          — a registry of cache-line-padded per-thread
+//                        counter stripes. Increments on the hot path are
+//                        relaxed atomic load/store pairs (each stripe
+//                        has exactly one writer: its thread); reads
+//                        aggregate all stripes. Any number of instances
+//                        can be live at once, so every tree gets its own
+//                        attribution.
+//   * recording        — a Stats policy (the trees' Stats template
+//                        parameter) that owns a metrics registry plus
+//                        per-thread latency and seek-depth histograms,
+//                        and optionally mirrors events into a trace_log.
+//                        Drop-in alternative to stats::counting with
+//                        per-instance state.
+//   * latency_observer — a harness::run_workload observer that records
+//                        per-op wall latencies into striped histograms
+//                        (one per op kind), for benches that want
+//                        percentile output without instrumenting the
+//                        tree itself.
+//
+// Aggregation (snapshot(), merged histograms) is designed for
+// quiescent or monotonically racy reads: counters are atomics, so a
+// concurrent snapshot is TSan-clean and observes some valid partial
+// sums; histograms must be read at quiescence.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/cacheline.hpp"
+#include "common/thread_id.hpp"
+#include "core/stats.hpp"  // op_kind / help_kind vocabulary (no further deps)
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+
+namespace lfbst::obs {
+
+/// The counter set. Stable names (counter_name) appear in JSON exports.
+enum class counter : unsigned {
+  ops_search,
+  ops_insert,
+  ops_erase,
+  ops_succeeded,   // ops whose boolean result was true
+  allocs,          // nodes/records allocated
+  cas,             // CAS attempts (success or failure)
+  cas_failed,      // CAS attempts that lost a race
+  bts,             // sibling-edge tags
+  seek_restarts,   // re-seeks after a failed CAS
+  helps,           // cleanups run on behalf of other operations
+  helps_flagged,   // ... attributed to a flagged edge
+  helps_tagged,    // ... attributed to a tagged edge
+  cleanups,        // cleanup() invocations (owner or helper)
+  excisions,       // successful ancestor-CAS removals
+  excised_nodes,   // total nodes removed by those excisions (>2 per
+                   // excision is the paper's Fig. 2 multi-leaf removal)
+  kCount
+};
+
+inline constexpr std::size_t counter_count =
+    static_cast<std::size_t>(counter::kCount);
+
+[[nodiscard]] inline const char* counter_name(counter c) noexcept {
+  switch (c) {
+    case counter::ops_search: return "ops_search";
+    case counter::ops_insert: return "ops_insert";
+    case counter::ops_erase: return "ops_erase";
+    case counter::ops_succeeded: return "ops_succeeded";
+    case counter::allocs: return "allocs";
+    case counter::cas: return "cas";
+    case counter::cas_failed: return "cas_failed";
+    case counter::bts: return "bts";
+    case counter::seek_restarts: return "seek_restarts";
+    case counter::helps: return "helps";
+    case counter::helps_flagged: return "helps_flagged";
+    case counter::helps_tagged: return "helps_tagged";
+    case counter::cleanups: return "cleanups";
+    case counter::excisions: return "excisions";
+    case counter::excised_nodes: return "excised_nodes";
+    case counter::kCount: break;
+  }
+  return "unknown";
+}
+
+struct metrics_snapshot {
+  std::array<std::uint64_t, counter_count> values{};
+
+  [[nodiscard]] std::uint64_t operator[](counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Per-instance striped counter registry. add() must be called from a
+/// registered thread (this_thread_index()); each stripe is written only
+/// by its owning thread, so increments are relaxed load/store pairs —
+/// no RMW, no cross-core traffic on the hot path.
+class metrics {
+ public:
+  metrics() : stripes_(new stripe[max_threads]) {}
+
+  metrics(const metrics&) = delete;
+  metrics& operator=(const metrics&) = delete;
+
+  void add(counter c, std::uint64_t n = 1) noexcept {
+    std::atomic<std::uint64_t>& cell =
+        stripes_[this_thread_index()].values[static_cast<std::size_t>(c)];
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] metrics_snapshot snapshot() const noexcept {
+    metrics_snapshot s;
+    for (unsigned t = 0; t < max_threads; ++t) {
+      for (std::size_t c = 0; c < counter_count; ++c) {
+        s.values[c] +=
+            stripes_[t].values[c].load(std::memory_order_relaxed);
+      }
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t total(counter c) const noexcept {
+    std::uint64_t n = 0;
+    for (unsigned t = 0; t < max_threads; ++t) {
+      n += stripes_[t]
+               .values[static_cast<std::size_t>(c)]
+               .load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  void reset() noexcept {
+    for (unsigned t = 0; t < max_threads; ++t) {
+      for (std::size_t c = 0; c < counter_count; ++c) {
+        stripes_[t].values[c].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct alignas(cacheline_size) stripe {
+    std::array<std::atomic<std::uint64_t>, counter_count> values{};
+  };
+
+  std::unique_ptr<stripe[]> stripes_;
+};
+
+/// Stats policy with per-instance state: striped counters, per-thread
+/// latency histograms (one per op kind) and seek-depth histograms, and
+/// an optional trace_log mirror. Use as the trees' Stats parameter:
+///
+///   nm_tree<long, std::less<long>, reclaim::leaky, obs::recording> t;
+///   t.insert(42);
+///   auto snap = t.stats().counters().snapshot();
+///   auto p99 = t.stats().latency_histogram(stats::op_kind::insert)
+///                  .value_at_percentile(99);
+///
+/// Hook methods are const (called through the tree's mutable stats
+/// member from const operations like contains()).
+class recording {
+ public:
+  static constexpr bool enabled = true;
+
+  recording()
+      : metrics_(new metrics()),
+        threads_(new padded<thread_state>[max_threads]) {}
+
+  recording(const recording&) = delete;
+  recording& operator=(const recording&) = delete;
+
+  // --- the Stats hook surface (see core/stats.hpp) --------------------
+
+  void on_alloc(std::uint64_t n = 1) const noexcept {
+    metrics_->add(counter::allocs, n);
+  }
+  void on_cas() const noexcept { metrics_->add(counter::cas); }
+  void on_cas_fail() const noexcept {
+    metrics_->add(counter::cas_failed);
+    trace(event_type::cas_fail);
+  }
+  void on_bts() const noexcept {
+    metrics_->add(counter::bts);
+    trace(event_type::bts);
+  }
+  void on_seek_restart() const noexcept {
+    metrics_->add(counter::seek_restarts);
+    trace(event_type::seek_restart);
+  }
+  void on_help() const noexcept {
+    on_help(stats::help_kind::unattributed);
+  }
+  void on_help(stats::help_kind kind) const noexcept {
+    metrics_->add(counter::helps);
+    if (kind == stats::help_kind::flagged_edge) {
+      metrics_->add(counter::helps_flagged);
+    } else if (kind == stats::help_kind::tagged_edge) {
+      metrics_->add(counter::helps_tagged);
+    }
+    trace(event_type::help, 0, static_cast<std::uint16_t>(kind));
+  }
+  void on_cleanup() const noexcept {
+    metrics_->add(counter::cleanups);
+    trace(event_type::cleanup);
+  }
+  void on_excision(std::uint64_t nodes) const noexcept {
+    metrics_->add(counter::excisions);
+    metrics_->add(counter::excised_nodes, nodes);
+    trace(event_type::excision, static_cast<std::uint32_t>(nodes));
+  }
+
+  void on_op_begin(stats::op_kind kind) const noexcept {
+    switch (kind) {
+      case stats::op_kind::search: metrics_->add(counter::ops_search); break;
+      case stats::op_kind::insert: metrics_->add(counter::ops_insert); break;
+      case stats::op_kind::erase: metrics_->add(counter::ops_erase); break;
+    }
+    local().op_start_ns = now_ns();
+    trace(event_type::op_begin, 0, static_cast<std::uint16_t>(kind));
+  }
+
+  void on_op_end(stats::op_kind kind, bool result) const noexcept {
+    thread_state& ts = local();
+    const std::uint64_t elapsed = now_ns() - ts.op_start_ns;
+    ts.latency[static_cast<std::size_t>(kind)].record(elapsed);
+    if (result) metrics_->add(counter::ops_succeeded);
+    trace(event_type::op_end, result ? 1 : 0,
+          static_cast<std::uint16_t>(kind));
+  }
+
+  void on_seek(std::uint64_t depth) const noexcept {
+    local().seek_depth.record(depth);
+  }
+
+  // --- instance access ------------------------------------------------
+
+  [[nodiscard]] metrics& counters() const noexcept { return *metrics_; }
+
+  /// Merged over all threads. Quiescence required.
+  [[nodiscard]] histogram latency_histogram(stats::op_kind kind) const {
+    histogram merged;
+    for (unsigned t = 0; t < max_threads; ++t) {
+      merged.merge(
+          threads_[t].value.latency[static_cast<std::size_t>(kind)]);
+    }
+    return merged;
+  }
+
+  /// Merged seek-path-length distribution. Quiescence required.
+  [[nodiscard]] histogram seek_depth_histogram() const {
+    histogram merged;
+    for (unsigned t = 0; t < max_threads; ++t) {
+      merged.merge(threads_[t].value.seek_depth);
+    }
+    return merged;
+  }
+
+  /// Mirror every event into `log` (nullptr detaches). The log must
+  /// outlive the attachment.
+  void attach_trace(trace_log* log) noexcept {
+    trace_.store(log, std::memory_order_release);
+  }
+  [[nodiscard]] trace_log* attached_trace() const noexcept {
+    return trace_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct thread_state {
+    std::uint64_t op_start_ns = 0;
+    std::array<histogram, 3> latency;  // indexed by op_kind
+    histogram seek_depth;
+  };
+
+  thread_state& local() const noexcept {
+    return threads_[this_thread_index()].value;
+  }
+
+  void trace(event_type type, std::uint32_t arg = 0,
+             std::uint16_t aux = 0) const noexcept {
+    if (trace_log* log = trace_.load(std::memory_order_relaxed)) {
+      log->emit(type, arg, aux);
+    }
+  }
+
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  std::unique_ptr<metrics> metrics_;
+  std::unique_ptr<padded<thread_state>[]> threads_;
+  std::atomic<trace_log*> trace_{nullptr};
+};
+
+/// run_workload observer recording each operation's wall latency into
+/// per-thread, per-op-kind histograms (see harness/runner.hpp).
+class latency_observer {
+ public:
+  static constexpr bool observes_ops = true;
+
+  latency_observer() : threads_(new padded<thread_state>[max_threads]) {}
+
+  latency_observer(const latency_observer&) = delete;
+  latency_observer& operator=(const latency_observer&) = delete;
+
+  void on_op(unsigned /*worker*/, stats::op_kind kind, bool /*result*/,
+             std::uint64_t latency_ns) noexcept {
+    threads_[this_thread_index()]
+        .value.latency[static_cast<std::size_t>(kind)]
+        .record(latency_ns);
+  }
+
+  /// Merged over all threads. Quiescence required.
+  [[nodiscard]] histogram merged(stats::op_kind kind) const {
+    histogram h;
+    for (unsigned t = 0; t < max_threads; ++t) {
+      h.merge(threads_[t].value.latency[static_cast<std::size_t>(kind)]);
+    }
+    return h;
+  }
+
+  /// All op kinds combined.
+  [[nodiscard]] histogram merged_all() const {
+    histogram h;
+    for (unsigned t = 0; t < max_threads; ++t) {
+      for (const histogram& per_kind : threads_[t].value.latency) {
+        h.merge(per_kind);
+      }
+    }
+    return h;
+  }
+
+ private:
+  struct thread_state {
+    std::array<histogram, 3> latency;
+  };
+
+  std::unique_ptr<padded<thread_state>[]> threads_;
+};
+
+}  // namespace lfbst::obs

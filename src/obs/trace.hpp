@@ -1,0 +1,230 @@
+// lfbst: lock-free binary event tracing.
+//
+// Every participating thread owns a fixed-size ring of 16-byte binary
+// events; emitting is a thread-local array store plus one relaxed
+// atomic bump, so tracing a contended run perturbs it as little as
+// possible. Rings overwrite their oldest events on overflow (the drop
+// count stays queryable), and are drained at quiescence into Chrome
+// `trace_event` JSON that loads directly in Perfetto (ui.perfetto.dev)
+// or chrome://tracing.
+//
+// Two producers feed a trace_log:
+//   * the obs::recording stats policy (obs/metrics.hpp), attached to a
+//     tree instance, emits the protocol events — op begin/end, CAS
+//     failures, BTS, seek restarts, helps, cleanup and multi-leaf
+//     excision;
+//   * the process-global sink (set_global_trace_sink) catches the rare
+//     substrate events that have no tree instance in scope — epoch
+//     advances, hazard scans, node-pool slab refills. The sink is a
+//     single relaxed atomic pointer; when unset (the default), emitting
+//     a global event is one branch on paths that are already slow.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/cacheline.hpp"
+#include "common/thread_id.hpp"
+
+namespace lfbst::obs {
+
+enum class event_type : std::uint16_t {
+  op_begin = 1,   // aux = op kind (0 search / 1 insert / 2 erase)
+  op_end,         // aux = op kind, arg = 1 if the op returned true
+  cas_fail,       // a compare-exchange lost a race
+  bts,            // sibling-edge tag (Alg. 4 line 106)
+  seek_restart,   // re-seek after a failed CAS
+  help,           // cleanup on behalf of another operation; aux = kind
+  cleanup,        // cleanup() invocation (owner or helper)
+  excision,       // ancestor CAS removed a region; arg = nodes excised
+  epoch_advance,  // global epoch moved; arg = new epoch (low 32 bits)
+  hazard_scan,    // hazard-pointer scan; arg = objects freed
+  pool_refill,    // node pool grabbed a new slab; arg = blocks per slab
+};
+
+[[nodiscard]] inline const char* event_name(event_type t) noexcept {
+  switch (t) {
+    case event_type::op_begin: return "op";
+    case event_type::op_end: return "op";
+    case event_type::cas_fail: return "cas_fail";
+    case event_type::bts: return "bts";
+    case event_type::seek_restart: return "seek_restart";
+    case event_type::help: return "help";
+    case event_type::cleanup: return "cleanup";
+    case event_type::excision: return "excision";
+    case event_type::epoch_advance: return "epoch_advance";
+    case event_type::hazard_scan: return "hazard_scan";
+    case event_type::pool_refill: return "pool_refill";
+  }
+  return "unknown";
+}
+
+struct trace_event {
+  std::uint64_t ts_ns;  // steady_clock, process-relative
+  std::uint32_t arg;    // event-specific payload
+  std::uint16_t type;   // event_type
+  std::uint16_t aux;    // secondary payload (op kind, help kind)
+};
+static_assert(sizeof(trace_event) == 16, "events must stay 16 bytes");
+
+/// Per-thread rings of binary trace events. emit() is safe from any
+/// registered thread concurrently; draining (chrome_trace_json, clear)
+/// requires quiescence. dropped()/recorded() are safe any time.
+class trace_log {
+ public:
+  /// `capacity_per_thread` is rounded up to a power of two.
+  explicit trace_log(std::size_t capacity_per_thread = 1u << 14)
+      : rings_(new padded<ring>[max_threads]) {
+    std::size_t cap = 1;
+    while (cap < capacity_per_thread) cap <<= 1;
+    capacity_ = cap;
+  }
+
+  trace_log(const trace_log&) = delete;
+  trace_log& operator=(const trace_log&) = delete;
+
+  [[nodiscard]] std::size_t capacity_per_thread() const noexcept {
+    return capacity_;
+  }
+
+  void emit(event_type type, std::uint32_t arg = 0,
+            std::uint16_t aux = 0) noexcept {
+    ring& r = rings_[this_thread_index()].value;
+    if (r.buf == nullptr) {
+      // First event from this thread: allocate its ring. Only the owner
+      // thread ever writes the pointer; drains happen at quiescence.
+      r.buf.reset(new trace_event[capacity_]);
+    }
+    const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+    r.buf[head & (capacity_ - 1)] =
+        trace_event{now_ns(), arg, static_cast<std::uint16_t>(type), aux};
+    r.head.store(head + 1, std::memory_order_release);
+  }
+
+  /// Total events ever emitted (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    std::uint64_t n = 0;
+    for (unsigned t = 0; t < max_threads; ++t) {
+      n += rings_[t].value.head.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  /// Events lost to ring overwrite (oldest-dropped policy).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    std::uint64_t n = 0;
+    for (unsigned t = 0; t < max_threads; ++t) {
+      const std::uint64_t head =
+          rings_[t].value.head.load(std::memory_order_relaxed);
+      if (head > capacity_) n += head - capacity_;
+    }
+    return n;
+  }
+
+  /// Visits every retained event as (thread_slot, trace_event), oldest
+  /// first per thread. Quiescence required.
+  template <typename F>
+  void for_each_event(F&& fn) const {
+    for (unsigned t = 0; t < max_threads; ++t) {
+      const ring& r = rings_[t].value;
+      const std::uint64_t head = r.head.load(std::memory_order_acquire);
+      if (head == 0 || r.buf == nullptr) continue;
+      const std::uint64_t first = head > capacity_ ? head - capacity_ : 0;
+      for (std::uint64_t i = first; i < head; ++i) {
+        fn(t, r.buf[i & (capacity_ - 1)]);
+      }
+    }
+  }
+
+  void clear() noexcept {
+    for (unsigned t = 0; t < max_threads; ++t) {
+      rings_[t].value.head.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drains every ring into Chrome trace_event JSON (the format Perfetto
+  /// and chrome://tracing load). op_begin/op_end become duration ("B"/
+  /// "E") events; everything else becomes an instant ("i") event with
+  /// its arg attached. Quiescence required.
+  [[nodiscard]] std::string chrome_trace_json() const {
+    std::string out;
+    out.reserve(4096);
+    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first_event = true;
+    for_each_event([&](unsigned tid, const trace_event& ev) {
+      if (!first_event) out += ',';
+      first_event = false;
+      const auto type = static_cast<event_type>(ev.type);
+      char buf[192];
+      const double ts_us = static_cast<double>(ev.ts_ns) / 1000.0;
+      if (type == event_type::op_begin || type == event_type::op_end) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,"
+                      "\"pid\":1,\"tid\":%u}",
+                      op_kind_name(ev.aux),
+                      type == event_type::op_begin ? "B" : "E", ts_us, tid);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                      "\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+                      "\"args\":{\"arg\":%u}}",
+                      event_name(type), ts_us, tid, ev.arg);
+      }
+      out += buf;
+    });
+    out += "]}";
+    return out;
+  }
+
+ private:
+  struct ring {
+    std::unique_ptr<trace_event[]> buf;
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  static const char* op_kind_name(std::uint16_t kind) noexcept {
+    switch (kind) {
+      case 0: return "search";
+      case 1: return "insert";
+      case 2: return "erase";
+    }
+    return "op";
+  }
+
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  std::unique_ptr<padded<ring>[]> rings_;
+  std::size_t capacity_ = 0;
+};
+
+// --- process-global sink for substrate events ---------------------------
+
+inline std::atomic<trace_log*>& global_trace_sink() noexcept {
+  static std::atomic<trace_log*> sink{nullptr};
+  return sink;
+}
+
+inline void set_global_trace_sink(trace_log* log) noexcept {
+  global_trace_sink().store(log, std::memory_order_release);
+}
+
+/// One relaxed load + branch when no sink is installed; used by the
+/// reclamation substrates and the node pool on their slow paths.
+inline void emit_global(event_type type, std::uint32_t arg = 0,
+                        std::uint16_t aux = 0) noexcept {
+  if (trace_log* log = global_trace_sink().load(std::memory_order_acquire)) {
+    log->emit(type, arg, aux);
+  }
+}
+
+}  // namespace lfbst::obs

@@ -29,6 +29,7 @@
 #include "common/assert.hpp"
 #include "common/cacheline.hpp"
 #include "common/thread_id.hpp"
+#include "obs/trace.hpp"
 #include "reclaim/leaky.hpp"
 
 namespace lfbst::reclaim {
@@ -93,6 +94,7 @@ class epoch {
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     ts.limbo[e % 3].push_back({object, deleter, context});
     ts.pending_count++;
+    if (ts.pending_count > ts.pending_hwm) ts.pending_hwm = ts.pending_count;
     if (++ts.retires_since_scan >= scan_interval) {
       ts.retires_since_scan = 0;
       try_advance_and_flush(ts);
@@ -125,6 +127,23 @@ class epoch {
     return global_epoch_.load(std::memory_order_relaxed);
   }
 
+  // --- observability (src/obs/) ---------------------------------------
+
+  /// Number of times *this domain's* advance CAS won (the global epoch
+  /// moved because of one of our try_advance_and_flush calls).
+  [[nodiscard]] std::uint64_t advance_count() const noexcept {
+    return advance_count_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of the deferred (retired-but-unfreed) queue, summed
+  /// over threads. A per-thread maximum, so the sum is an upper bound of
+  /// the true instantaneous maximum; exact for single-threaded phases.
+  [[nodiscard]] std::size_t pending_high_water() const noexcept {
+    std::size_t n = 0;
+    for (const auto& ts : threads_) n += ts.value.pending_hwm;
+    return n;
+  }
+
  private:
   struct retired {
     void* object;
@@ -138,6 +157,7 @@ class epoch {
     unsigned nesting = 0;
     unsigned retires_since_scan = 0;
     std::size_t pending_count = 0;
+    std::size_t pending_hwm = 0;  // high-water mark of pending_count
     // One limbo bucket per epoch residue class. Bucket e%3 holds objects
     // retired in epoch e; it is safe to flush when global >= e+2, at
     // which point the bucket is about to be reused for epoch e+3.
@@ -159,8 +179,14 @@ class epoch {
       }
     }
     std::uint64_t expected = e;
-    global_epoch_.compare_exchange_strong(expected, e + 1,
-                                          std::memory_order_seq_cst);
+    if (global_epoch_.compare_exchange_strong(expected, e + 1,
+                                              std::memory_order_seq_cst)) {
+      advance_count_.fetch_add(1, std::memory_order_relaxed);
+      // Epoch advances are rare (>= scan_interval retires apart), so an
+      // always-on branch here costs nothing measurable.
+      obs::emit_global(obs::event_type::epoch_advance,
+                       static_cast<std::uint32_t>(e + 1));
+    }
     // Whether we won or another thread advanced for us, re-read the
     // global epoch g and flush our bucket (g+1)%3. That bucket holds
     // only objects this thread retired at epochs ≡ g+1 (mod 3) that are
@@ -179,6 +205,7 @@ class epoch {
   }
 
   alignas(cacheline_size) std::atomic<std::uint64_t> global_epoch_{3};
+  alignas(cacheline_size) std::atomic<std::uint64_t> advance_count_{0};
   padded<thread_state> threads_[max_threads];
 };
 

@@ -20,11 +20,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/cacheline.hpp"
 #include "common/thread_id.hpp"
+#include "obs/trace.hpp"
 #include "reclaim/leaky.hpp"
 
 namespace lfbst::reclaim {
@@ -101,6 +103,11 @@ class hazard_domain {
     return n;
   }
 
+  /// Total hazard scans executed by this domain (src/obs/ telemetry).
+  [[nodiscard]] std::uint64_t scan_count() const noexcept {
+    return scan_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct retired_record {
     void* object;
@@ -119,6 +126,7 @@ class hazard_domain {
   }
 
   void scan(std::vector<retired_record>& local) {
+    scan_count_.fetch_add(1, std::memory_order_relaxed);
     std::vector<void*> protected_now;
     protected_now.reserve(64);
     for (const auto& s : slots_) {
@@ -138,9 +146,14 @@ class hazard_domain {
         r.deleter(r.object, r.context);
       }
     }
+    // Scans are already O(slots + retired); the trace branch is noise.
+    obs::emit_global(
+        obs::event_type::hazard_scan,
+        static_cast<std::uint32_t>(local.size() - still_pending.size()));
     local.swap(still_pending);
   }
 
+  alignas(cacheline_size) std::atomic<std::uint64_t> scan_count_{0};
   padded<std::atomic<void*>> slots_[max_threads * SlotsPerThread];
   padded<std::vector<retired_record>> retired_[max_threads];
 };

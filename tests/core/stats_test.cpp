@@ -59,13 +59,61 @@ TEST(StatsCounting, CountersAreThreadLocal) {
   EXPECT_EQ(stats::counting::local().cas_executed, 1u);
 }
 
+TEST(StatsCounting, CasFailureIsASubsetOfCas) {
+  stats::counting::reset();
+  stats::counting::on_cas();
+  stats::counting::on_cas();
+  stats::counting::on_cas_fail();
+  const stats::op_record& r = stats::counting::local();
+  EXPECT_EQ(r.cas_executed, 2u);
+  EXPECT_EQ(r.cas_failed, 1u);
+  // Failed CASes don't change the atomics() tally: the attempt was
+  // already counted by on_cas (Table 1 counts attempts).
+  EXPECT_EQ(r.atomics(), 2u);
+}
+
+TEST(StatsCounting, HelpAttributionSplitsByEdgeKind) {
+  stats::counting::reset();
+  stats::counting::on_help(stats::help_kind::flagged_edge);
+  stats::counting::on_help(stats::help_kind::flagged_edge);
+  stats::counting::on_help(stats::help_kind::tagged_edge);
+  stats::counting::on_help(stats::help_kind::unattributed);
+  stats::counting::on_help();  // bare overload: also unattributed
+  const stats::op_record& r = stats::counting::local();
+  EXPECT_EQ(r.helps, 5u);
+  EXPECT_EQ(r.helps_flagged, 2u);
+  EXPECT_EQ(r.helps_tagged, 1u);
+  // Unattributed helps count toward the total only.
+  EXPECT_EQ(r.helps - r.helps_flagged - r.helps_tagged, 2u);
+}
+
+TEST(StatsCounting, StructuralHooksDoNotPerturbTable1Counts) {
+  stats::counting::reset();
+  stats::counting::on_cleanup();
+  stats::counting::on_excision(3);
+  stats::counting::on_op_begin(stats::op_kind::insert);
+  stats::counting::on_op_end(stats::op_kind::insert, true);
+  stats::counting::on_seek(12);
+  const stats::op_record& r = stats::counting::local();
+  EXPECT_EQ(r.atomics(), 0u);
+  EXPECT_EQ(r.objects_allocated, 0u);
+  EXPECT_EQ(r.helps, 0u);
+}
+
 TEST(StatsNone, IsCompletelyInert) {
   // Compile-time property mostly; the hooks exist and do nothing.
   stats::none::on_alloc();
   stats::none::on_cas();
+  stats::none::on_cas_fail();
   stats::none::on_bts();
   stats::none::on_seek_restart();
   stats::none::on_help();
+  stats::none::on_help(stats::help_kind::tagged_edge);
+  stats::none::on_cleanup();
+  stats::none::on_excision(2);
+  stats::none::on_op_begin(stats::op_kind::search);
+  stats::none::on_op_end(stats::op_kind::search, false);
+  stats::none::on_seek(1);
   EXPECT_FALSE(stats::none::enabled);
   EXPECT_TRUE(stats::counting::enabled);
 }

@@ -1,0 +1,187 @@
+// Tests for the JSON DOM (dump/parse round-trips, escaping, error
+// handling) and the bench export helpers that define the
+// "lfbst-bench-v1" schema consumed by tools/check_bench_json.py and
+// tools/plot_figure4.py.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+
+namespace lfbst::obs {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(json::value(nullptr).dump(), "null");
+  EXPECT_EQ(json::value(true).dump(), "true");
+  EXPECT_EQ(json::value(false).dump(), "false");
+  EXPECT_EQ(json::value(42).dump(), "42");
+  EXPECT_EQ(json::value(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(json::value("hi").dump(), "\"hi\"");
+  EXPECT_EQ(json::value(1.5).dump(), "1.5");
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder) {
+  json::value obj = json::value::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  obj.set("alpha", 9);  // overwrite keeps position
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, RoundTripNestedDocument) {
+  json::value doc = json::value::object();
+  doc.set("name", "lfbst");
+  doc.set("count", std::int64_t{123456789012345});
+  doc.set("ratio", 0.125);
+  doc.set("ok", true);
+  doc.set("nothing", nullptr);
+  json::value arr = json::value::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  json::value inner = json::value::object();
+  inner.set("deep", -1);
+  arr.push_back(std::move(inner));
+  doc.set("items", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    const std::string text = doc.dump(indent);
+    const json::value parsed = json::value::parse(text);
+    EXPECT_EQ(parsed.at("name").as_string(), "lfbst");
+    EXPECT_EQ(parsed.at("count").as_int(), 123456789012345);
+    EXPECT_EQ(parsed.at("ratio").as_double(), 0.125);
+    EXPECT_TRUE(parsed.at("ok").as_bool());
+    EXPECT_TRUE(parsed.at("nothing").is_null());
+    const json::value& items = parsed.at("items");
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].as_int(), 1);
+    EXPECT_EQ(items[1].as_string(), "two");
+    EXPECT_EQ(items[2].at("deep").as_int(), -1);
+    // Dump of the parse equals the compact dump: a full fixpoint.
+    EXPECT_EQ(parsed.dump(), doc.dump());
+  }
+}
+
+TEST(Json, StringEscapingRoundTrips) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  const json::value v(nasty);
+  const std::string text = v.dump();
+  EXPECT_EQ(json::value::parse(text).as_string(), nasty);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW((void)json::value::parse(""), std::runtime_error);
+  EXPECT_THROW((void)json::value::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json::value::parse("{\"a\":1} extra"),
+               std::runtime_error);
+  EXPECT_THROW((void)json::value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)json::value::parse("nul"), std::runtime_error);
+  EXPECT_THROW((void)json::value::parse("\"unterminated"),
+               std::runtime_error);
+}
+
+TEST(Json, AtThrowsOnMissingKey) {
+  json::value obj = json::value::object();
+  obj.set("present", 1);
+  EXPECT_TRUE(obj.contains("present"));
+  EXPECT_FALSE(obj.contains("absent"));
+  EXPECT_THROW((void)obj.at("absent"), std::out_of_range);
+}
+
+TEST(Export, HistogramToJsonCarriesPercentileLadder) {
+  histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const json::value j = histogram_to_json(h);
+  EXPECT_EQ(j.at("count").as_uint(), 100u);
+  EXPECT_EQ(j.at("min").as_uint(), 1u);
+  EXPECT_EQ(j.at("max").as_uint(), 100u);
+  EXPECT_EQ(j.at("p50").as_uint(), 50u);  // exact below 64
+  EXPECT_GE(j.at("p99").as_uint(), 99u);
+  EXPECT_GE(j.at("p999").as_uint(), j.at("p99").as_uint());
+  EXPECT_DOUBLE_EQ(j.at("mean").as_double(), 50.5);
+}
+
+TEST(Export, MetricsToJsonUsesStableCounterNames) {
+  metrics m;
+  m.add(counter::cas, 3);
+  m.add(counter::helps_tagged, 2);
+  const json::value j = metrics_to_json(m);
+  EXPECT_EQ(j.at("cas").as_uint(), 3u);
+  EXPECT_EQ(j.at("helps_tagged").as_uint(), 2u);
+  EXPECT_EQ(j.at("ops_search").as_uint(), 0u);
+  EXPECT_EQ(j.members().size(), counter_count);
+}
+
+TEST(Export, SnapshotToJsonRoundTrips) {
+  recording rec;
+  rec.on_op_begin(stats::op_kind::insert);
+  rec.on_cas();
+  rec.on_op_end(stats::op_kind::insert, true);
+  rec.on_seek(5);
+  const json::value j = snapshot_to_json(rec);
+  const json::value back = json::value::parse(j.dump(2));
+  EXPECT_EQ(back.at("counters").at("ops_insert").as_uint(), 1u);
+  EXPECT_EQ(back.at("counters").at("cas").as_uint(), 1u);
+  EXPECT_EQ(back.at("latency_ns").at("insert").at("count").as_uint(), 1u);
+  EXPECT_EQ(back.at("latency_ns").at("erase").at("count").as_uint(), 0u);
+  EXPECT_EQ(back.at("seek_depth").at("p50").as_uint(), 5u);
+}
+
+TEST(Export, BenchReportMatchesSchema) {
+  bench_report report("unit_test");
+  report.config.set("threads", 4);
+  report.config.set("workload", "mixed");
+  json::value row = json::value::object();
+  row.set("algorithm", "NM-BST");
+  row.set("mops_per_sec", 12.5);
+  report.add_result(std::move(row));
+
+  const json::value doc = report.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "lfbst-bench-v1");
+  EXPECT_EQ(doc.at("bench").as_string(), "unit_test");
+  EXPECT_EQ(doc.at("config").at("threads").as_int(), 4);
+  ASSERT_EQ(doc.at("results").size(), 1u);
+  EXPECT_EQ(doc.at("results")[0].at("algorithm").as_string(), "NM-BST");
+  // Round-trips through the parser (what check_bench_json.py loads).
+  const json::value back = json::value::parse(doc.dump(2));
+  EXPECT_EQ(back.at("results")[0].at("mops_per_sec").as_double(), 12.5);
+}
+
+TEST(Export, RowsFromTableCoercesNumbers) {
+  const std::vector<std::string> header{"algorithm", "threads", "mops",
+                                        "ratio"};
+  const std::vector<std::vector<std::string>> rows{
+      {"NM-BST", "4", "12.375", "1.20x"},
+      {"EFRB-BST", "8", "9.5", "-"},
+  };
+  const json::value out = rows_from_table(header, rows);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].at("algorithm").as_string(), "NM-BST");
+  EXPECT_EQ(out[0].at("threads").as_int(), 4);  // integer, not string
+  EXPECT_EQ(out[0].at("mops").as_double(), 12.375);
+  // "1.20x" is not fully numeric: stays a string.
+  EXPECT_EQ(out[0].at("ratio").as_string(), "1.20x");
+  EXPECT_EQ(out[1].at("ratio").as_string(), "-");
+}
+
+TEST(Export, RowsFromTableIgnoresRaggedTail) {
+  const std::vector<std::string> header{"a", "b"};
+  const std::vector<std::vector<std::string>> rows{{"1", "2", "extra"},
+                                                   {"3"}};
+  const json::value out = rows_from_table(header, rows);
+  EXPECT_EQ(out[0].members().size(), 2u);
+  EXPECT_EQ(out[1].members().size(), 1u);
+  EXPECT_EQ(out[1].at("a").as_int(), 3);
+}
+
+}  // namespace
+}  // namespace lfbst::obs

@@ -1,0 +1,190 @@
+// Pins the HDR histogram's contract: exact percentiles below the linear
+// threshold, bounded relative error above it, and bucket-wise merge that
+// is associative and commutative (the property the per-thread recording
+// scheme relies on).
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfbst::obs {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.value_at_percentile(50), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below 2*subbucket_count (64) get one bucket each, so every
+  // percentile of a small-value distribution is exact.
+  histogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  // The p-th percentile of {0..63} is the ceil(p/100*64)-th smallest.
+  EXPECT_EQ(h.value_at_percentile(50), 31u);
+  EXPECT_EQ(h.value_at_percentile(25), 15u);
+  EXPECT_EQ(h.value_at_percentile(100), 63u);
+  EXPECT_EQ(h.value_at_percentile(0), 0u);
+}
+
+TEST(Histogram, SingleValuePercentiles) {
+  histogram h;
+  h.record(12345, 1000);
+  for (double p : {0.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const std::uint64_t v = h.value_at_percentile(p);
+    // One distinct sample: every percentile lands in its bucket, and the
+    // result is clamped to the true max.
+    EXPECT_EQ(v, 12345u) << "p=" << p;
+  }
+  EXPECT_EQ(h.mean(), 12345.0);
+}
+
+TEST(Histogram, QuantizationErrorIsBounded) {
+  // Every value maps to a bucket whose width is at most value / 32
+  // (1/subbucket_count relative error), and the value lies inside its
+  // own equivalence interval.
+  pcg32 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.next64() % histogram::max_trackable;
+    const std::uint64_t lo = histogram::lowest_equivalent(v);
+    const std::uint64_t hi = histogram::highest_equivalent_value(v);
+    ASSERT_LE(lo, v);
+    ASSERT_GE(hi, v);
+    if (v >= 2 * histogram::subbucket_count) {
+      ASSERT_LE(hi - lo, v >> histogram::subbucket_bits)
+          << "bucket too wide for " << v;
+    } else {
+      ASSERT_EQ(lo, hi) << "small values must be exact";
+    }
+  }
+}
+
+TEST(Histogram, PercentileReturnsBucketUpperBoundClampedToMax) {
+  histogram h;
+  h.record(100);
+  h.record(1'000);
+  h.record(1'000'000);
+  // p100 must be the true max even though the bucket upper bound for
+  // 1'000'000 is larger.
+  EXPECT_EQ(h.value_at_percentile(100), 1'000'000u);
+  // p50 (second smallest of three) lands in 1000's bucket.
+  const std::uint64_t p50 = h.value_at_percentile(50);
+  EXPECT_LE(histogram::lowest_equivalent(1'000), p50);
+  EXPECT_EQ(p50, histogram::highest_equivalent_value(1'000));
+}
+
+TEST(Histogram, OversizedValuesClampToMaxTrackable) {
+  histogram h;
+  h.record(histogram::max_trackable + 12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), histogram::max_trackable);
+  EXPECT_EQ(h.value_at_percentile(100), histogram::max_trackable);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  pcg32 rng(42);
+  histogram a, b, c;
+  for (int i = 0; i < 1'000; ++i) {
+    a.record(rng.next64() % 1'000'000);
+    b.record(rng.next64() % 100);
+    c.record(rng.next64() % (1ull << 30));
+  }
+
+  histogram ab_c;  // (a + b) + c
+  ab_c.merge(a);
+  ab_c.merge(b);
+  ab_c.merge(c);
+  histogram a_bc;  // a + (b + c)
+  histogram bc;
+  bc.merge(b);
+  bc.merge(c);
+  a_bc.merge(a);
+  a_bc.merge(bc);
+  histogram cba;  // c + b + a
+  cba.merge(c);
+  cba.merge(b);
+  cba.merge(a);
+
+  for (const histogram* m : {&a_bc, &cba}) {
+    EXPECT_EQ(ab_c.count(), m->count());
+    EXPECT_EQ(ab_c.sum(), m->sum());
+    EXPECT_EQ(ab_c.min(), m->min());
+    EXPECT_EQ(ab_c.max(), m->max());
+    for (std::size_t i = 0; i < histogram::bucket_count_; ++i) {
+      ASSERT_EQ(ab_c.bucket_value(i), m->bucket_value(i)) << "bucket " << i;
+    }
+  }
+}
+
+TEST(Histogram, MergeMatchesDirectRecording) {
+  // Splitting a sample stream across threads' histograms and merging
+  // must be indistinguishable from recording into one histogram.
+  pcg32 rng(11);
+  histogram direct;
+  std::vector<histogram> shards(4);
+  for (int i = 0; i < 4'000; ++i) {
+    const std::uint64_t v = rng.next64() % (1ull << 20);
+    direct.record(v);
+    shards[static_cast<std::size_t>(i) % 4].record(v);
+  }
+  histogram merged;
+  for (const histogram& s : shards) merged.merge(s);
+  EXPECT_EQ(direct.count(), merged.count());
+  EXPECT_EQ(direct.sum(), merged.sum());
+  EXPECT_EQ(direct.min(), merged.min());
+  EXPECT_EQ(direct.max(), merged.max());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(direct.value_at_percentile(p), merged.value_at_percentile(p));
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  histogram h, empty;
+  h.record(5);
+  h.record(500);
+  const std::uint64_t count = h.count(), sum = h.sum();
+  const std::uint64_t mn = h.min(), mx = h.max();
+  h.merge(empty);
+  EXPECT_EQ(h.count(), count);
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), mn);
+  EXPECT_EQ(h.max(), mx);
+  empty.merge(h);  // merging into empty copies the distribution
+  EXPECT_EQ(empty.min(), mn);
+  EXPECT_EQ(empty.max(), mx);
+}
+
+TEST(Histogram, ResetClears) {
+  histogram h;
+  h.record(77, 10);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.value_at_percentile(99), 0u);
+}
+
+TEST(Histogram, WeightedRecord) {
+  histogram h;
+  h.record(10, 99);
+  h.record(20, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 99u * 10 + 20);
+  EXPECT_EQ(h.value_at_percentile(50), 10u);
+  EXPECT_EQ(h.value_at_percentile(99), 10u);
+  EXPECT_EQ(h.value_at_percentile(99.9), 20u);
+}
+
+}  // namespace
+}  // namespace lfbst::obs

@@ -1,0 +1,225 @@
+// Tests for the per-instance metrics registry and the obs::recording
+// stats policy: striped counters aggregate correctly under concurrent
+// writers (this file is part of the TSan suite), two instrumented trees
+// attribute events independently, and the recording hooks wired through
+// the trees produce consistent counts.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/efrb_tree.hpp"
+#include "baselines/hj_tree.hpp"
+#include "core/natarajan_tree.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+
+namespace lfbst::obs {
+namespace {
+
+TEST(Metrics, AddAndSnapshot) {
+  metrics m;
+  m.add(counter::cas);
+  m.add(counter::cas);
+  m.add(counter::excised_nodes, 5);
+  const metrics_snapshot s = m.snapshot();
+  EXPECT_EQ(s[counter::cas], 2u);
+  EXPECT_EQ(s[counter::excised_nodes], 5u);
+  EXPECT_EQ(s[counter::bts], 0u);
+  EXPECT_EQ(m.total(counter::cas), 2u);
+}
+
+TEST(Metrics, ResetClears) {
+  metrics m;
+  m.add(counter::helps, 7);
+  m.reset();
+  EXPECT_EQ(m.total(counter::helps), 0u);
+}
+
+TEST(Metrics, ConcurrentStripedAggregation) {
+  // Each thread owns its stripe, so concurrent add() calls never race;
+  // the aggregate must equal the exact total. Run under TSan to pin the
+  // "relaxed single-writer stripes are clean" claim.
+  metrics m;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        m.add(counter::cas);
+        if (i % 2 == 0) m.add(counter::helps);
+      }
+    });
+  }
+  // Concurrent snapshots must observe valid partial sums (monotone,
+  // TSan-clean), even while writers are running.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t now = m.total(counter::cas);
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.total(counter::cas), kThreads * kPerThread);
+  EXPECT_EQ(m.total(counter::helps), kThreads * kPerThread / 2);
+}
+
+TEST(Metrics, CounterNamesAreStable) {
+  // JSON exports key on these names; renaming is a schema break.
+  EXPECT_STREQ(counter_name(counter::ops_search), "ops_search");
+  EXPECT_STREQ(counter_name(counter::cas_failed), "cas_failed");
+  EXPECT_STREQ(counter_name(counter::helps_flagged), "helps_flagged");
+  EXPECT_STREQ(counter_name(counter::helps_tagged), "helps_tagged");
+  EXPECT_STREQ(counter_name(counter::excised_nodes), "excised_nodes");
+}
+
+TEST(Recording, CountsOperationsOnNmTree) {
+  nm_tree<long, std::less<long>, reclaim::leaky, recording> tree;
+  for (long k = 0; k < 10; ++k) EXPECT_TRUE(tree.insert(k));
+  EXPECT_FALSE(tree.insert(5));
+  for (long k = 0; k < 5; ++k) EXPECT_TRUE(tree.erase(k));
+  EXPECT_TRUE(tree.contains(7));
+  EXPECT_FALSE(tree.contains(3));
+
+  const metrics_snapshot s = tree.stats().counters().snapshot();
+  EXPECT_EQ(s[counter::ops_insert], 11u);
+  EXPECT_EQ(s[counter::ops_erase], 5u);
+  EXPECT_EQ(s[counter::ops_search], 2u);
+  // 10 inserts + 5 erases + contains(7) succeeded.
+  EXPECT_EQ(s[counter::ops_succeeded], 16u);
+  EXPECT_GT(s[counter::allocs], 0u);
+  EXPECT_GT(s[counter::cas], 0u);
+  // Single-threaded: nothing contended, nothing helped.
+  EXPECT_EQ(s[counter::cas_failed], 0u);
+  EXPECT_EQ(s[counter::helps], 0u);
+  EXPECT_EQ(s[counter::seek_restarts], 0u);
+  // Every successful erase runs cleanup; each excises at least one leaf.
+  EXPECT_GE(s[counter::cleanups], 5u);
+  EXPECT_EQ(s[counter::excisions], 5u);
+  EXPECT_GE(s[counter::excised_nodes], 5u);
+}
+
+TEST(Recording, LatencyAndSeekHistogramsFill) {
+  nm_tree<long, std::less<long>, reclaim::leaky, recording> tree;
+  for (long k = 0; k < 100; ++k) tree.insert(k);
+  for (long k = 0; k < 100; ++k) (void)tree.contains(k);
+  const histogram search_lat =
+      tree.stats().latency_histogram(stats::op_kind::search);
+  EXPECT_EQ(search_lat.count(), 100u);
+  const histogram insert_lat =
+      tree.stats().latency_histogram(stats::op_kind::insert);
+  EXPECT_EQ(insert_lat.count(), 100u);
+  EXPECT_EQ(tree.stats().latency_histogram(stats::op_kind::erase).count(),
+            0u);
+  // One seek per uncontended op, depth at least the root edge.
+  const histogram depth = tree.stats().seek_depth_histogram();
+  EXPECT_EQ(depth.count(), 200u);
+  EXPECT_GE(depth.max(), 1u);
+}
+
+TEST(Recording, TwoInstancesAttributeIndependently) {
+  // The limitation obs exists to fix: stats::counting is policy-global,
+  // recording is per tree instance.
+  nm_tree<long, std::less<long>, reclaim::leaky, recording> a;
+  efrb_tree<long, std::less<long>, reclaim::leaky, recording> b;
+  for (long k = 0; k < 20; ++k) a.insert(k);
+  b.insert(1);
+  EXPECT_EQ(a.stats().counters().total(counter::ops_insert), 20u);
+  EXPECT_EQ(b.stats().counters().total(counter::ops_insert), 1u);
+}
+
+TEST(Recording, HelpAttributionSplitsByEdgeKind) {
+  recording rec;
+  rec.on_help(stats::help_kind::flagged_edge);
+  rec.on_help(stats::help_kind::flagged_edge);
+  rec.on_help(stats::help_kind::tagged_edge);
+  rec.on_help();  // unattributed (EFRB/HJ node-level helping)
+  const metrics_snapshot s = rec.counters().snapshot();
+  EXPECT_EQ(s[counter::helps], 4u);
+  EXPECT_EQ(s[counter::helps_flagged], 2u);
+  EXPECT_EQ(s[counter::helps_tagged], 1u);
+}
+
+TEST(Recording, ConcurrentWorkloadCountsAreConsistent) {
+  using tree_t = nm_tree<long, std::less<long>, reclaim::leaky, recording>;
+  tree_t tree;
+  harness::workload_config cfg;
+  cfg.key_range = 256;  // small range: guarantee contention
+  cfg.mix = harness::write_dominated;
+  cfg.threads = 4;
+  cfg.duration = std::chrono::milliseconds(50);
+  const harness::run_result r = harness::run_workload(tree, cfg);
+
+  const metrics_snapshot s = tree.stats().counters().snapshot();
+  // The runner's own tally and the tree's instrumentation must agree on
+  // the op mix (prepopulation inserts are counted by the tree only).
+  EXPECT_EQ(s[counter::ops_search], r.searches);
+  EXPECT_GE(s[counter::ops_insert], r.inserts);
+  EXPECT_EQ(s[counter::ops_erase], r.erases);
+  // Contended run: some CAS must have failed, and failures imply either
+  // a help, a seek restart or an insert retry was observed.
+  EXPECT_GT(s[counter::cas], 0u);
+  EXPECT_LE(s[counter::cas_failed], s[counter::cas]);
+  // helps splits into flagged + tagged (NM attributes every help site).
+  EXPECT_EQ(s[counter::helps],
+            s[counter::helps_flagged] + s[counter::helps_tagged]);
+  // Every excision excises at least one node.
+  EXPECT_GE(s[counter::excised_nodes], s[counter::excisions]);
+  EXPECT_LE(s[counter::excisions], s[counter::cleanups]);
+}
+
+TEST(LatencyObserver, RecordsEveryOperation) {
+  nm_tree<long> tree;
+  latency_observer observer;
+  harness::workload_config cfg;
+  cfg.key_range = 1'000;
+  cfg.mix = harness::mixed;
+  cfg.threads = 2;
+  cfg.duration = std::chrono::milliseconds(30);
+  const harness::run_result r = harness::run_workload(tree, cfg, &observer);
+  EXPECT_EQ(observer.merged_all().count(), r.total_ops);
+  EXPECT_EQ(observer.merged(stats::op_kind::search).count(), r.searches);
+  EXPECT_EQ(observer.merged(stats::op_kind::insert).count(), r.inserts);
+  EXPECT_EQ(observer.merged(stats::op_kind::erase).count(), r.erases);
+  EXPECT_GT(observer.merged_all().sum(), 0u);
+}
+
+TEST(Recording, WorksOnAllThreeInstrumentedTrees) {
+  nm_tree<long, std::less<long>, reclaim::leaky, recording> nm;
+  efrb_tree<long, std::less<long>, reclaim::leaky, recording> efrb;
+  hj_tree<long, std::less<long>, reclaim::leaky, recording> hj;
+  auto drive = [](auto& tree) {
+    for (long k = 0; k < 50; ++k) tree.insert(k);
+    for (long k = 0; k < 25; ++k) tree.erase(k);
+    for (long k = 0; k < 50; ++k) (void)tree.contains(k);
+  };
+  drive(nm);
+  drive(efrb);
+  drive(hj);
+  for (const recording* rec :
+       {&nm.stats(), &efrb.stats(), &hj.stats()}) {
+    const metrics_snapshot s = rec->counters().snapshot();
+    EXPECT_EQ(s[counter::ops_insert], 50u);
+    EXPECT_EQ(s[counter::ops_erase], 25u);
+    EXPECT_EQ(s[counter::ops_search], 50u);
+    EXPECT_GT(s[counter::allocs], 0u);
+    EXPECT_GT(s[counter::cas], 0u);
+    EXPECT_GT(rec->seek_depth_histogram().count(), 0u);
+  }
+}
+
+TEST(StatsNone, StaysZeroSizedInsideTrees) {
+  // The [[no_unique_address]] stats_ member must not grow the
+  // uninstrumented tree — the zero-overhead contract.
+  static_assert(sizeof(nm_tree<long>) ==
+                sizeof(nm_tree<long, std::less<long>, reclaim::leaky,
+                               stats::counting>));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lfbst::obs

@@ -1,0 +1,190 @@
+// Tests for the lock-free trace rings: bounded memory with an
+// oldest-overwritten policy and an honest drop counter, concurrent
+// emitters, the recording-policy mirror, the process-global sink, and
+// Chrome trace_event JSON output that parses cleanly.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "core/natarajan_tree.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace lfbst::obs {
+namespace {
+
+TEST(TraceLog, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(trace_log(1).capacity_per_thread(), 1u);
+  EXPECT_EQ(trace_log(3).capacity_per_thread(), 4u);
+  EXPECT_EQ(trace_log(16).capacity_per_thread(), 16u);
+  EXPECT_EQ(trace_log(1000).capacity_per_thread(), 1024u);
+}
+
+TEST(TraceLog, RecordsEventsInOrder) {
+  trace_log log(64);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    log.emit(event_type::cas_fail, i, static_cast<std::uint16_t>(i * 2));
+  }
+  EXPECT_EQ(log.recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 0u);
+  std::vector<trace_event> seen;
+  log.for_each_event(
+      [&](unsigned, const trace_event& ev) { seen.push_back(ev); });
+  ASSERT_EQ(seen.size(), 10u);
+  std::uint64_t prev_ts = 0;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen[i].arg, i);
+    EXPECT_EQ(seen[i].aux, i * 2);
+    EXPECT_EQ(seen[i].type,
+              static_cast<std::uint16_t>(event_type::cas_fail));
+    EXPECT_GE(seen[i].ts_ns, prev_ts);
+    prev_ts = seen[i].ts_ns;
+  }
+}
+
+TEST(TraceLog, OverflowDropsOldestAndCountsDrops) {
+  trace_log log(16);
+  constexpr std::uint32_t kEmitted = 40;
+  for (std::uint32_t i = 0; i < kEmitted; ++i) {
+    log.emit(event_type::help, i);
+  }
+  EXPECT_EQ(log.recorded(), kEmitted);
+  EXPECT_EQ(log.dropped(), kEmitted - 16);
+  // The retained window is exactly the newest 16 events, oldest first.
+  std::vector<std::uint32_t> args;
+  log.for_each_event(
+      [&](unsigned, const trace_event& ev) { args.push_back(ev.arg); });
+  ASSERT_EQ(args.size(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(args[i], kEmitted - 16 + i);
+  }
+}
+
+TEST(TraceLog, ClearResets) {
+  trace_log log(16);
+  log.emit(event_type::bts);
+  log.clear();
+  EXPECT_EQ(log.recorded(), 0u);
+  int n = 0;
+  log.for_each_event([&](unsigned, const trace_event&) { ++n; });
+  EXPECT_EQ(n, 0);
+}
+
+TEST(TraceLog, ConcurrentEmittersKeepPerThreadStreams) {
+  trace_log log(1 << 12);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kPerThread = 2'000;
+  // Thread slots are recycled on thread exit, so on a small machine a
+  // thread that finishes early could exit and hand its ring to the next
+  // emitter, overflowing it. The exit barrier keeps every thread alive
+  // (slot held) until all emitting is done, pinning one ring per thread.
+  spin_barrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, &barrier] {
+      barrier.arrive_and_wait();
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        log.emit(event_type::cleanup, i);
+      }
+      barrier.arrive_and_wait();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(log.dropped(), 0u);
+  // Per ring slot, events arrive in emission order (single writer).
+  std::uint32_t streams_checked = 0;
+  std::uint32_t expected = 0;
+  unsigned current_slot = ~0u;
+  log.for_each_event([&](unsigned slot, const trace_event& ev) {
+    if (slot != current_slot) {
+      current_slot = slot;
+      expected = 0;
+      ++streams_checked;
+    }
+    EXPECT_EQ(ev.arg, expected++);
+  });
+  EXPECT_EQ(streams_checked, kThreads);
+}
+
+TEST(TraceLog, ChromeJsonParsesAndPairsDurations) {
+  trace_log log(64);
+  log.emit(event_type::op_begin, 0, 1);  // insert
+  log.emit(event_type::cas_fail, 0);
+  log.emit(event_type::op_end, 1, 1);
+  const std::string doc = log.chrome_trace_json();
+  // The hand-rolled exporter must produce valid JSON (pinned with the
+  // obs JSON parser) in Chrome trace_event shape.
+  const json::value parsed = json::value::parse(doc);
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ns");
+  const json::value& events = parsed.at("traceEvents");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("ph").as_string(), "B");
+  EXPECT_EQ(events[0].at("name").as_string(), "insert");
+  EXPECT_EQ(events[1].at("ph").as_string(), "i");
+  EXPECT_EQ(events[1].at("name").as_string(), "cas_fail");
+  EXPECT_EQ(events[2].at("ph").as_string(), "E");
+  for (const json::value& ev : events.items()) {
+    EXPECT_TRUE(ev.contains("ts"));
+    EXPECT_TRUE(ev.contains("pid"));
+    EXPECT_TRUE(ev.contains("tid"));
+  }
+}
+
+TEST(TraceLog, EmptyChromeJsonIsValid) {
+  trace_log log(16);
+  const json::value parsed = json::value::parse(log.chrome_trace_json());
+  EXPECT_EQ(parsed.at("traceEvents").size(), 0u);
+}
+
+TEST(GlobalSink, RoutesOnlyWhenAttached) {
+  emit_global(event_type::epoch_advance, 1);  // no sink: must be a no-op
+  trace_log log(16);
+  set_global_trace_sink(&log);
+  emit_global(event_type::epoch_advance, 2);
+  emit_global(event_type::hazard_scan, 3);
+  set_global_trace_sink(nullptr);
+  emit_global(event_type::pool_refill, 4);  // detached again
+  EXPECT_EQ(log.recorded(), 2u);
+  std::vector<std::uint32_t> args;
+  log.for_each_event(
+      [&](unsigned, const trace_event& ev) { args.push_back(ev.arg); });
+  EXPECT_EQ(args, (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(RecordingMirror, TreeEventsLandInAttachedLog) {
+  nm_tree<long, std::less<long>, reclaim::leaky, recording> tree;
+  trace_log log(1 << 10);
+  tree.stats().attach_trace(&log);
+  tree.insert(1);
+  tree.insert(2);
+  tree.erase(1);
+  tree.stats().attach_trace(nullptr);
+  tree.insert(3);  // detached: not traced
+  // 3 traced ops -> 3 op_begin + 3 op_end, plus protocol events
+  // (cleanup, excision) from the erase.
+  std::uint64_t begins = 0, ends = 0, cleanups = 0, excisions = 0;
+  log.for_each_event([&](unsigned, const trace_event& ev) {
+    switch (static_cast<event_type>(ev.type)) {
+      case event_type::op_begin: ++begins; break;
+      case event_type::op_end: ++ends; break;
+      case event_type::cleanup: ++cleanups; break;
+      case event_type::excision: ++excisions; break;
+      default: break;
+    }
+  });
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, 3u);
+  EXPECT_GE(cleanups, 1u);
+  EXPECT_EQ(excisions, 1u);
+}
+
+}  // namespace
+}  // namespace lfbst::obs

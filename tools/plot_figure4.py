@@ -1,33 +1,91 @@
 #!/usr/bin/env python3
-"""Plot the Figure 4 reproduction from bench_figure4's CSV output.
+"""Plot the Figure 4 reproduction from bench_figure4's JSON output.
 
 Usage:
-    build/bench/bench_figure4 --csv [--full] > fig4.csv
-    tools/plot_figure4.py fig4.csv fig4.png
+    build/bench/bench_figure4 --json fig4.json [--full]
+    tools/plot_figure4.py fig4.json fig4.png
 
-Produces the paper's grid: one subplot per (key range, workload) cell,
-threads on the x axis, throughput (Mops/s) per algorithm. Requires
-matplotlib; degrades to an ASCII summary when it is unavailable.
+    # legacy CSV input (bench_figure4 --csv > fig4.csv):
+    tools/plot_figure4.py --legacy-csv fig4.csv fig4.png
+
+The JSON input is the "lfbst-bench-v1" document every bench's --json
+flag emits (see src/obs/export.hpp and tools/check_bench_json.py); the
+loader fails loudly on any schema mismatch rather than plotting partial
+data. Produces the paper's grid: one subplot per (key range, workload)
+cell, threads on the x axis, throughput (Mops/s) per algorithm.
+Requires matplotlib; degrades to an ASCII summary when it is
+unavailable.
 """
 
 import csv
+import json
 import sys
 from collections import defaultdict
 
+SCHEMA = "lfbst-bench-v1"
+REQUIRED_COLUMNS = ("key_range", "workload", "threads", "algorithm",
+                    "mops_per_sec")
 
-def load(path):
-    # rows[(key_range, workload)][algorithm] = [(threads, mops), ...]
+
+class SchemaError(ValueError):
+    pass
+
+
+def _cells_from_rows(rows):
+    # cells[(key_range, workload)][algorithm] = [(threads, mops), ...]
     cells = defaultdict(lambda: defaultdict(list))
-    with open(path, newline="") as f:
-        for row in csv.DictReader(f):
-            cell = (int(row["key_range"]), row["workload"])
-            cells[cell][row["algorithm"]].append(
-                (int(row["threads"]), float(row["mops_per_sec"]))
-            )
+    for row in rows:
+        cell = (int(row["key_range"]), str(row["workload"]))
+        cells[cell][str(row["algorithm"])].append(
+            (int(row["threads"]), float(row["mops_per_sec"]))
+        )
     for cell in cells.values():
         for series in cell.values():
             series.sort()
     return cells
+
+
+def load_json(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise SchemaError(f"{path}: not valid JSON: {e}") from e
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: expected a JSON object at top level")
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise SchemaError(
+            f"{path}: schema is {schema!r}, expected {SCHEMA!r} — "
+            "regenerate with bench_figure4 --json"
+        )
+    if doc.get("bench") != "figure4":
+        raise SchemaError(
+            f"{path}: bench is {doc.get('bench')!r}, expected 'figure4' — "
+            "this tool plots only bench_figure4 output"
+        )
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        raise SchemaError(f"{path}: 'results' must be a non-empty array")
+    for i, row in enumerate(results):
+        missing = [c for c in REQUIRED_COLUMNS if c not in row]
+        if missing:
+            raise SchemaError(
+                f"{path}: results[{i}] is missing columns {missing}"
+            )
+    return _cells_from_rows(results)
+
+
+def load_csv(path):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        if reader.fieldnames is None or any(
+            c not in reader.fieldnames for c in REQUIRED_COLUMNS
+        ):
+            raise SchemaError(
+                f"{path}: CSV header must contain {REQUIRED_COLUMNS}"
+            )
+        return _cells_from_rows(reader)
 
 
 def ascii_summary(cells):
@@ -82,16 +140,24 @@ def plot(cells, out_path):
 
 
 def main():
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    legacy_csv = "--legacy-csv" in args
+    if legacy_csv:
+        args.remove("--legacy-csv")
+    if not args:
         print(__doc__)
         return 2
-    cells = load(sys.argv[1])
-    if not cells:
-        print("no data rows found — did you pass bench_figure4 --csv output?")
+    try:
+        cells = load_csv(args[0]) if legacy_csv else load_json(args[0])
+    except SchemaError as e:
+        print(f"error: {e}", file=sys.stderr)
         return 1
-    if len(sys.argv) >= 3:
+    if not cells:
+        print("no data rows found", file=sys.stderr)
+        return 1
+    if len(args) >= 2:
         try:
-            plot(cells, sys.argv[2])
+            plot(cells, args[1])
             return 0
         except ImportError:
             print("matplotlib unavailable; ASCII summary instead:\n")
