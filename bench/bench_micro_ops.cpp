@@ -3,12 +3,33 @@
 // harnesses with statistically disciplined per-op latency numbers (the
 // external-vs-internal path-length discussion of §5 is directly visible
 // in the search timings).
+//
+// Two modes share one binary:
+//   * default: google-benchmark, all its flags work
+//     (--benchmark_filter=..., --benchmark_out=...);
+//   * --json <path> [--ops N] [--seed S]: a fixed-work measurement
+//     loop that writes an lfbst-bench-v1 report for the CI perf gate
+//     (tools/check_perf_regression.py vs bench/baseline_micro_ops.json):
+//       study "micro"   — ns/op per (algorithm, op, size), including a
+//                         std::set reference row the gate normalizes
+//                         against so absolute machine speed cancels;
+//       study "atomics" — per-op allocation/atomic counts measured with
+//                         the counting stats policy. Single-threaded and
+//                         seeded, so these are exactly reproducible:
+//                         any drift is a protocol change (Table 1).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "harness/flags.hpp"
+#include "harness/table.hpp"
 #include "lfbst/lfbst.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -107,4 +128,168 @@ class std_set_adapter {
 };
 LFBST_REGISTER(std_set_adapter, "std::set");
 
+// --------------------------------------------------------------------
+// --json mode: the perf gate's measurement loop. Fixed work instead of
+// google-benchmark's adaptive iteration so the report shape (rows and
+// columns) is identical on every machine.
+// --------------------------------------------------------------------
+
+template <typename Tree>
+double measure_search_ns(std::int64_t size, std::uint64_t ops) {
+  const std::int64_t range = size * 2;
+  Tree tree;
+  pcg32 rng(42);
+  fill_to(tree, size, rng, range);
+  pcg32 qrng(43);
+  std::uint64_t hits = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    hits += tree.contains(static_cast<long>(qrng.next64() % range)) ? 1 : 0;
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  benchmark::DoNotOptimize(hits);
+  return static_cast<double>(ns) / static_cast<double>(ops);
+}
+
+template <typename Tree>
+double measure_insert_erase_ns(std::int64_t size, std::uint64_t ops) {
+  const std::int64_t range = size * 2;
+  Tree tree;
+  pcg32 rng(42);
+  fill_to(tree, size, rng, range);
+  pcg32 qrng(44);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const long k = static_cast<long>(qrng.next64() % range);
+    if (tree.insert(k)) {
+      benchmark::DoNotOptimize(tree.erase(k));
+    } else {
+      benchmark::DoNotOptimize(tree.erase(k));
+      tree.insert(k);
+    }
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return static_cast<double>(ns) / static_cast<double>(2 * ops);
+}
+
+// Mean allocations/atomics per successful op, counted with the
+// thread-local counting policy over a seeded single-threaded run:
+// bit-for-bit reproducible, so the gate compares them near-exactly.
+struct atomic_costs {
+  double insert_allocs = 0, insert_atomics = 0;
+  double erase_allocs = 0, erase_atomics = 0;
+};
+
+template <typename Tree>
+atomic_costs measure_atomics(std::uint64_t ops, std::uint64_t key_range,
+                             std::uint64_t seed) {
+  Tree tree;
+  pcg32 rng(seed);
+  std::uint64_t filled = 0;
+  while (filled < key_range / 2) {
+    if (tree.insert(static_cast<long>(rng.next64() % key_range))) ++filled;
+  }
+  std::uint64_t ok_i = 0, ok_e = 0, ia = 0, ix = 0, ea = 0, ex = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const long k = static_cast<long>(rng.next64() % key_range);
+    auto before = stats::counting::snapshot();
+    if (tree.insert(k)) {
+      const auto d = stats::counting::delta(before);
+      ++ok_i;
+      ia += d.objects_allocated;
+      ix += d.atomics();
+    }
+    const long k2 = static_cast<long>(rng.next64() % key_range);
+    before = stats::counting::snapshot();
+    if (tree.erase(k2)) {
+      const auto d = stats::counting::delta(before);
+      ++ok_e;
+      ea += d.objects_allocated;
+      ex += d.atomics();
+    }
+  }
+  atomic_costs c;
+  c.insert_allocs = static_cast<double>(ia) / static_cast<double>(ok_i);
+  c.insert_atomics = static_cast<double>(ix) / static_cast<double>(ok_i);
+  c.erase_allocs = static_cast<double>(ea) / static_cast<double>(ok_e);
+  c.erase_atomics = static_cast<double>(ex) / static_cast<double>(ok_e);
+  return c;
+}
+
+int run_json_mode(const lfbst::bench::flags& flags) {
+  const std::string path = flags.get("json", "micro_ops.json");
+  const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 200'000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  harness::text_table micro(
+      {"study", "algorithm", "op", "size", "ns_per_op"});
+  auto micro_rows = [&]<typename Tree>(const char* name) {
+    for (const std::int64_t size : {std::int64_t{1'000},
+                                    std::int64_t{65'536}}) {
+      micro.add_row({"micro", name, "search", std::to_string(size),
+                     harness::format("%.3f",
+                                     measure_search_ns<Tree>(size, ops))});
+      micro.add_row(
+          {"micro", name, "insert_erase", std::to_string(size),
+           harness::format("%.3f",
+                           measure_insert_erase_ns<Tree>(size, ops / 2))});
+    }
+  };
+  micro_rows.template operator()<nm_tree<long>>("NM-BST");
+  micro_rows.template operator()<efrb_tree<long>>("EFRB-BST");
+  micro_rows.template operator()<hj_tree<long>>("HJ-BST");
+  micro_rows.template operator()<bcco_tree<long>>("BCCO-BST");
+  micro_rows.template operator()<shard::sharded_set<nm_tree<long>>>(
+      "Sharded/NM-BST");
+  micro_rows.template operator()<std_set_adapter>("std::set");
+
+  harness::text_table atomics({"study", "algorithm", "allocs_per_insert",
+                               "atomics_per_insert", "allocs_per_erase",
+                               "atomics_per_erase"});
+  using counting = stats::counting;
+  auto atomics_row = [&]<typename Tree>(const char* name) {
+    const atomic_costs c = measure_atomics<Tree>(ops / 4, 10'000, seed);
+    atomics.add_row({"atomics", name,
+                     harness::format("%.4f", c.insert_allocs),
+                     harness::format("%.4f", c.insert_atomics),
+                     harness::format("%.4f", c.erase_allocs),
+                     harness::format("%.4f", c.erase_atomics)});
+  };
+  atomics_row.template operator()<
+      nm_tree<long, std::less<long>, reclaim::leaky, counting>>("NM-BST");
+  atomics_row.template operator()<
+      efrb_tree<long, std::less<long>, reclaim::leaky, counting>>(
+      "EFRB-BST");
+  atomics_row.template operator()<
+      hj_tree<long, std::less<long>, reclaim::leaky, counting>>("HJ-BST");
+
+  obs::bench_report report("micro_ops");
+  report.config.set("ops", ops);
+  report.config.set("seed", seed);
+  report.results = obs::rows_from_table(micro.header(), micro.rows());
+  const obs::json::value atomics_rows =
+      obs::rows_from_table(atomics.header(), atomics.rows());
+  for (const auto& row : atomics_rows.items()) report.add_result(row);
+  if (!report.write_file(path)) return 1;
+  std::printf("JSON report: %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      return run_json_mode(lfbst::bench::flags(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,245 @@
+// Sharded front-end evaluation: throughput of shard::sharded_set as a
+// grid of shard count x thread count, against the unsharded NM-BST as
+// the zero-front-end baseline. Three studies land in one report:
+//
+//   sweep   : Mops/s per (algorithm, shards, threads) cell under the
+//             uniform-50/25/25 mix. Baseline rows carry shards=0
+//             (no front-end at all, a plain tree).
+//   batch   : per-element throughput of the batched API vs the same
+//             soup issued as single-key calls (batch_size=1 row), at
+//             the largest swept shard count.
+//   metrics : merged per-shard counters from an obs::recording run,
+//             one row per counter — the PR 2 merge algebra folded
+//             across shards.
+//
+// Defaults are laptop-sized; scale with flags:
+//   bench_sharded --millis 2000 --threads 1,2,4,8 --shards 1,2,4,8,16
+// --extended adds the EFRB and HJ sharded compositions to the sweep.
+// --json <path> writes the lfbst-bench-v1 document
+// (tools/check_bench_json.py validates it).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "harness/algorithms.hpp"
+#include "harness/flags.hpp"
+#include "harness/runner.hpp"
+#include "harness/statistics.hpp"
+#include "harness/table.hpp"
+#include "harness/workload.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+using namespace lfbst;
+using namespace lfbst::harness;
+
+// Per-element Mops/s of a mixed 50/25/25 soup issued through the batch
+// API in groups of `batch`; batch==1 uses the single-key entry points,
+// so the delta is the cost (or saving) of the grouping layer itself.
+template <typename Set>
+double run_batch_soup(Set& set, std::int64_t key_range, unsigned threads,
+                      unsigned batch, std::chrono::milliseconds duration,
+                      std::uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> elements{0};
+  spin_barrier barrier(threads + 1);
+  std::vector<std::thread> workers;
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(seed, tid);
+      std::uint64_t local = 0;
+      std::vector<long> keys(batch);
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& k : keys) {
+          k = static_cast<long>(rng.next64() %
+                                static_cast<std::uint64_t>(key_range));
+        }
+        const auto roll = rng.bounded(4);
+        if (batch == 1) {
+          if (roll < 2) {
+            (void)set.contains(keys[0]);
+          } else if (roll == 2) {
+            (void)set.insert(keys[0]);
+          } else {
+            (void)set.erase(keys[0]);
+          }
+        } else {
+          if (roll < 2) {
+            (void)set.contains_batch(keys);
+          } else if (roll == 2) {
+            (void)set.insert_batch(keys);
+          } else {
+            (void)set.erase_batch(keys);
+          }
+        }
+        local += batch;
+      }
+      elements.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(elements.load()) / secs / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::flags flags(argc, argv);
+  const bool csv_only = flags.has("csv");
+  const bool extended = flags.has("extended");
+  const auto millis = flags.get_int("millis", 100);
+  const auto runs = static_cast<std::size_t>(flags.get_int("runs", 1));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto key_range = flags.get_int("keyrange", 100'000);
+  const auto threads = flags.get_int_list("threads", {1, 2, 4});
+  const auto shard_counts = flags.get_int_list("shards", {1, 2, 4, 8});
+  const auto duration = std::chrono::milliseconds(millis);
+
+  text_table sweep({"study", "algorithm", "shards", "threads", "key_range",
+                    "workload", "mops_per_sec"});
+
+  if (!csv_only) {
+    std::printf("=== Sharded front-end: throughput (Mops/s), %s, "
+                "%lld keys ===\n",
+                uniform_50_25_25.name, static_cast<long long>(key_range));
+  }
+
+  auto sweep_cell = [&](const std::string& algo, std::int64_t shards,
+                        std::int64_t t, auto make_and_run) {
+    const run_stats stats = aggregate_runs(make_and_run, runs);
+    sweep.add_row({"sweep", algo, std::to_string(shards), std::to_string(t),
+                   std::to_string(key_range), uniform_50_25_25.name,
+                   format("%.4f", stats.mean)});
+    if (!csv_only) {
+      std::printf("  %-14s shards=%-3lld threads=%-3lld  %8.3f Mops/s\n",
+                  algo.c_str(), static_cast<long long>(shards),
+                  static_cast<long long>(t), stats.mean);
+    }
+  };
+
+  workload_config cfg;
+  cfg.key_range = static_cast<std::uint64_t>(key_range);
+  cfg.mix = uniform_50_25_25;
+  cfg.duration = duration;
+  cfg.seed = seed;
+
+  // Baseline: the plain tree, no front-end (shards=0 rows).
+  for (const std::int64_t t : threads) {
+    cfg.threads = static_cast<unsigned>(t);
+    sweep_cell("NM-BST", 0, t, [&] {
+      nm_tree<long> tree;
+      return run_workload(tree, cfg).mops_per_second();
+    });
+  }
+
+  // The sharded grid.
+  auto sweep_sharded = [&]<typename Set>() {
+    const std::string algo =
+        std::string("Sharded/") + Set::tree_type::algorithm_name;
+    for (const std::int64_t shards : shard_counts) {
+      for (const std::int64_t t : threads) {
+        cfg.threads = static_cast<unsigned>(t);
+        sweep_cell(algo, shards, t, [&] {
+          Set set(static_cast<std::size_t>(shards), 0,
+                  static_cast<long>(key_range));
+          return run_workload(set, cfg).mops_per_second();
+        });
+      }
+    }
+  };
+  if (extended) {
+    for_each_sharded_algorithm<long>(sweep_sharded);
+  } else {
+    sweep_sharded.template operator()<shard::sharded_set<nm_tree<long>>>();
+  }
+
+  // --- batch study -----------------------------------------------------
+  text_table batch_tbl({"study", "algorithm", "shards", "threads",
+                        "batch_size", "mops_per_sec"});
+  const std::int64_t batch_shards = shard_counts.back();
+  const std::int64_t batch_threads = threads.back();
+  if (!csv_only) {
+    std::printf("\n=== Batched vs single-key issue (shards=%lld, "
+                "threads=%lld) ===\n",
+                static_cast<long long>(batch_shards),
+                static_cast<long long>(batch_threads));
+  }
+  for (const unsigned batch : {1u, 8u, 64u}) {
+    shard::sharded_set<nm_tree<long>> set(
+        static_cast<std::size_t>(batch_shards), 0,
+        static_cast<long>(key_range));
+    prepopulate_half(set, static_cast<std::uint64_t>(key_range), seed);
+    const double mops = run_batch_soup(
+        set, key_range, static_cast<unsigned>(batch_threads), batch,
+        duration, seed);
+    batch_tbl.add_row({"batch", "Sharded/NM-BST",
+                       std::to_string(batch_shards),
+                       std::to_string(batch_threads), std::to_string(batch),
+                       format("%.4f", mops)});
+    if (!csv_only) {
+      std::printf("  batch_size=%-3u  %8.3f Mops/s (per element)\n", batch,
+                  mops);
+    }
+  }
+
+  // --- metrics study ---------------------------------------------------
+  // A short recording run; the report rows are the *merged* counters —
+  // each shard owns its own registry and the merge algebra folds them.
+  text_table metrics_tbl({"study", "counter", "value"});
+  {
+    using recorded =
+        nm_tree<long, std::less<long>, reclaim::leaky, obs::recording>;
+    shard::sharded_set<recorded> set(
+        static_cast<std::size_t>(batch_shards), 0,
+        static_cast<long>(key_range));
+    cfg.threads = static_cast<unsigned>(batch_threads);
+    run_workload(set, cfg);
+    const obs::metrics_snapshot merged = set.merged_counters();
+    for (std::size_t i = 0; i < obs::counter_count; ++i) {
+      metrics_tbl.add_row(
+          {"metrics", obs::counter_name(static_cast<obs::counter>(i)),
+           std::to_string(merged.values[i])});
+    }
+  }
+  if (!csv_only) {
+    std::printf("\n=== Merged per-shard counters (recording run) ===\n");
+    metrics_tbl.print();
+    std::printf("\n=== CSV ===\n");
+  }
+  sweep.print_csv(stdout);
+  batch_tbl.print_csv(stdout);
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "sharded.json");
+    obs::bench_report report("sharded");
+    report.config.set("millis", millis);
+    report.config.set("runs", static_cast<std::uint64_t>(runs));
+    report.config.set("seed", seed);
+    report.config.set("key_range", key_range);
+    report.config.set("extended", extended);
+    report.results = obs::rows_from_table(sweep.header(), sweep.rows());
+    const obs::json::value batch_rows =
+        obs::rows_from_table(batch_tbl.header(), batch_tbl.rows());
+    for (const auto& row : batch_rows.items()) report.add_result(row);
+    const obs::json::value metrics_rows =
+        obs::rows_from_table(metrics_tbl.header(), metrics_tbl.rows());
+    for (const auto& row : metrics_rows.items()) report.add_result(row);
+    if (!report.write_file(path)) return 1;
+    if (!csv_only) std::printf("\nJSON report: %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
@@ -40,6 +41,22 @@
 #include "lincheck/lincheck.hpp"
 
 namespace lfbst::dsched {
+
+/// Multiplier for exploration budgets, read once per call from the
+/// LFBST_DSCHED_BUDGET_SCALE environment variable (default 1, minimum
+/// 1). PR CI runs at scale 1; the nightly workflow raises it so the
+/// same scenarios sweep far more interleavings without a code change.
+[[nodiscard]] inline std::size_t budget_scale() {
+  const char* raw = std::getenv("LFBST_DSCHED_BUDGET_SCALE");
+  if (raw == nullptr) return 1;
+  const long v = std::strtol(raw, nullptr, 10);
+  return v < 1 ? std::size_t{1} : static_cast<std::size_t>(v);
+}
+
+/// Convenience: `n` executions scaled by budget_scale().
+[[nodiscard]] inline std::size_t scaled_budget(std::size_t n) {
+  return n * budget_scale();
+}
 
 /// Records one logical thread's operations against the shared history.
 /// Scripts call these instead of the tree directly; results are passed
@@ -53,6 +70,40 @@ class recorder {
   bool insert(int key) { return record(lincheck::op_kind::insert, key); }
   bool erase(int key) { return record(lincheck::op_kind::erase, key); }
   bool contains(int key) { return record(lincheck::op_kind::contains, key); }
+
+  // Batched operations (trees that have them, e.g. shard::sharded_set).
+  // A batch is not atomic: each element is its own linearizable op, so
+  // each is recorded as one history entry. All elements share the
+  // batch's invoke timestamp and get distinct responses after the call
+  // returns — intervals that cover each element's true execution window
+  // (conservatively), keeping the check sound.
+
+  std::vector<bool> insert_batch(const std::vector<int>& keys)
+    requires requires(Tree t, std::vector<int> k) { t.insert_batch(k); }
+  {
+    return record_batch(lincheck::op_kind::insert, keys,
+                        [&](const std::vector<int>& k) {
+                          return tree_.insert_batch(k);
+                        });
+  }
+
+  std::vector<bool> erase_batch(const std::vector<int>& keys)
+    requires requires(Tree t, std::vector<int> k) { t.erase_batch(k); }
+  {
+    return record_batch(lincheck::op_kind::erase, keys,
+                        [&](const std::vector<int>& k) {
+                          return tree_.erase_batch(k);
+                        });
+  }
+
+  std::vector<bool> contains_batch(const std::vector<int>& keys)
+    requires requires(Tree t, std::vector<int> k) { t.contains_batch(k); }
+  {
+    return record_batch(lincheck::op_kind::contains, keys,
+                        [&](const std::vector<int>& k) {
+                          return tree_.contains_batch(k);
+                        });
+  }
 
  private:
   bool record(lincheck::op_kind kind, int key) {
@@ -72,6 +123,22 @@ class recorder {
     }
     sink_.push_back({kind, key, result, invoke, ++clock_});
     return result;
+  }
+
+  template <typename BatchFn>
+  std::vector<bool> record_batch(lincheck::op_kind kind,
+                                 const std::vector<int>& keys,
+                                 BatchFn&& run) {
+    for (const int key : keys) {
+      LFBST_ASSERT(key >= 0 && key < 64,
+                   "dsched scenario keys live in [0,64)");
+    }
+    const std::uint64_t invoke = ++clock_;
+    std::vector<bool> results = run(keys);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      sink_.push_back({kind, keys[i], results[i], invoke, ++clock_});
+    }
+    return results;
   }
 
   Tree& tree_;

@@ -11,6 +11,7 @@
 #include "baselines/efrb_tree.hpp"
 #include "baselines/hj_tree.hpp"
 #include "core/natarajan_tree.hpp"
+#include "shard/sharded_set.hpp"
 
 namespace lfbst::harness {
 
@@ -32,6 +33,18 @@ void for_each_algorithm(F&& fn) {
   for_each_paper_algorithm<Key>(std::forward<F>(fn));
   fn.template operator()<dvy_tree<Key>>();
   fn.template operator()<coarse_tree<Key>>();
+}
+
+/// The sharded compositions (src/shard/): the three lock-free trees of
+/// the paper's evaluation behind the range-partitioned front-end.
+/// sharded_set has no default shard geometry for benchmarking, so `fn`
+/// receives the type and constructs instances itself (typically
+/// `Set set(shards, 0, key_range);`).
+template <typename Key, typename F>
+void for_each_sharded_algorithm(F&& fn) {
+  fn.template operator()<shard::sharded_set<nm_tree<Key>>>();
+  fn.template operator()<shard::sharded_set<efrb_tree<Key>>>();
+  fn.template operator()<shard::sharded_set<hj_tree<Key>>>();
 }
 
 }  // namespace lfbst::harness

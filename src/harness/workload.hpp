@@ -33,6 +33,11 @@ inline constexpr op_mix read_dominated{"read-dominated", 90, 9, 1};
 inline constexpr std::array<op_mix, 3> paper_mixes{
     write_dominated, mixed, read_dominated};
 
+/// The sharding evaluation's mix (bench_sharded): balanced update
+/// pressure with half the ops reads — uniform across shards, heavy
+/// enough on writes that root contention dominates the unsharded tree.
+inline constexpr op_mix uniform_50_25_25{"uniform-50/25/25", 50, 25, 25};
+
 /// The paper's four key-space rows (Figure 4).
 inline constexpr std::array<std::uint64_t, 4> paper_key_ranges{
     1'000, 10'000, 100'000, 1'000'000};
@@ -52,12 +57,13 @@ struct workload_config {
   }
 };
 
-/// Parse a mix by name ("write-dominated" | "mixed" | "read-dominated");
-/// returns mixed on unknown input.
+/// Parse a mix by name ("write-dominated" | "mixed" | "read-dominated" |
+/// "uniform-50/25/25"); returns mixed on unknown input.
 inline op_mix mix_by_name(const std::string& name) {
   for (const op_mix& m : paper_mixes) {
     if (name == m.name) return m;
   }
+  if (name == uniform_50_25_25.name) return uniform_50_25_25;
   return mixed;
 }
 

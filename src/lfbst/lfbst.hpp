@@ -40,6 +40,9 @@
 
 #include "extensions/kary_tree.hpp"
 
+#include "shard/router.hpp"
+#include "shard/sharded_set.hpp"
+
 #include "baselines/bcco_tree.hpp"
 #include "baselines/coarse_tree.hpp"
 #include "baselines/dvy_tree.hpp"
@@ -56,5 +59,8 @@ static_assert(ConcurrentSet<coarse_tree<long>>);
 static_assert(ConcurrentSet<dvy_tree<long>>);
 static_assert(ConcurrentSet<kary_tree<long, 4>>);
 static_assert(ConcurrentSet<nm_tree<long, std::less<long>, reclaim::hazard>>);
+static_assert(ConcurrentSet<shard::sharded_set<nm_tree<long>>>);
+static_assert(ConcurrentSet<shard::sharded_set<efrb_tree<long>>>);
+static_assert(ConcurrentSet<shard::sharded_set<hj_tree<long>>>);
 
 }  // namespace lfbst

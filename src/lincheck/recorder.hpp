@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -32,6 +33,28 @@ class recorder {
                   [&] { return set.contains(key); });
   }
 
+  /// Batched operations (sets that have them, e.g. shard::sharded_set).
+  /// A batch is not atomic — each element is its own linearizable op —
+  /// so each element becomes one history entry. All elements share the
+  /// batch's invoke timestamp and one response timestamp taken after
+  /// the call returns: intervals that cover every element's true
+  /// execution window, keeping the check sound (conservative).
+  template <typename Set>
+  std::vector<bool> insert_batch(Set& set, const std::vector<int>& keys) {
+    return record_batch(op_kind::insert, keys,
+                        [&] { return set.insert_batch(keys); });
+  }
+  template <typename Set>
+  std::vector<bool> erase_batch(Set& set, const std::vector<int>& keys) {
+    return record_batch(op_kind::erase, keys,
+                        [&] { return set.erase_batch(keys); });
+  }
+  template <typename Set>
+  std::vector<bool> contains_batch(Set& set, const std::vector<int>& keys) {
+    return record_batch(op_kind::contains, keys,
+                        [&] { return set.contains_batch(keys); });
+  }
+
   /// The completed history; call only after all recording threads have
   /// joined.
   [[nodiscard]] history take() {
@@ -49,6 +72,21 @@ class recorder {
     std::lock_guard<std::mutex> g(mutex_);
     ops_.push_back(operation{kind, key, result, invoke, response});
     return result;
+  }
+
+  template <typename F>
+  std::vector<bool> record_batch(op_kind kind, const std::vector<int>& keys,
+                                 F&& run) {
+    const std::uint64_t invoke =
+        clock_.fetch_add(1, std::memory_order_acq_rel);
+    std::vector<bool> results = run();
+    const std::uint64_t response =
+        clock_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> g(mutex_);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ops_.push_back(operation{kind, keys[i], results[i], invoke, response});
+    }
+    return results;
   }
 
   std::atomic<std::uint64_t> clock_{0};

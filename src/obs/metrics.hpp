@@ -96,6 +96,17 @@ struct metrics_snapshot {
   [[nodiscard]] std::uint64_t operator[](counter c) const noexcept {
     return values[static_cast<std::size_t>(c)];
   }
+
+  /// Counter-wise addition — the same associative/commutative merge
+  /// algebra as histogram::merge(). Lets callers that own several
+  /// instrumented instances (one registry per tree; see
+  /// shard/sharded_set.hpp) fold their snapshots into one attribution.
+  metrics_snapshot& merge(const metrics_snapshot& other) noexcept {
+    for (std::size_t c = 0; c < counter_count; ++c) {
+      values[c] += other.values[c];
+    }
+    return *this;
+  }
 };
 
 /// Per-instance striped counter registry. add() must be called from a

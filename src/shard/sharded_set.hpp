@@ -1,0 +1,303 @@
+// lfbst shard: range-partitioned sharded front-end over any of the
+// repo's concurrent sets — the first layer that scales the
+// reproduction *out* instead of just measuring it.
+//
+// Motivation: however few CASes the NM-BST needs per operation, a
+// single instance ultimately bottlenecks on cache-line contention
+// around the root-adjacent nodes (every seek starts there). A
+// sharded_set splits the key domain into S contiguous ranges (S a
+// power of two) and gives each range its own independent tree — its
+// own reclaimer domain, its own node pools, its own obs metrics
+// registry — so contention divides by S while every single-key
+// operation stays exactly as linearizable as the underlying tree: a
+// key maps to one shard for the sharded set's whole lifetime, and the
+// shard *is* the linearization authority for that key.
+//
+// Composition: the inner tree is a template parameter, so the front-end
+// wraps NM-BST, EFRB, HJ (or any ConcurrentSet with an integral
+// key_type) with whatever Reclaimer/Stats/Tagging/Atomics policies the
+// tree was built with — including dsched::sched_atomics, which lets the
+// deterministic scheduler explore interleavings *through* the shard
+// layer (tests/shard/sharded_dsched_test.cpp).
+//
+// Batched operations (insert_batch / erase_batch / contains_batch)
+// take a vector of keys, group them by shard with one stable counting
+// sort, and execute each shard's group consecutively — the router and
+// each shard's upper tree levels are touched once per group instead of
+// once per key. Results come back in input order. A batch is NOT
+// atomic: each element is its own linearizable operation whose
+// linearization point lies somewhere inside the batch call (the
+// per-element guarantee the lincheck and dsched suites pin down).
+// Elements targeting the same shard apply in input order.
+//
+// range_scan(lo, hi) walks the shards that intersect [lo, hi) in
+// splitter order and stitches their in-order walks into one sorted
+// sequence. Each per-shard walk has for_each_slow's contract (that
+// shard quiescent); shards outside the scanned range may be mutated
+// freely, which is the operational win over a single tree where any
+// scan races with every writer.
+//
+// Metrics: when the inner tree records per-instance metrics
+// (obs::recording), merged_counters() / merged_latency_histogram() /
+// merged_seek_depth_histogram() fold the S registries with the obs
+// merge algebra (counter-wise and bucket-wise addition), so the sharded
+// instance reports one attribution exactly like a single tree does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/cacheline.hpp"
+#include "core/concurrent_set.hpp"
+#include "core/stats.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "shard/router.hpp"
+
+namespace lfbst::shard {
+
+/// Trees whose Stats policy is the per-instance recording registry —
+/// only those can offer merged metrics across shards.
+template <typename Tree>
+concept recording_stats_tree =
+    std::is_same_v<typename Tree::stats_policy, obs::recording>;
+
+template <typename Tree, typename Router = range_router<typename Tree::key_type>>
+class sharded_set {
+ public:
+  using key_type = typename Tree::key_type;
+  using tree_type = Tree;
+  using router_type = Router;
+
+  static constexpr const char* algorithm_name = "Sharded";
+  static constexpr std::size_t default_shard_count = 8;
+
+  /// Default: 8 shards split evenly over the key type's whole domain.
+  sharded_set() : sharded_set(Router(default_shard_count)) {}
+
+  /// shard_count shards split evenly over [lo, hi) (power of two).
+  sharded_set(std::size_t shard_count, key_type lo, key_type hi)
+      : sharded_set(Router(shard_count, lo, hi)) {}
+
+  explicit sharded_set(Router router) : router_(std::move(router)) {
+    shards_.reserve(router_.shard_count());
+    for (std::size_t i = 0; i < router_.shard_count(); ++i) {
+      shards_.push_back(std::make_unique<slot>());
+    }
+  }
+
+  sharded_set(const sharded_set&) = delete;
+  sharded_set& operator=(const sharded_set&) = delete;
+
+  // --- single-key operations: route once, delegate ------------------
+
+  [[nodiscard]] bool contains(const key_type& key) const {
+    return shards_[router_.shard_of(key)]->tree.contains(key);
+  }
+
+  bool insert(const key_type& key) {
+    return shards_[router_.shard_of(key)]->tree.insert(key);
+  }
+
+  bool erase(const key_type& key) {
+    return shards_[router_.shard_of(key)]->tree.erase(key);
+  }
+
+  // --- batched operations -------------------------------------------
+  // One stable counting sort groups the keys by shard; each group runs
+  // back-to-back so router and per-shard cache traffic amortize over
+  // the group. results[i] is what op(keys[i]) would have returned;
+  // same-shard elements apply in input order.
+
+  [[nodiscard]] std::vector<bool> contains_batch(
+      const std::vector<key_type>& keys) const {
+    return batch_apply(*this, keys, [](const Tree& t, const key_type& k) {
+      return t.contains(k);
+    });
+  }
+
+  std::vector<bool> insert_batch(const std::vector<key_type>& keys) {
+    return batch_apply(*this, keys, [](Tree& t, const key_type& k) {
+      return t.insert(k);
+    });
+  }
+
+  std::vector<bool> erase_batch(const std::vector<key_type>& keys) {
+    return batch_apply(*this, keys, [](Tree& t, const key_type& k) {
+      return t.erase(k);
+    });
+  }
+
+  // --- cross-shard ordered scan --------------------------------------
+
+  /// All keys in [lo, hi), sorted. Visits only the shards whose range
+  /// intersects [lo, hi) and stitches their in-order walks in splitter
+  /// order. Per-shard semantics are those of for_each_slow: each
+  /// visited shard must be quiescent while it is walked; untouched
+  /// shards may be mutated concurrently.
+  [[nodiscard]] std::vector<key_type> range_scan(const key_type& lo,
+                                                 const key_type& hi) const {
+    std::vector<key_type> out;
+    if (!(lo < hi)) return out;
+    const std::size_t first = router_.shard_of(lo);
+    const std::size_t last = router_.shard_of(static_cast<key_type>(hi - 1));
+    for (std::size_t s = first; s <= last; ++s) {
+      shards_[s]->tree.for_each_slow([&](const key_type& k) {
+        if (!(k < lo) && k < hi) out.push_back(k);
+      });
+    }
+    return out;
+  }
+
+  // --- quiescent observers -------------------------------------------
+
+  [[nodiscard]] std::size_t size_slow() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->tree.size_slow();
+    return n;
+  }
+
+  [[nodiscard]] bool empty_slow() const { return size_slow() == 0; }
+
+  /// In-order traversal across all shards (splitter order == key order).
+  template <typename F>
+  void for_each_slow(F&& fn) const {
+    for (const auto& s : shards_) s->tree.for_each_slow(fn);
+  }
+
+  /// Every shard's own structural validator, plus the shard layer's
+  /// placement invariant: each key lives in the shard the router maps
+  /// it to. Empty string when healthy.
+  [[nodiscard]] std::string validate() const {
+    std::string err;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::string inner = shards_[i]->tree.validate();
+      if (!inner.empty()) {
+        err += "shard " + std::to_string(i) + ": " + inner;
+      }
+      std::size_t misplaced = 0;
+      shards_[i]->tree.for_each_slow([&](const key_type& k) {
+        if (router_.shard_of(k) != i) ++misplaced;
+      });
+      if (misplaced != 0) {
+        err += "shard " + std::to_string(i) + ": " +
+               std::to_string(misplaced) + " keys routed elsewhere; ";
+      }
+    }
+    return err;
+  }
+
+  // --- structure access ----------------------------------------------
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const Router& router() const noexcept { return router_; }
+  [[nodiscard]] Tree& shard(std::size_t i) noexcept {
+    return shards_[i]->tree;
+  }
+  [[nodiscard]] const Tree& shard(std::size_t i) const noexcept {
+    return shards_[i]->tree;
+  }
+
+  // --- merged metrics (obs::recording inner trees only) ---------------
+  // The S per-shard registries fold with the obs merge algebra into the
+  // same shapes a single instrumented tree reports.
+
+  /// Counter-wise sum of every shard's metrics snapshot.
+  [[nodiscard]] obs::metrics_snapshot merged_counters() const
+    requires recording_stats_tree<Tree>
+  {
+    obs::metrics_snapshot merged;
+    for (const auto& s : shards_) {
+      merged.merge(s->tree.stats().counters().snapshot());
+    }
+    return merged;
+  }
+
+  /// Bucket-wise merge of every shard's latency histogram for `kind`.
+  /// Quiescence required (histogram contract).
+  [[nodiscard]] obs::histogram merged_latency_histogram(
+      stats::op_kind kind) const
+    requires recording_stats_tree<Tree>
+  {
+    obs::histogram merged;
+    for (const auto& s : shards_) {
+      merged.merge(s->tree.stats().latency_histogram(kind));
+    }
+    return merged;
+  }
+
+  /// Bucket-wise merge of every shard's seek-depth histogram. Depths
+  /// are per-shard (each shard is its own, shallower tree); the merged
+  /// distribution is what the whole front-end makes a seek traverse.
+  [[nodiscard]] obs::histogram merged_seek_depth_histogram() const
+    requires recording_stats_tree<Tree>
+  {
+    obs::histogram merged;
+    for (const auto& s : shards_) {
+      merged.merge(s->tree.stats().seek_depth_histogram());
+    }
+    return merged;
+  }
+
+ private:
+  /// One shard: the tree on its own cache lines so adjacent shards'
+  /// hot members (head pointers, stats) never share a line.
+  struct alignas(cacheline_size) slot {
+    Tree tree;
+  };
+
+  /// Shared batch engine; `Self` deduces const for contains_batch and
+  /// non-const for the mutating batches.
+  template <typename Self, typename Op>
+  static std::vector<bool> batch_apply(Self& self,
+                                       const std::vector<key_type>& keys,
+                                       Op&& op) {
+    const std::size_t n = keys.size();
+    const std::size_t nshards = self.shards_.size();
+    std::vector<bool> results(n);
+    if (n == 0) return results;
+
+    // Stable counting sort of key indices by shard id.
+    std::vector<std::uint32_t> shard_ids(n);
+    std::vector<std::size_t> group_start(nshards + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = self.router_.shard_of(keys[i]);
+      shard_ids[i] = static_cast<std::uint32_t>(s);
+      ++group_start[s + 1];
+    }
+    for (std::size_t s = 0; s < nshards; ++s) {
+      group_start[s + 1] += group_start[s];
+    }
+    std::vector<std::uint32_t> order(n);
+    {
+      std::vector<std::size_t> cursor(group_start.begin(),
+                                      group_start.end() - 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        order[cursor[shard_ids[i]]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+
+    // Execute per shard group; results land at the original positions.
+    for (std::size_t s = 0; s < nshards; ++s) {
+      auto& tree = self.shards_[s]->tree;
+      for (std::size_t j = group_start[s]; j < group_start[s + 1]; ++j) {
+        const std::uint32_t i = order[j];
+        results[i] = op(tree, keys[i]);
+      }
+    }
+    return results;
+  }
+
+  Router router_;
+  std::vector<std::unique_ptr<slot>> shards_;
+};
+
+}  // namespace lfbst::shard

@@ -133,6 +133,38 @@ TEST(Runner, WorksAcrossAllAlgorithms) {
   EXPECT_EQ(count, 6);
 }
 
+TEST(Runner, WorksAcrossShardedAlgorithms) {
+  workload_config cfg;
+  cfg.key_range = 512;
+  cfg.mix = mixed;
+  cfg.threads = 2;
+  cfg.duration = std::chrono::milliseconds(25);
+  int count = 0;
+  for_each_sharded_algorithm<long>([&]<typename Set>() {
+    Set set(/*shard_count=*/4, 0, static_cast<long>(cfg.key_range));
+    const run_result r = run_workload(set, cfg);
+    EXPECT_GT(r.total_ops, 0u) << Set::algorithm_name;
+    EXPECT_EQ(set.validate(), "") << Set::algorithm_name;
+    ++count;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Runner, ShardedConservationMatchesPlainTree) {
+  shard::sharded_set<nm_tree<long>> set(8, 0, 256);
+  workload_config cfg;
+  cfg.key_range = 256;
+  cfg.mix = uniform_50_25_25;
+  cfg.threads = 4;
+  cfg.duration = std::chrono::milliseconds(80);
+  const run_result r = run_workload(set, cfg);
+  const long expected = static_cast<long>(cfg.key_range / 2) +
+                        static_cast<long>(r.successful_inserts) -
+                        static_cast<long>(r.successful_erases);
+  EXPECT_EQ(static_cast<long>(r.final_size), expected);
+  EXPECT_EQ(set.validate(), "");
+}
+
 TEST(Table, AlignsAndEmitsCsv) {
   text_table tbl({"algo", "threads", "mops"});
   tbl.add_row({"NM-BST", "4", "1.23"});

@@ -1,0 +1,208 @@
+// Concurrency tests for the sharded front-end under wall-clock
+// scheduling: conservation under a mixed soup of single-key and batched
+// operations, cross-shard batch linearizability checked per element
+// with the Wing–Gong checker, and stripe-ownership exactness (each
+// thread owns keys scattered over every shard).
+//
+// The deterministic counterpart lives in
+// tests/shard/sharded_dsched_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "lfbst/lfbst.hpp"
+#include "lincheck/recorder.hpp"
+
+namespace lfbst {
+namespace {
+
+constexpr unsigned kThreads = 4;
+
+using sharded_nm = shard::sharded_set<nm_tree<long>>;
+
+// Successful inserts minus successful erases must equal the final size,
+// with batches contributing every element individually.
+TEST(ShardedConcurrent, MixedSinglesAndBatchesConserveSize) {
+  sharded_nm set(8, 0, 512);
+  constexpr int kRoundsPerThread = 4'000;
+  std::atomic<long> net{0};
+  spin_barrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(2026, tid);
+      long local_net = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kRoundsPerThread; ++i) {
+        const auto roll = rng.bounded(6);
+        if (roll < 3) {  // single-key ops
+          const long k = rng.bounded(512);
+          if (roll == 0) {
+            if (set.insert(k)) ++local_net;
+          } else if (roll == 1) {
+            if (set.erase(k)) --local_net;
+          } else {
+            (void)set.contains(k);
+          }
+        } else {  // batched ops spanning shards
+          std::vector<long> keys;
+          const unsigned n = 1 + rng.bounded(16);
+          for (unsigned j = 0; j < n; ++j) {
+            keys.push_back(rng.bounded(512));
+          }
+          if (roll == 3) {
+            for (const bool ok : set.insert_batch(keys)) {
+              if (ok) ++local_net;
+            }
+          } else if (roll == 4) {
+            for (const bool ok : set.erase_batch(keys)) {
+              if (ok) --local_net;
+            }
+          } else {
+            (void)set.contains_batch(keys);
+          }
+        }
+      }
+      net.fetch_add(local_net, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(static_cast<long>(set.size_slow()), net.load());
+  EXPECT_EQ(set.validate(), "");
+}
+
+// Threads own disjoint key stripes scattered across every shard
+// (stripe = key mod kThreads), so each stripe's final membership is
+// exactly predictable even though batches interleave freely.
+TEST(ShardedConcurrent, StripedBatchOwnershipIsExact) {
+  sharded_nm set(8, 0, 1024);
+  spin_barrier barrier(kThreads);
+  std::vector<std::set<long>> finals(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(31, tid);
+      std::set<long> mine;
+      barrier.arrive_and_wait();
+      for (int round = 0; round < 2'000; ++round) {
+        std::vector<long> keys;
+        const unsigned n = 1 + rng.bounded(8);
+        for (unsigned j = 0; j < n; ++j) {
+          // This thread's stripe only, spread over all shards.
+          keys.push_back((rng.bounded(256)) * kThreads + tid);
+        }
+        if (rng.bounded(2) == 0) {
+          const auto ok = set.insert_batch(keys);
+          for (std::size_t j = 0; j < keys.size(); ++j) {
+            const bool expected = mine.insert(keys[j]).second;
+            ASSERT_EQ(ok[j], expected) << "key " << keys[j];
+          }
+        } else {
+          const auto ok = set.erase_batch(keys);
+          for (std::size_t j = 0; j < keys.size(); ++j) {
+            const bool expected = mine.erase(keys[j]) > 0;
+            ASSERT_EQ(ok[j], expected) << "key " << keys[j];
+          }
+        }
+      }
+      finals[tid] = std::move(mine);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::set<long> expected;
+  for (const auto& f : finals) expected.insert(f.begin(), f.end());
+  std::set<long> actual;
+  set.for_each_slow([&](const long& k) { actual.insert(k); });
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(set.validate(), "");
+}
+
+// Small concurrent histories of batches + singles, each element one
+// history entry, decided by the Wing–Gong checker. Terminal membership
+// is folded in as late contains ops so the final state must be
+// explained by the same linearization.
+TEST(ShardedConcurrent, BatchElementsAreLinearizable) {
+  constexpr int kHistories = 150;
+  constexpr unsigned kWorkers = 3;
+  for (int h = 0; h < kHistories; ++h) {
+    shard::sharded_set<nm_tree<int>> set(4, 0, 16);
+    lincheck::recorder rec;
+    spin_barrier barrier(kWorkers);
+    std::vector<std::thread> workers;
+    for (unsigned tid = 0; tid < kWorkers; ++tid) {
+      workers.emplace_back([&, tid] {
+        pcg32 rng = pcg32::for_thread(
+            static_cast<std::uint64_t>(h) * 7919 + 1, tid);
+        barrier.arrive_and_wait();
+        for (int op = 0; op < 3; ++op) {
+          std::vector<int> keys;
+          const unsigned n = 1 + rng.bounded(3);
+          for (unsigned j = 0; j < n; ++j) {
+            keys.push_back(static_cast<int>(rng.bounded(16)));
+          }
+          switch (rng.bounded(3)) {
+            case 0: rec.insert_batch(set, keys); break;
+            case 1: rec.erase_batch(set, keys); break;
+            default: rec.contains_batch(set, keys);
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+
+    lincheck::history hist = rec.take();
+    // Terminal observations, strictly after everything else.
+    std::uint64_t ts = 1;
+    for (const auto& op : hist) {
+      ts = std::max(ts, op.response + 1);
+    }
+    for (int k = 0; k < 16; ++k) {
+      hist.push_back({lincheck::op_kind::contains, k, set.contains(k), ts,
+                      ts});
+      ++ts;
+    }
+    ASSERT_LE(hist.size(), lincheck::checker::max_ops);
+    EXPECT_TRUE(lincheck::checker::is_linearizable(hist))
+        << "history " << h << " not linearizable";
+    ASSERT_EQ(set.validate(), "");
+  }
+}
+
+// Concurrent range scans against untouched shards: writers hammer the
+// low shards while a reader repeatedly scans the quiescent high range.
+TEST(ShardedConcurrent, RangeScanOfQuiescentShardsDuringWrites) {
+  sharded_nm set(8, 0, 1024);
+  // High half pre-populated and never touched again: shards 4..7.
+  std::vector<long> high;
+  for (long k = 512; k < 1024; k += 3) {
+    ASSERT_TRUE(set.insert(k));
+    high.push_back(k);
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    pcg32 rng(41);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const long k = rng.bounded(512);  // low shards only
+      if (rng.bounded(2) == 0) {
+        set.insert(k);
+      } else {
+        set.erase(k);
+      }
+    }
+  });
+  for (int scan = 0; scan < 200; ++scan) {
+    ASSERT_EQ(set.range_scan(512, 1024), high) << "scan " << scan;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(set.validate(), "");
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a fresh `bench_micro_ops --json` report against the
+committed baseline (bench/baseline_micro_ops.json) and fail on drift.
+
+Usage:
+    tools/check_perf_regression.py current.json [--baseline PATH]
+        [--max-regression 0.25] [--atomics-tolerance 0.05]
+
+Two studies, two different comparisons:
+
+  atomics — per-op allocation/atomic counts from the counting stats
+      policy. These are seeded, single-threaded and contention-free, so
+      they are (near-)exactly reproducible: any drift beyond the small
+      tolerance means the protocol itself changed — the Table 1 claim
+      of the paper (NM: 2/0 allocs, 1/3 atomics) no longer holds as
+      committed. Fails loudly; regenerate the baseline only for an
+      intentional protocol change.
+
+  micro — wall-clock ns/op. Absolute numbers differ across machines, so
+      each row is first normalized by the same report's std::set search
+      reference at the same size; only the *ratio* is compared, with a
+      tolerance band (default 25%) for residual noise. A ratio that
+      grew past the band is a real relative slowdown of that algorithm.
+
+Exit status 0 iff every check passes.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "lfbst-bench-v1"
+REFERENCE_ALGORITHM = "std::set"
+REFERENCE_OP = "search"
+
+
+def load_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema is {doc.get('schema')!r}, "
+                         f"want {SCHEMA!r}")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        raise ValueError(f"{path}: 'results' must be a non-empty array")
+    return rows
+
+
+def rows_by_study(rows, study):
+    return [r for r in rows if r.get("study") == study]
+
+
+def micro_key(row):
+    return (row["algorithm"], row["op"], row["size"])
+
+
+def normalized_micro(rows):
+    """ns/op divided by the in-report std::set search reference at the
+    same size: a machine-independent relative cost."""
+    reference = {
+        row["size"]: float(row["ns_per_op"])
+        for row in rows
+        if row["algorithm"] == REFERENCE_ALGORITHM
+        and row["op"] == REFERENCE_OP
+    }
+    out = {}
+    for row in rows:
+        ref = reference.get(row["size"])
+        if not ref:
+            raise ValueError(
+                f"no {REFERENCE_ALGORITHM} {REFERENCE_OP} reference row "
+                f"for size {row['size']}")
+        out[micro_key(row)] = float(row["ns_per_op"]) / ref
+    return out
+
+
+def check_micro(current, baseline, max_regression):
+    failures = []
+    cur = normalized_micro(rows_by_study(current, "micro"))
+    base = normalized_micro(rows_by_study(baseline, "micro"))
+    for key, base_ratio in sorted(base.items()):
+        if key not in cur:
+            failures.append(f"micro: row {key} missing from current report")
+            continue
+        cur_ratio = cur[key]
+        algo, op, size = key
+        if algo == REFERENCE_ALGORITHM and op == REFERENCE_OP:
+            continue  # the reference is 1.0 by construction
+        limit = base_ratio * (1.0 + max_regression)
+        status = "FAIL" if cur_ratio > limit else "ok"
+        print(f"  [{status}] micro {algo:>16} {op:<12} size={size:<6} "
+              f"rel cost {base_ratio:7.3f} -> {cur_ratio:7.3f} "
+              f"(limit {limit:.3f})")
+        if cur_ratio > limit:
+            failures.append(
+                f"micro: {algo}/{op}/size={size} relative cost "
+                f"{cur_ratio:.3f} exceeds baseline {base_ratio:.3f} "
+                f"by more than {100 * max_regression:.0f}%")
+    return failures
+
+
+ATOMIC_COLUMNS = ("allocs_per_insert", "atomics_per_insert",
+                  "allocs_per_erase", "atomics_per_erase")
+
+
+def check_atomics(current, baseline, tolerance):
+    failures = []
+    cur = {r["algorithm"]: r for r in rows_by_study(current, "atomics")}
+    base = {r["algorithm"]: r for r in rows_by_study(baseline, "atomics")}
+    for algo, base_row in sorted(base.items()):
+        if algo not in cur:
+            failures.append(f"atomics: {algo} missing from current report")
+            continue
+        for col in ATOMIC_COLUMNS:
+            b, c = float(base_row[col]), float(cur[algo][col])
+            drift = abs(c - b)
+            status = "FAIL" if drift > tolerance else "ok"
+            print(f"  [{status}] atomics {algo:>10} {col:<20} "
+                  f"{b:7.4f} -> {c:7.4f}")
+            if drift > tolerance:
+                failures.append(
+                    f"atomics: {algo} {col} drifted {b:.4f} -> {c:.4f} "
+                    f"(tolerance {tolerance}); Table 1 counts changed — "
+                    f"if intentional, regenerate "
+                    f"bench/baseline_micro_ops.json")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="fresh bench_micro_ops --json output")
+    ap.add_argument("--baseline", default="bench/baseline_micro_ops.json")
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="allowed relative-throughput growth (0.25 = 25%%)")
+    ap.add_argument("--atomics-tolerance", type=float, default=0.05,
+                    help="allowed absolute drift of per-op atomic counts")
+    args = ap.parse_args()
+
+    try:
+        current = load_report(args.current)
+        baseline = load_report(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+
+    print(f"perf gate: {args.current} vs {args.baseline}")
+    failures = check_atomics(current, baseline, args.atomics_tolerance)
+    failures += check_micro(current, baseline, args.max_regression)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} perf-gate violation(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: no Table 1 drift, no relative-throughput regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
