@@ -9,6 +9,14 @@
 // coincides. Throughput per algorithm shows how much the node-level
 // locking costs; the paper's Figure 5 examples (insert(40)+insert(60),
 // delete(25)+delete(125)) are the template.
+//
+// The NM tree is measured under both restart policies (docs/PERF.md):
+// restart::from_anchor (default; retry seeks resume from the recorded
+// ancestor edge) and restart::from_root (the letter's full restart).
+// All trees carry obs::recording, so every row reports the retry
+// attribution counters next to its throughput — under contention the
+// from_anchor row shows where its retries resumed (local vs root
+// fallback), and the from_root row pins both at zero.
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -19,19 +27,36 @@
 #include "common/barrier.hpp"
 #include "common/rng.hpp"
 #include "core/natarajan_tree.hpp"
+#include "core/restart_policy.hpp"
 #include "harness/table.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
 using namespace lfbst;
 
+using nm_anchor = nm_tree<long, std::less<long>, reclaim::leaky,
+                          obs::recording, tag_policy::bts, void,
+                          atomics::native, restart::from_anchor>;
+using nm_root = nm_tree<long, std::less<long>, reclaim::leaky,
+                        obs::recording, tag_policy::bts, void,
+                        atomics::native, restart::from_root>;
+using efrb_rec =
+    efrb_tree<long, std::less<long>, reclaim::leaky, obs::recording>;
+
+struct window_sample {
+  double mops = 0;
+  obs::metrics_snapshot counters;
+};
+
 /// Two threads hammer keys that are siblings in key space (2k, 2k+1
 /// style adjacency ⇒ adjacent leaves ⇒ shared parent region). Returns
-/// combined Mops/s.
+/// combined Mops/s plus the tree's own counter attribution.
 template <typename Tree>
-double adjacent_pair_throughput(std::uint64_t millis, std::uint64_t pairs,
-                                std::uint64_t seed) {
+window_sample adjacent_pair_throughput(std::uint64_t millis,
+                                       std::uint64_t pairs,
+                                       std::uint64_t seed) {
   Tree tree;
   // Dense base structure: even keys permanently present as anchors.
   for (std::uint64_t k = 0; k < pairs * 4; k += 2) {
@@ -69,7 +94,10 @@ double adjacent_pair_throughput(std::uint64_t millis, std::uint64_t pairs,
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  return static_cast<double>(total_ops.load()) / secs / 1e6;
+  window_sample s;
+  s.mops = static_cast<double>(total_ops.load()) / secs / 1e6;
+  s.counters = tree.stats().counters().snapshot();
+  return s;
 }
 
 }  // namespace
@@ -87,15 +115,31 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(pairs),
               static_cast<unsigned long long>(millis));
 
-  const double nm =
-      adjacent_pair_throughput<nm_tree<long>>(millis, pairs, seed);
-  const double efrb =
-      adjacent_pair_throughput<efrb_tree<long>>(millis, pairs, seed);
+  const window_sample nm =
+      adjacent_pair_throughput<nm_anchor>(millis, pairs, seed);
+  const window_sample nm_r =
+      adjacent_pair_throughput<nm_root>(millis, pairs, seed);
+  const window_sample efrb =
+      adjacent_pair_throughput<efrb_rec>(millis, pairs, seed);
 
-  harness::text_table tbl({"algorithm", "Mops/s", "vs EFRB"});
-  tbl.add_row({"NM-BST", harness::format("%.3f", nm),
-               harness::format("%.2fx", nm / efrb)});
-  tbl.add_row({"EFRB-BST", harness::format("%.3f", efrb), "1.00x"});
+  harness::text_table tbl({"algorithm", "policy", "Mops/s", "vs EFRB",
+                           "seek_restarts", "restarts_injection_fail",
+                           "restarts_cleanup_mode", "seek_resumes_local",
+                           "seek_anchor_fallbacks"});
+  auto add = [&tbl, &efrb](const char* name, const char* policy,
+                           const window_sample& s) {
+    auto c = [&s](obs::counter k) { return std::to_string(s.counters[k]); };
+    tbl.add_row({name, policy, harness::format("%.3f", s.mops),
+                 harness::format("%.2fx", s.mops / efrb.mops),
+                 c(obs::counter::seek_restarts),
+                 c(obs::counter::restarts_injection_fail),
+                 c(obs::counter::restarts_cleanup_mode),
+                 c(obs::counter::seek_resumes_local),
+                 c(obs::counter::seek_anchor_fallbacks)});
+  };
+  add("NM-BST", "from_anchor", nm);
+  add("NM-BST", "from_root", nm_r);
+  add("EFRB-BST", "-", efrb);
   tbl.print();
 
   if (flags.has("json")) {

@@ -16,13 +16,20 @@
 //       study "atomics" — per-op allocation/atomic counts measured with
 //                         the counting stats policy. Single-threaded and
 //                         seeded, so these are exactly reproducible:
-//                         any drift is a protocol change (Table 1).
+//                         any drift is a protocol change (Table 1);
+//       study "restart_policy" — contended adjacent-leaf churn under
+//                         restart::from_anchor vs restart::from_root,
+//                         throughput plus the retry attribution
+//                         counters (docs/PERF.md). The gate checks
+//                         from_anchor does not regress vs from_root.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -107,6 +114,17 @@ using nm_metrics = nm_tree<long, std::less<long>, reclaim::leaky,
 LFBST_REGISTER(nm_metrics, "NM-BST-metrics");
 using nm_hazard = nm_tree<long, std::less<long>, reclaim::hazard>;
 LFBST_REGISTER(nm_hazard, "NM-BST-hazard");
+// Restart-policy ablation: the same tree with retry seeks restarting
+// from the root (the paper's letter) instead of the default anchored
+// local restart (the full version's optimization). Identical on the
+// uncontended single-threaded paths measured here — the policy is only
+// consulted after a failed CAS — so any delta in these rows is noise;
+// the contended comparison lives in the "restart_policy" JSON study
+// below and in bench_contention_window.
+using nm_root = nm_tree<long, std::less<long>, reclaim::leaky, stats::none,
+                        tag_policy::bts, void, atomics::native,
+                        restart::from_root>;
+LFBST_REGISTER(nm_root, "NM-BST-root");
 using kst4 = kary_tree<long, 4>;
 LFBST_REGISTER(kst4, "KST-4");
 using kst16 = kary_tree<long, 16>;
@@ -220,6 +238,55 @@ atomic_costs measure_atomics(std::uint64_t ops, std::uint64_t key_range,
   return c;
 }
 
+// Contended restart-policy sample: `threads` workers churn the same
+// few adjacent leaves (insert/erase alternating) so injection CASes
+// collide and cleanups contend — the regime where the anchored local
+// restart pays. Fixed work per thread; counters come from the
+// obs::recording instance so the report carries the retry attribution
+// (local resumes vs root fallbacks) next to the throughput.
+struct restart_policy_sample {
+  double mops = 0;
+  obs::metrics_snapshot counters;
+};
+
+template <typename Tree>
+restart_policy_sample measure_restart_policy(unsigned threads,
+                                             std::uint64_t ops_per_thread) {
+  Tree tree;
+  constexpr long kKeys = 8;
+  for (long k = 0; k < kKeys; ++k) tree.insert(k);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&tree, &go, ops_per_thread, t] {
+      // Independent per-thread key streams over the same tiny range, so
+      // threads genuinely collide on leaves and their shared edges.
+      pcg32 rng(0x9e3779b9u + t);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t n = 0; n < ops_per_thread; ++n) {
+        const long k = static_cast<long>(rng.bounded(kKeys));
+        if (rng.bounded(2) != 0) {
+          tree.insert(k);
+        } else {
+          tree.erase(k);
+        }
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  restart_policy_sample s;
+  s.mops = static_cast<double>(threads) *
+           static_cast<double>(ops_per_thread) * 1e3 /
+           static_cast<double>(ns);
+  s.counters = tree.stats().counters().snapshot();
+  return s;
+}
+
 int run_json_mode(const lfbst::bench::flags& flags) {
   const std::string path = flags.get("json", "micro_ops.json");
   const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 200'000));
@@ -240,6 +307,7 @@ int run_json_mode(const lfbst::bench::flags& flags) {
     }
   };
   micro_rows.template operator()<nm_tree<long>>("NM-BST");
+  micro_rows.template operator()<nm_root>("NM-BST-root");
   micro_rows.template operator()<efrb_tree<long>>("EFRB-BST");
   micro_rows.template operator()<hj_tree<long>>("HJ-BST");
   micro_rows.template operator()<bcco_tree<long>>("BCCO-BST");
@@ -261,11 +329,50 @@ int run_json_mode(const lfbst::bench::flags& flags) {
   };
   atomics_row.template operator()<
       nm_tree<long, std::less<long>, reclaim::leaky, counting>>("NM-BST");
+  // The from_root ablation must pin the exact same Table 1 counts: the
+  // restart policy is consulted only after a failed CAS, and this
+  // measurement is single-threaded.
+  atomics_row.template operator()<
+      nm_tree<long, std::less<long>, reclaim::leaky, counting,
+              tag_policy::bts, void, atomics::native, restart::from_root>>(
+      "NM-BST-root");
   atomics_row.template operator()<
       efrb_tree<long, std::less<long>, reclaim::leaky, counting>>(
       "EFRB-BST");
   atomics_row.template operator()<
       hj_tree<long, std::less<long>, reclaim::leaky, counting>>("HJ-BST");
+
+  // Contended restart-policy ablation: same churn, both policies. The
+  // perf gate checks from_anchor holds its own against from_root here
+  // and that its local-resume counter is actually exercised.
+  harness::text_table rp({"study", "policy", "threads", "mops",
+                          "seek_restarts", "restarts_injection_fail",
+                          "restarts_cleanup_mode", "seek_resumes_local",
+                          "seek_anchor_fallbacks"});
+  const unsigned rp_threads = 4;
+  const std::uint64_t rp_ops = ops / rp_threads;
+  auto rp_row = [&]<typename Tree>(const char* policy) {
+    const restart_policy_sample s =
+        measure_restart_policy<Tree>(rp_threads, rp_ops);
+    auto c = [&s](obs::counter k) {
+      return std::to_string(s.counters[k]);
+    };
+    rp.add_row({"restart_policy", policy, std::to_string(rp_threads),
+                harness::format("%.3f", s.mops),
+                c(obs::counter::seek_restarts),
+                c(obs::counter::restarts_injection_fail),
+                c(obs::counter::restarts_cleanup_mode),
+                c(obs::counter::seek_resumes_local),
+                c(obs::counter::seek_anchor_fallbacks)});
+  };
+  rp_row.template operator()<
+      nm_tree<long, std::less<long>, reclaim::leaky, obs::recording,
+              tag_policy::bts, void, atomics::native, restart::from_anchor>>(
+      "from_anchor");
+  rp_row.template operator()<
+      nm_tree<long, std::less<long>, reclaim::leaky, obs::recording,
+              tag_policy::bts, void, atomics::native, restart::from_root>>(
+      "from_root");
 
   obs::bench_report report("micro_ops");
   report.config.set("ops", ops);
@@ -274,6 +381,8 @@ int run_json_mode(const lfbst::bench::flags& flags) {
   const obs::json::value atomics_rows =
       obs::rows_from_table(atomics.header(), atomics.rows());
   for (const auto& row : atomics_rows.items()) report.add_result(row);
+  const obs::json::value rp_rows = obs::rows_from_table(rp.header(), rp.rows());
+  for (const auto& row : rp_rows.items()) report.add_result(row);
   if (!report.write_file(path)) return 1;
   std::printf("JSON report: %s\n", path.c_str());
   return 0;

@@ -59,6 +59,20 @@
 //               schedule point before every shared-memory step so the
 //               deterministic scheduler (src/dsched/) can explore
 //               interleavings of the flag/tag/CAS protocol.
+//   Restart   — restart::from_anchor (default: retries re-validate the
+//               recorded (ancestor → successor) edge and resume the
+//               descent there — the full paper's local restart) or
+//               restart::from_root (the conference paper's root-seek
+//               retries; ablation/dsched reference). See
+//               core/restart_policy.hpp and docs/PERF.md.
+//
+// Retry-path contention management (docs/PERF.md): with the native
+// atomics policy, failed injection/cleanup CASes are followed by a
+// bounded exponential backoff (common/backoff.hpp) before the re-seek,
+// and descents issue a software prefetch for each just-loaded child
+// (common/prefetch.hpp). Both are disabled under dsched::sched_atomics
+// — the scheduler owns all timing there, and spinning between schedule
+// points would only slow exploration without adding interleavings.
 #pragma once
 
 #include <algorithm>
@@ -74,7 +88,10 @@
 
 #include "alloc/node_pool.hpp"
 #include "common/assert.hpp"
+#include "common/backoff.hpp"
+#include "common/prefetch.hpp"
 #include "common/tagged_word.hpp"
+#include "core/restart_policy.hpp"
 #include "core/sentinel_key.hpp"
 #include "core/stats.hpp"
 #include "core/tag_policy.hpp"
@@ -88,9 +105,14 @@ struct nm_tree_test_access;  // white-box hooks for the test suite
 template <typename Key, typename Compare = std::less<Key>,
           typename Reclaimer = reclaim::leaky, typename Stats = stats::none,
           typename Tagging = tag_policy::bts, typename Payload = void,
-          typename Atomics = atomics::native>
+          typename Atomics = atomics::native,
+          typename Restart = restart::from_anchor>
 class nm_tree {
   static constexpr bool is_map = !std::is_void_v<Payload>;
+  // Contention management engages only under real concurrency: with
+  // dsched's interposed atomics the scheduler serializes every shared
+  // step, so spinning between them is pure waste.
+  static constexpr bool use_backoff = std::is_same_v<Atomics, atomics::native>;
   struct empty_payload {};
   /// What a leaf actually stores: nothing for a set, the value for a map.
   using payload_t = std::conditional_t<is_map, Payload, empty_payload>;
@@ -107,6 +129,7 @@ class nm_tree {
   using mapped_type = Payload;  // void for sets
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
+  using restart_policy = Restart;
 
   static constexpr const char* algorithm_name = "NM-BST";
 
@@ -327,8 +350,9 @@ class nm_tree {
     seek_record sr;
     bool injected = false;  // INJECTION vs CLEANUP mode
     node* leaf = nullptr;   // the leaf we flagged, once injected
+    [[maybe_unused]] backoff delay;
+    seek(key, sr);
     for (;;) {
-      seek(key, sr);
       if (!injected) {
         // --- injection mode ---
         leaf = sr.leaf;
@@ -350,6 +374,9 @@ class nm_tree {
             reclaimer_.domain().announce(Reclaimer::hp_flagged, leaf);
           }
           if (cleanup(key, sr)) return true;
+          // Our own first cleanup lost its ancestor CAS: a cleanup-mode
+          // retry, exactly like the ones below.
+          stats_.on_seek_restart(stats::restart_kind::cleanup_mode);
         } else {
           stats_.on_cas_fail();
           // Injection failed; help the owning delete if the edge still
@@ -358,14 +385,19 @@ class nm_tree {
             stats_.on_help(help_kind_of(expected));
             cleanup(key, sr);
           }
-          stats_.on_seek_restart();
+          stats_.on_seek_restart(stats::restart_kind::injection_fail);
         }
       } else {
         // --- cleanup mode (Alg. 3 lines 82-87) ---
         if (sr.leaf != leaf) return true;  // someone removed it for us
         if (cleanup(key, sr)) return true;
-        stats_.on_seek_restart();
+        stats_.on_seek_restart(stats::restart_kind::cleanup_mode);
       }
+      // Every path here lost a CAS race: yield briefly (the winner
+      // finishes faster, our next attempt is likelier to succeed), then
+      // re-seek under the Restart policy.
+      if constexpr (use_backoff) delay();
+      seek_retry(key, sr);
     }
   }
 
@@ -388,8 +420,9 @@ class nm_tree {
     seek_record sr;
     node* new_leaf = nullptr;      // scratch nodes, reused across retries;
     node* new_internal = nullptr;  // never published until a CAS wins
+    [[maybe_unused]] backoff delay;
+    seek(key, sr);
     for (;;) {
-      seek(key, sr);
       node* parent = sr.parent;
       node* leaf = sr.leaf;
       if (less_.equal(key, leaf->key)) {
@@ -420,7 +453,9 @@ class nm_tree {
           stats_.on_help(help_kind_of(expected));
           cleanup(key, sr);
         }
-        stats_.on_seek_restart();
+        stats_.on_seek_restart(stats::restart_kind::injection_fail);
+        if constexpr (use_backoff) delay();
+        seek_retry(key, sr);
         continue;
       }
 
@@ -457,7 +492,9 @@ class nm_tree {
         stats_.on_help(help_kind_of(expected));
         cleanup(key, sr);
       }
-      stats_.on_seek_restart();
+      stats_.on_seek_restart(stats::restart_kind::injection_fail);
+      if constexpr (use_backoff) delay();
+      seek_retry(key, sr);
     }
   }
 
@@ -511,6 +548,53 @@ class nm_tree {
     }
   }
 
+  /// Retry-path re-seek (docs/PERF.md). Under restart::from_anchor the
+  /// recorded (ancestor → successor) edge is re-validated and, when it
+  /// holds, the descent resumes from the successor instead of paying
+  /// the full root-to-leaf path again; a failed validation falls back
+  /// to a root seek. Under restart::from_root this is exactly seek().
+  void seek_retry(const Key& key, seek_record& sr) const {
+    if constexpr (Restart::resume_from_anchor) {
+      if (try_seek_from_anchor(key, sr)) {
+        stats_.on_seek_resume_local();
+        return;
+      }
+      stats_.on_seek_anchor_fallback();
+    }
+    seek(key, sr);
+  }
+
+  /// Anchor validation + local resume (the full paper's local restart).
+  /// Correctness hinges on two frozen-structure facts: (1) an internal
+  /// node always has both child edges marked before the CAS that
+  /// detaches it, and marked words never change again — so re-reading
+  /// the anchor edge as *clean and still addressing the successor*
+  /// proves the ancestor had not been excised at the moment of that
+  /// load; (2) a reachable node's key-space interval only ever widens
+  /// (cleanup replaces subtree(successor) by a subtree of it), so the
+  /// key that once routed through the ancestor still does. A descent
+  /// resumed from the validated edge is therefore indistinguishable
+  /// from a root seek that arrived at that edge at the same instant.
+  /// The successor recorded by any seek is an internal node (it was
+  /// stepped *through*), so resuming the descent below it is
+  /// well-formed. Returns false when the anchor no longer holds.
+  bool try_seek_from_anchor(const Key& key, seek_record& sr) const {
+    node* anchor = sr.ancestor;
+    node* successor = sr.successor;
+    const ptr_t edge = child_field_for(anchor, key).load();
+    if (edge.marked() || edge.address() != successor) return false;
+    if constexpr (Reclaimer::requires_validated_traversal) {
+      // anchor and successor are still announced in hp_ancestor /
+      // hp_successor from the seek that recorded them (cleanup never
+      // reassigns those slots), so the edge load above was safe and
+      // the validated descent may resume under the same protection.
+      return seek_protected_from(anchor, successor, key, sr);
+    } else {
+      seek_plain_from(anchor, successor, key, sr);
+      return true;
+    }
+  }
+
   /// Hazard-pointer seek: same traversal as Alg. 1, but every node is
   /// announced in a hazard slot and validated against the edge it was
   /// read from *before* it is dereferenced. Validation failure (the edge
@@ -532,93 +616,129 @@ class nm_tree {
   ///    addresses the successor cleanly, the region may already be
   ///    retired and the seek restarts.
   void seek_protected(const Key& key, seek_record& sr) const {
-    auto& dom = reclaimer_.domain();
-    for (;;) {
-      sr.ancestor = r_;   // sentinels are never retired, but announcing
-      sr.successor = s_;  // them keeps the slot invariants uniform
-      sr.parent = s_;
-      dom.announce(Reclaimer::hp_ancestor, r_);
-      dom.announce(Reclaimer::hp_successor, s_);
-      dom.announce(Reclaimer::hp_parent, s_);
-
-      const word_t* source = &s_->left;
-      ptr_t parent_field = source->load(std::memory_order_seq_cst);
-      node* candidate = parent_field.address();  // 𝕊's child: never null
-      dom.announce(Reclaimer::hp_leaf, candidate);
-      ptr_t recheck = source->load(std::memory_order_seq_cst);
-      if (recheck.address() != candidate) continue;  // edge moved: restart
-      parent_field = recheck;
-      sr.leaf = candidate;
-
-      const word_t* current_source =
-          less_(key, sr.leaf->key) ? &sr.leaf->left : &sr.leaf->right;
-      ptr_t current_field = current_source->load(std::memory_order_seq_cst);
-      node* current = current_field.address();
-      bool restart = false;
-      [[maybe_unused]] std::uint64_t depth = 0;
-      while (current != nullptr) {
-        if constexpr (Stats::enabled) ++depth;
-        // Validated protect of `current`: announce in the scratch slot,
-        // re-read the edge from its (protected) owner.
-        dom.announce(Reclaimer::hp_scratch, current);
-        recheck = current_source->load(std::memory_order_seq_cst);
-        if (recheck.address() != current) {
-          restart = true;
-          break;
-        }
-        current_field = recheck;
-        if (!parent_field.tagged()) {
-          sr.ancestor = sr.parent;  // protected by hp_parent
-          sr.successor = sr.leaf;   // protected by hp_leaf
-          dom.announce(Reclaimer::hp_ancestor, sr.ancestor);
-          dom.announce(Reclaimer::hp_successor, sr.successor);
-        }
-        if (current_field.marked()) {
-          // `current` was reached over a frozen edge, which may point
-          // into an already-excised region. Re-validate the anchor: the
-          // last clean edge must still address the successor cleanly,
-          // proving the region was not yet detached when `current` was
-          // announced above (and any later retire's scan will see the
-          // announcement).
-          const ptr_t anchor =
-              child_field_for(sr.ancestor, key).load(
-                  std::memory_order_seq_cst);
-          if (anchor.marked() || anchor.address() != sr.successor) {
-            restart = true;
-            break;
-          }
-        }
-        sr.parent = sr.leaf;  // protected by hp_leaf
-        dom.announce(Reclaimer::hp_parent, sr.parent);
-        sr.leaf = current;  // protected by hp_scratch
-        dom.announce(Reclaimer::hp_leaf, current);
-        parent_field = current_field;
-        current_source =
-            less_(key, current->key) ? &current->left : &current->right;
-        current_field = current_source->load(std::memory_order_seq_cst);
-        current = current_field.address();
-      }
-      if (!restart) {
-        if constexpr (Stats::enabled) stats_.on_seek(depth);
-        return;
-      }
+    while (!seek_protected_from(r_, s_, key, sr)) {
+      // sentinels are never retired: restarting from them is always safe
     }
+  }
+
+  /// One validated-descent attempt starting from the (anchor → successor)
+  /// edge. The root seek passes (ℝ, 𝕊) and loops; the anchored retry
+  /// passes the recorded anchor and treats `false` (a validation failure
+  /// mid-descent) as "fall back to a root seek". Precondition: both
+  /// nodes are safe to dereference — sentinels for the root call, or
+  /// still announced in hp_ancestor/hp_successor for the anchored call.
+  bool seek_protected_from(node* anchor, node* successor, const Key& key,
+                           seek_record& sr) const {
+    auto& dom = reclaimer_.domain();
+    sr.ancestor = anchor;
+    sr.successor = successor;
+    sr.parent = successor;
+    dom.announce(Reclaimer::hp_ancestor, anchor);
+    dom.announce(Reclaimer::hp_successor, successor);
+    dom.announce(Reclaimer::hp_parent, successor);
+
+    const word_t* source = &child_field_for(successor, key);
+    // Discovery load: acquire suffices — the candidate is not
+    // dereferenced until the announce below is validated by the seq_cst
+    // recheck, and it is that recheck (not this load) that must order
+    // after the announcement store.
+    ptr_t parent_field = source->load(std::memory_order_acquire);
+    node* candidate = parent_field.address();  // internal child: never null
+    dom.announce(Reclaimer::hp_leaf, candidate);
+    // Validating re-read: seq_cst so it cannot be reordered before the
+    // seq_cst announce store above — the store-load pair guarantees any
+    // concurrent retirer's scan sees the announcement.
+    ptr_t recheck = source->load(std::memory_order_seq_cst);
+    if (recheck.address() != candidate) return false;  // edge moved
+    parent_field = recheck;
+    sr.leaf = candidate;
+
+    const word_t* current_source =
+        less_(key, sr.leaf->key) ? &sr.leaf->left : &sr.leaf->right;
+    // Discovery load (validated by the in-loop recheck): acquire.
+    ptr_t current_field = current_source->load(std::memory_order_acquire);
+    node* current = current_field.address();
+    [[maybe_unused]] std::uint64_t depth = 0;
+    while (current != nullptr) {
+      if constexpr (Stats::enabled) ++depth;
+      // Overlap the next node's cache miss with this iteration's
+      // announce/validate bookkeeping — the descent is a dependent-load
+      // chain the hardware prefetcher cannot run ahead of. Safe even if
+      // the recheck below rejects `current`: prefetch is only a hint.
+      prefetch_ro(current);
+      // Validated protect of `current`: announce in the scratch slot,
+      // re-read the edge from its (protected) owner.
+      dom.announce(Reclaimer::hp_scratch, current);
+      // Validating re-read: seq_cst, same store-load pairing with the
+      // announce as above.
+      recheck = current_source->load(std::memory_order_seq_cst);
+      if (recheck.address() != current) return false;
+      current_field = recheck;
+      if (!parent_field.tagged()) {
+        sr.ancestor = sr.parent;  // protected by hp_parent
+        sr.successor = sr.leaf;   // protected by hp_leaf
+        dom.announce(Reclaimer::hp_ancestor, sr.ancestor);
+        dom.announce(Reclaimer::hp_successor, sr.successor);
+      }
+      if (current_field.marked()) {
+        // `current` was reached over a frozen edge, which may point
+        // into an already-excised region. Re-validate the anchor: the
+        // last clean edge must still address the successor cleanly,
+        // proving the region was not yet detached when `current` was
+        // announced above (and any later retire's scan will see the
+        // announcement). seq_cst: this load is itself the validator
+        // ordering after the hp_scratch announcement.
+        const ptr_t anchor_edge =
+            child_field_for(sr.ancestor, key).load(
+                std::memory_order_seq_cst);
+        if (anchor_edge.marked() || anchor_edge.address() != sr.successor) {
+          return false;
+        }
+      }
+      sr.parent = sr.leaf;  // protected by hp_leaf
+      dom.announce(Reclaimer::hp_parent, sr.parent);
+      sr.leaf = current;  // protected by hp_scratch
+      dom.announce(Reclaimer::hp_leaf, current);
+      parent_field = current_field;
+      current_source =
+          less_(key, current->key) ? &current->left : &current->right;
+      // Discovery load (validated on the next iteration): acquire.
+      current_field = current_source->load(std::memory_order_acquire);
+      current = current_field.address();
+    }
+    if constexpr (Stats::enabled) stats_.on_seek(depth);
+    return true;
   }
 
   /// Alg. 1 — the seek phase. Traverses from ℝ to a leaf, maintaining
   /// (ancestor, successor) = the last untagged edge seen before the
   /// parent. All loads are acquire loads via tagged_word::load.
   void seek_plain(const Key& key, seek_record& sr) const {
-    sr.ancestor = r_;   // line 15
-    sr.successor = s_;  // line 16
-    sr.parent = s_;     // line 17
-    ptr_t parent_field = s_->left.load();  // line 19 (value of edge 𝕊→leaf)
-    sr.leaf = parent_field.address();      // line 18
-    ptr_t current_field = sr.leaf->left.load();  // line 20
-    node* current = current_field.address();     // line 21
+    seek_plain_from(r_, s_, key, sr);
+  }
+
+  /// Alg. 1 generalized to start from any (anchor → successor) edge on
+  /// the access path — the root seek passes (ℝ, 𝕊); the anchored retry
+  /// passes a just-validated recorded edge. `successor` must be an
+  /// internal node (every recorded successor is: it was stepped
+  /// through), so its child toward `key` is non-null.
+  void seek_plain_from(node* anchor, node* successor, const Key& key,
+                       seek_record& sr) const {
+    sr.ancestor = anchor;     // line 15
+    sr.successor = successor; // line 16
+    sr.parent = successor;    // line 17
+    // line 19 (value of the edge successor→leaf)
+    ptr_t parent_field = child_field_for(successor, key).load();
+    sr.leaf = parent_field.address();  // line 18
+    ptr_t current_field = child_field_for(sr.leaf, key).load();  // line 20
+    node* current = current_field.address();                     // line 21
     [[maybe_unused]] std::uint64_t depth = 0;
     while (current != nullptr) {  // line 22 — leaf reached when null
       if constexpr (Stats::enabled) ++depth;
+      // Overlap the next node's cache miss with this iteration's
+      // bookkeeping: the descent is a dependent-load chain the hardware
+      // prefetcher cannot run ahead of.
+      prefetch_ro(current);
       if (!parent_field.tagged()) {  // line 23
         sr.ancestor = sr.parent;     // line 24
         sr.successor = sr.leaf;      // line 25

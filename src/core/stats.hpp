@@ -59,12 +59,29 @@ enum class help_kind : std::uint16_t {
   unattributed = 2,  // baselines whose helping is not edge-marked
 };
 
+/// Why a modify operation had to re-seek. The NM tree attributes every
+/// restart; baselines keep using the unattributed on_seek_restart()
+/// overload, which only bumps the lumped total.
+enum class restart_kind : std::uint16_t {
+  injection_fail = 0,  // an injection CAS (insert, or erase's flag) lost
+  cleanup_mode = 1,    // erase's cleanup phase must retry its removal
+};
+
 struct op_record {
   std::uint64_t objects_allocated = 0;
   std::uint64_t cas_executed = 0;   // successful or failed, both count
   std::uint64_t cas_failed = 0;     // the subset that lost a race
   std::uint64_t bts_executed = 0;
   std::uint64_t seek_restarts = 0;  // re-seeks after a failed CAS
+  // Attribution of seek_restarts by cause (NM only; for the baselines'
+  // unattributed restarts the split stays zero):
+  std::uint64_t restarts_injection_fail = 0;  // a lost injection CAS
+  std::uint64_t restarts_cleanup_mode = 0;    // erase cleanup retrying
+  // Attribution of how the retry seek ran (restart::from_anchor only;
+  // zero under restart::from_root, whose retries are root seeks by
+  // policy rather than by fallback):
+  std::uint64_t seek_resumes_local = 0;     // anchor held: resumed there
+  std::uint64_t seek_anchor_fallbacks = 0;  // anchor lost: root fallback
   std::uint64_t helps = 0;          // cleanup invocations on behalf of others
   std::uint64_t helps_flagged = 0;  // ... for a flagged edge (leaf leaving)
   std::uint64_t helps_tagged = 0;   // ... for a tagged edge (parent leaving)
@@ -79,6 +96,10 @@ struct op_record {
     cas_failed -= o.cas_failed;
     bts_executed -= o.bts_executed;
     seek_restarts -= o.seek_restarts;
+    restarts_injection_fail -= o.restarts_injection_fail;
+    restarts_cleanup_mode -= o.restarts_cleanup_mode;
+    seek_resumes_local -= o.seek_resumes_local;
+    seek_anchor_fallbacks -= o.seek_anchor_fallbacks;
     helps -= o.helps;
     helps_flagged -= o.helps_flagged;
     helps_tagged -= o.helps_tagged;
@@ -94,6 +115,9 @@ struct none {
   static void on_cas_fail() noexcept {}
   static void on_bts() noexcept {}
   static void on_seek_restart() noexcept {}
+  static void on_seek_restart(restart_kind) noexcept {}
+  static void on_seek_resume_local() noexcept {}
+  static void on_seek_anchor_fallback() noexcept {}
   static void on_help() noexcept {}
   static void on_help(help_kind) noexcept {}
   static void on_cleanup() noexcept {}
@@ -119,6 +143,18 @@ struct counting {
   static void on_cas_fail() noexcept { ++local().cas_failed; }
   static void on_bts() noexcept { ++local().bts_executed; }
   static void on_seek_restart() noexcept { ++local().seek_restarts; }
+  static void on_seek_restart(restart_kind kind) noexcept {
+    op_record& r = local();
+    ++r.seek_restarts;
+    if (kind == restart_kind::injection_fail) ++r.restarts_injection_fail;
+    if (kind == restart_kind::cleanup_mode) ++r.restarts_cleanup_mode;
+  }
+  static void on_seek_resume_local() noexcept {
+    ++local().seek_resumes_local;
+  }
+  static void on_seek_anchor_fallback() noexcept {
+    ++local().seek_anchor_fallbacks;
+  }
   static void on_help() noexcept { ++local().helps; }
   static void on_help(help_kind kind) noexcept {
     op_record& r = local();

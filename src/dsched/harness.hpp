@@ -159,6 +159,11 @@ struct scenario {
   /// Keys whose terminal membership is folded into the linearizability
   /// check. Must cover every key the scripts touch.
   std::vector<int> universe;
+  /// Optional post-execution observer, invoked after the terminal
+  /// checks while the tree is still alive. Lets tests inspect
+  /// per-instance state (e.g. obs::recording counters) that dies with
+  /// the tree when run_scenario returns.
+  std::function<void(Tree&)> on_terminal;
 };
 
 /// Outcome of one scheduled execution.
@@ -221,6 +226,7 @@ execution_report run_scenario(const scenario<Tree>& sc,
 
   report.validate_error = tree.validate();
   report.linearizable = lincheck::checker::is_linearizable(h, initial_state);
+  if (sc.on_terminal) sc.on_terminal(tree);
   return report;
 }
 

@@ -34,6 +34,7 @@
 #include "core/concurrent_set.hpp"
 #include "core/natarajan_tree.hpp"
 #include "core/nm_map.hpp"
+#include "core/restart_policy.hpp"
 #include "core/sentinel_key.hpp"
 #include "core/stats.hpp"
 #include "core/tag_policy.hpp"
@@ -59,6 +60,14 @@ static_assert(ConcurrentSet<coarse_tree<long>>);
 static_assert(ConcurrentSet<dvy_tree<long>>);
 static_assert(ConcurrentSet<kary_tree<long, 4>>);
 static_assert(ConcurrentSet<nm_tree<long, std::less<long>, reclaim::hazard>>);
+static_assert(ConcurrentSet<
+              nm_tree<long, std::less<long>, reclaim::leaky, stats::none,
+                      tag_policy::bts, void, atomics::native,
+                      restart::from_root>>);
+static_assert(ConcurrentSet<
+              nm_tree<long, std::less<long>, reclaim::hazard, stats::none,
+                      tag_policy::bts, void, atomics::native,
+                      restart::from_anchor>>);
 static_assert(ConcurrentSet<shard::sharded_set<nm_tree<long>>>);
 static_assert(ConcurrentSet<shard::sharded_set<efrb_tree<long>>>);
 static_assert(ConcurrentSet<shard::sharded_set<hj_tree<long>>>);

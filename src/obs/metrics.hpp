@@ -55,6 +55,11 @@ enum class counter : unsigned {
   cas_failed,      // CAS attempts that lost a race
   bts,             // sibling-edge tags
   seek_restarts,   // re-seeks after a failed CAS
+  restarts_injection_fail,  // ... caused by a lost injection CAS
+  restarts_cleanup_mode,    // ... caused by erase's cleanup retrying
+  seek_resumes_local,       // retry seeks resumed from the anchor edge
+  seek_anchor_fallbacks,    // retry seeks that fell back to the root
+                            // because anchor validation failed
   helps,           // cleanups run on behalf of other operations
   helps_flagged,   // ... attributed to a flagged edge
   helps_tagged,    // ... attributed to a tagged edge
@@ -79,6 +84,10 @@ inline constexpr std::size_t counter_count =
     case counter::cas_failed: return "cas_failed";
     case counter::bts: return "bts";
     case counter::seek_restarts: return "seek_restarts";
+    case counter::restarts_injection_fail: return "restarts_injection_fail";
+    case counter::restarts_cleanup_mode: return "restarts_cleanup_mode";
+    case counter::seek_resumes_local: return "seek_resumes_local";
+    case counter::seek_anchor_fallbacks: return "seek_anchor_fallbacks";
     case counter::helps: return "helps";
     case counter::helps_flagged: return "helps_flagged";
     case counter::helps_tagged: return "helps_tagged";
@@ -204,6 +213,19 @@ class recording {
   void on_seek_restart() const noexcept {
     metrics_->add(counter::seek_restarts);
     trace(event_type::seek_restart);
+  }
+  void on_seek_restart(stats::restart_kind kind) const noexcept {
+    metrics_->add(counter::seek_restarts);
+    metrics_->add(kind == stats::restart_kind::injection_fail
+                      ? counter::restarts_injection_fail
+                      : counter::restarts_cleanup_mode);
+    trace(event_type::seek_restart, 0, static_cast<std::uint16_t>(kind));
+  }
+  void on_seek_resume_local() const noexcept {
+    metrics_->add(counter::seek_resumes_local);
+  }
+  void on_seek_anchor_fallback() const noexcept {
+    metrics_->add(counter::seek_anchor_fallbacks);
   }
   void on_help() const noexcept {
     on_help(stats::help_kind::unattributed);

@@ -1,0 +1,264 @@
+// Tests for the restart-policy axis (core/restart_policy.hpp): anchor
+// validation, local resume, root fallback, and the counter attribution
+// that distinguishes them.
+//
+// The deterministic scenarios all use the degenerate right-spine shape
+// that inserting {1, 2, 3} in ascending order produces:
+//
+//         𝕊 ── A(∞₀) ── B(2) ── C(3)
+//                        │ \      │ \
+//                  leaf(1) ..  leaf(2) leaf(3)
+//
+// A seek for 3 records (ancestor=B, successor=C, parent=C, leaf=leaf 3).
+// Erasing 2 excises C (B.right swings to leaf 3) — the anchor edge
+// changes address. A stalled delete of 1 tags B.right — the anchor edge
+// becomes marked. Both must force the root fallback; an undisturbed
+// anchor must not.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/natarajan_tree.hpp"
+#include "core/restart_policy.hpp"
+#include "obs/metrics.hpp"
+#include "reclaim/hazard_reclaimer.hpp"
+#include "nm_test_access.hpp"
+
+namespace lfbst {
+namespace {
+
+using access = nm_tree_test_access;
+
+using counting_anchor =
+    nm_tree<int, std::less<int>, reclaim::leaky, stats::counting,
+            tag_policy::bts, void, atomics::native, restart::from_anchor>;
+using counting_root =
+    nm_tree<int, std::less<int>, reclaim::leaky, stats::counting,
+            tag_policy::bts, void, atomics::native, restart::from_root>;
+using hazard_anchor =
+    nm_tree<int, std::less<int>, reclaim::hazard, stats::none,
+            tag_policy::bts, void, atomics::native, restart::from_anchor>;
+using hazard_root =
+    nm_tree<int, std::less<int>, reclaim::hazard, stats::none,
+            tag_policy::bts, void, atomics::native, restart::from_root>;
+using recording_anchor =
+    nm_tree<int, std::less<int>, reclaim::leaky, obs::recording,
+            tag_policy::bts, void, atomics::native, restart::from_anchor>;
+using recording_root =
+    nm_tree<int, std::less<int>, reclaim::leaky, obs::recording,
+            tag_policy::bts, void, atomics::native, restart::from_root>;
+
+template <typename Tree>
+void build_spine(Tree& t) {
+  ASSERT_TRUE(t.insert(1));
+  ASSERT_TRUE(t.insert(2));
+  ASSERT_TRUE(t.insert(3));
+}
+
+// --- local resume ----------------------------------------------------
+
+TEST(NmRestart, RetrySeekResumesLocallyWhenAnchorIntact) {
+  counting_anchor t;
+  build_spine(t);
+  auto sr = access::seek(t, 3);
+  stats::counting::reset();
+
+  access::retry_seek(t, 3, sr);
+
+  const auto fresh = access::seek(t, 3);
+  EXPECT_TRUE(access::records_equal(sr, fresh));
+  const auto rec = stats::counting::local();
+  EXPECT_EQ(rec.seek_resumes_local, 1u);
+  EXPECT_EQ(rec.seek_anchor_fallbacks, 0u);
+}
+
+TEST(NmRestart, AnchorHoldsOnUndisturbedRecord) {
+  counting_anchor t;
+  build_spine(t);
+  auto sr = access::seek(t, 3);
+  EXPECT_TRUE(access::anchor_holds(t, 3, sr));
+  EXPECT_TRUE(access::record_leaf_matches(t, 3, sr));
+}
+
+// --- root fallback: anchor edge swung to a different address ---------
+
+TEST(NmRestart, RetrySeekFallsBackWhenAnchorExcised) {
+  counting_anchor t;
+  build_spine(t);
+  auto sr = access::seek(t, 3);
+  // Erasing 2 excises internal node C: the recorded anchor edge
+  // (B.right) now addresses leaf 3 directly, not the successor.
+  ASSERT_TRUE(t.erase(2));
+  stats::counting::reset();
+
+  access::retry_seek(t, 3, sr);
+
+  EXPECT_TRUE(access::record_leaf_matches(t, 3, sr));
+  const auto rec = stats::counting::local();
+  EXPECT_EQ(rec.seek_resumes_local, 0u);
+  EXPECT_EQ(rec.seek_anchor_fallbacks, 1u);
+}
+
+TEST(NmRestart, AnchorValidationRejectsExcisedEdge) {
+  counting_anchor t;
+  build_spine(t);
+  auto sr = access::seek(t, 3);
+  ASSERT_TRUE(t.erase(2));
+  EXPECT_FALSE(access::anchor_holds(t, 3, sr));
+}
+
+// --- root fallback: anchor edge marked by a concurrent delete --------
+
+TEST(NmRestart, RetrySeekFallsBackWhenAnchorMarked) {
+  counting_anchor t;
+  build_spine(t);
+  auto sr = access::seek(t, 3);
+  // A delete of 1 stalled between its BTS and its ancestor CAS leaves
+  // B.left flagged and B.right — the recorded anchor edge for key 3 —
+  // tagged. A marked edge is frozen and proves nothing about
+  // reachability, so validation must reject it.
+  ASSERT_TRUE(access::inject_stalled_delete_tagged(t, 1));
+  stats::counting::reset();
+
+  access::retry_seek(t, 3, sr);
+
+  EXPECT_TRUE(access::record_leaf_matches(t, 3, sr));
+  // The fallback root seek walked through the tagged anchor edge, so
+  // its record skips that region: successor ≠ parent.
+  EXPECT_TRUE(access::record_skipped_tagged_region(sr));
+  const auto rec = stats::counting::local();
+  EXPECT_EQ(rec.seek_resumes_local, 0u);
+  EXPECT_EQ(rec.seek_anchor_fallbacks, 1u);
+}
+
+// --- from_root: the retry path is a root seek by policy --------------
+
+TEST(NmRestart, FromRootPolicyNeverTouchesAnchorCounters) {
+  counting_root t;
+  build_spine(t);
+  auto sr = access::seek(t, 3);
+  ASSERT_TRUE(t.erase(2));
+  stats::counting::reset();
+
+  access::retry_seek(t, 3, sr);
+
+  EXPECT_TRUE(access::record_leaf_matches(t, 3, sr));
+  const auto rec = stats::counting::local();
+  EXPECT_EQ(rec.seek_resumes_local, 0u);
+  EXPECT_EQ(rec.seek_anchor_fallbacks, 0u);
+}
+
+TEST(NmRestart, PoliciesAgreeOnSequentialHistory) {
+  counting_anchor a;
+  counting_root r;
+  for (int k = 0; k < 64; k += 2) {
+    EXPECT_EQ(a.insert(k), r.insert(k));
+  }
+  for (int k = 0; k < 64; k += 3) {
+    EXPECT_EQ(a.erase(k), r.erase(k));
+  }
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_EQ(a.contains(k), r.contains(k)) << k;
+  }
+  EXPECT_EQ(a.validate(), "");
+  EXPECT_EQ(r.validate(), "");
+}
+
+// --- hazard reclamation: the protected anchored descent --------------
+
+TEST(NmRestart, HazardRetrySeekResumesLocally) {
+  hazard_anchor t;
+  build_spine(t);
+  auto sr = access::seek(t, 3);
+  access::retry_seek(t, 3, sr);
+  const auto fresh = access::seek(t, 3);
+  EXPECT_TRUE(access::records_equal(sr, fresh));
+}
+
+TEST(NmRestart, HazardRetrySeekFallsBackAfterExcision) {
+  hazard_anchor t;
+  build_spine(t);
+  auto sr = access::seek(t, 3);
+  // The excised successor stays protected by this thread's own
+  // hp_successor announcement, so the validation load is safe even
+  // though the node has been retired.
+  ASSERT_TRUE(t.erase(2));
+  access::retry_seek(t, 3, sr);
+  EXPECT_TRUE(access::record_leaf_matches(t, 3, sr));
+}
+
+// --- contended runs: the counter algebra must hold exactly -----------
+//
+// Every attributed restart (injection_fail or cleanup_mode) is followed
+// by exactly one seek_retry, which under from_anchor resolves to either
+// a local resume or a root fallback — and to neither under from_root.
+
+template <typename Tree>
+void churn(Tree& t, unsigned threads, int keys, int iters) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> ts;
+  for (unsigned i = 0; i < threads; ++i) {
+    ts.emplace_back([&t, &go, keys, iters, i] {
+      // Independent random streams over the same tiny key range: all
+      // threads hammer the same few leaves, so injection CASes collide
+      // and cleanups contend.
+      pcg32 rng(0x2545f491u + i);
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int n = 0; n < iters; ++n) {
+        const int k = static_cast<int>(rng.bounded(static_cast<std::uint32_t>(keys)));
+        if (rng.bounded(2) != 0) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : ts) th.join();
+}
+
+TEST(NmRestart, ContendedCounterAlgebraFromAnchor) {
+  recording_anchor t;
+  churn(t, 4, 4, 20000);
+  EXPECT_EQ(t.validate(), "");
+  const auto s = t.stats().counters().snapshot();
+  EXPECT_EQ(s[obs::counter::seek_restarts],
+            s[obs::counter::restarts_injection_fail] +
+                s[obs::counter::restarts_cleanup_mode]);
+  EXPECT_EQ(s[obs::counter::seek_restarts],
+            s[obs::counter::seek_resumes_local] +
+                s[obs::counter::seek_anchor_fallbacks]);
+}
+
+TEST(NmRestart, ContendedCounterAlgebraFromRoot) {
+  recording_root t;
+  churn(t, 4, 4, 20000);
+  EXPECT_EQ(t.validate(), "");
+  const auto s = t.stats().counters().snapshot();
+  EXPECT_EQ(s[obs::counter::seek_restarts],
+            s[obs::counter::restarts_injection_fail] +
+                s[obs::counter::restarts_cleanup_mode]);
+  EXPECT_EQ(s[obs::counter::seek_resumes_local], 0u);
+  EXPECT_EQ(s[obs::counter::seek_anchor_fallbacks], 0u);
+}
+
+TEST(NmRestart, ContendedHazardSmokeBothPolicies) {
+  {
+    hazard_anchor t;
+    churn(t, 4, 8, 10000);
+    EXPECT_EQ(t.validate(), "");
+  }
+  {
+    hazard_root t;
+    churn(t, 4, 8, 10000);
+    EXPECT_EQ(t.validate(), "");
+  }
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -58,6 +58,25 @@ struct nm_tree_test_access {
     return true;
   }
 
+  /// Runs the retry-path seek (seek_retry) against a caller-held seek
+  /// record — the exact call a failed CAS makes. Under
+  /// restart::from_anchor this exercises anchor validation + local
+  /// resume / root fallback; under restart::from_root it is a root seek.
+  template <typename Tree>
+  static void retry_seek(const Tree& t, const typename Tree::key_type& key,
+                         typename Tree::seek_record& sr) {
+    t.seek_retry(key, sr);
+  }
+
+  /// Directly probes anchor validation for a record. On success the
+  /// record has been resumed from the anchor (sr is updated); on
+  /// failure sr is untouched and the caller would root-seek.
+  template <typename Tree>
+  static bool anchor_holds(const Tree& t, const typename Tree::key_type& key,
+                           typename Tree::seek_record& sr) {
+    return t.try_seek_from_anchor(key, sr);
+  }
+
   /// Runs one cleanup pass for `key` using a fresh seek record; returns
   /// whether this call's CAS performed the physical removal.
   template <typename Tree>
@@ -65,6 +84,27 @@ struct nm_tree_test_access {
     typename Tree::seek_record sr;
     t.seek(key, sr);
     return t.cleanup(key, sr);
+  }
+
+  /// True iff two seek records name the same four access-path nodes.
+  template <typename Record>
+  static bool records_equal(const Record& a, const Record& b) {
+    return a.ancestor == b.ancestor && a.successor == b.successor &&
+           a.parent == b.parent && a.leaf == b.leaf;
+  }
+
+  /// True iff a held record's leaf carries `key`.
+  template <typename Tree>
+  static bool record_leaf_matches(const Tree& t,
+                                  const typename Tree::key_type& key,
+                                  const typename Tree::seek_record& sr) {
+    return t.less_.equal(key, sr.leaf->key);
+  }
+
+  /// Whether a held record skipped a tagged region (successor ≠ parent).
+  template <typename Record>
+  static bool record_skipped_tagged_region(const Record& sr) {
+    return sr.successor != sr.parent;
   }
 
   /// True iff the edge from the seek parent to the seek leaf for `key`

@@ -20,8 +20,10 @@
 
 #include "baselines/efrb_tree.hpp"
 #include "core/natarajan_tree.hpp"
+#include "core/restart_policy.hpp"
 #include "dsched/atomics.hpp"
 #include "dsched/harness.hpp"
+#include "obs/metrics.hpp"
 
 namespace lfbst {
 namespace {
@@ -266,6 +268,163 @@ TEST(DschedScenarios, EfrbInsertDeleteConflictPct) {
 // proving the explorer's termination-and-coverage logic on a real tree
 // (a lone insert against a lone contains in a fresh tree).
 // --------------------------------------------------------------------
+
+// --------------------------------------------------------------------
+// Restart-policy coverage: the anchored retry must stay sound when the
+// recorded (ancestor → successor) edge is excised or marked between a
+// failed CAS and the local re-seek. The {1,2,3} right spine plus three
+// racing deletes nests the cleanup regions (Fig. 2), so the loser of an
+// ancestor CAS can hold a seek record whose anchor sits inside the
+// winner's excised region — exactly the window anchor validation
+// guards. Explored for both tag policies × both restart policies; the
+// default-policy aliases above (sched_nm, sched_nm_cas_only) already
+// run from_anchor, so the explicit aliases here pin the from_root
+// ablation and attach obs::recording to the from_anchor runs so the
+// exploration can prove both retry outcomes (local resume AND root
+// fallback) were actually exercised.
+// --------------------------------------------------------------------
+
+using sched_nm_anchor_rec =
+    nm_tree<int, std::less<int>, reclaim::leaky, obs::recording,
+            tag_policy::bts, void, dsched::sched_atomics,
+            restart::from_anchor>;
+using sched_nm_cas_only_anchor_rec =
+    nm_tree<int, std::less<int>, reclaim::leaky, obs::recording,
+            tag_policy::cas_only, void, dsched::sched_atomics,
+            restart::from_anchor>;
+using sched_nm_root =
+    nm_tree<int, std::less<int>, reclaim::leaky, stats::none,
+            tag_policy::bts, void, dsched::sched_atomics,
+            restart::from_root>;
+using sched_nm_cas_only_root =
+    nm_tree<int, std::less<int>, reclaim::leaky, stats::none,
+            tag_policy::cas_only, void, dsched::sched_atomics,
+            restart::from_root>;
+
+// The excised-anchor scenario: three deletes whose cleanup regions nest
+// on the right spine, plus an insert that collides with the deepest
+// leaf so the injection-failure retry path is explored too.
+template <typename Tree>
+dsched::scenario<Tree> anchor_excision_scenario() {
+  return make_scenario<Tree>(
+      /*setup=*/{1, 2, 3},
+      /*threads=*/{{{'e', 3}}, {{'e', 2}}, {{'i', 4}}},
+      /*universe=*/{1, 2, 3, 4});
+}
+
+TEST(DschedScenarios, AnchorRestartExcisedAnchorDfs) {
+  auto sc = anchor_excision_scenario<sched_nm_anchor_rec>();
+  obs::metrics_snapshot total;
+  sc.on_terminal = [&total](sched_nm_anchor_rec& t) {
+    total.merge(t.stats().counters().snapshot());
+  };
+  const auto sum = dsched::explore_dfs(sc, dsched::scaled_budget(1500));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GE(sum.executions, 1000u);
+  // A lost ancestor CAS *is* a change of the anchor edge, so the
+  // cleanup-mode retries in this scenario must all have detected the
+  // excised anchor and fallen back to the root.
+  EXPECT_GT(total[obs::counter::seek_anchor_fallbacks], 0u);
+  // Attribution algebra, summed over every execution: each attributed
+  // restart resolved to exactly one retry outcome.
+  EXPECT_EQ(total[obs::counter::seek_restarts],
+            total[obs::counter::restarts_injection_fail] +
+                total[obs::counter::restarts_cleanup_mode]);
+  EXPECT_EQ(total[obs::counter::seek_restarts],
+            total[obs::counter::seek_resumes_local] +
+                total[obs::counter::seek_anchor_fallbacks]);
+}
+
+TEST(DschedScenarios, AnchorRestartExcisedAnchorCasOnlyDfs) {
+  auto sc = anchor_excision_scenario<sched_nm_cas_only_anchor_rec>();
+  obs::metrics_snapshot total;
+  sc.on_terminal = [&total](sched_nm_cas_only_anchor_rec& t) {
+    total.merge(t.stats().counters().snapshot());
+  };
+  const auto sum = dsched::explore_dfs(sc, dsched::scaled_budget(1500));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GT(total[obs::counter::seek_anchor_fallbacks], 0u);
+  EXPECT_EQ(total[obs::counter::seek_restarts],
+            total[obs::counter::seek_resumes_local] +
+                total[obs::counter::seek_anchor_fallbacks]);
+}
+
+// The local-resume window: two inserts race on the same leaf. The
+// loser's failed injection CAS changed only the parent edge; its
+// recorded anchor (the grandparent edge) is untouched and clean, so
+// every lost race must resume locally — and with no delete anywhere,
+// the root fallback must never fire.
+
+TEST(DschedScenarios, AnchorRestartLocalResumeDfs) {
+  auto sc = make_scenario<sched_nm_anchor_rec>(
+      /*setup=*/{1, 2, 3},
+      /*threads=*/{{{'i', 4}}, {{'i', 5}}},
+      /*universe=*/{1, 2, 3, 4, 5});
+  obs::metrics_snapshot total;
+  sc.on_terminal = [&total](sched_nm_anchor_rec& t) {
+    total.merge(t.stats().counters().snapshot());
+  };
+  const auto sum = dsched::explore_dfs(sc, dsched::scaled_budget(2000));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GT(total[obs::counter::seek_resumes_local], 0u);
+  EXPECT_EQ(total[obs::counter::seek_anchor_fallbacks], 0u);
+  EXPECT_EQ(total[obs::counter::seek_restarts],
+            total[obs::counter::restarts_injection_fail]);
+  EXPECT_EQ(total[obs::counter::seek_restarts],
+            total[obs::counter::seek_resumes_local]);
+}
+
+TEST(DschedScenarios, AnchorRestartLocalResumeCasOnlyDfs) {
+  auto sc = make_scenario<sched_nm_cas_only_anchor_rec>(
+      /*setup=*/{1, 2, 3},
+      /*threads=*/{{{'i', 4}}, {{'i', 5}}},
+      /*universe=*/{1, 2, 3, 4, 5});
+  obs::metrics_snapshot total;
+  sc.on_terminal = [&total](sched_nm_cas_only_anchor_rec& t) {
+    total.merge(t.stats().counters().snapshot());
+  };
+  const auto sum = dsched::explore_dfs(sc, dsched::scaled_budget(2000));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GT(total[obs::counter::seek_resumes_local], 0u);
+  EXPECT_EQ(total[obs::counter::seek_anchor_fallbacks], 0u);
+}
+
+TEST(DschedScenarios, FromRootExcisedAnchorDfs) {
+  auto sc = anchor_excision_scenario<sched_nm_root>();
+  const auto sum = dsched::explore_dfs(sc, dsched::scaled_budget(1500));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GE(sum.executions, 1000u);
+}
+
+TEST(DschedScenarios, FromRootExcisedAnchorCasOnlyDfs) {
+  auto sc = anchor_excision_scenario<sched_nm_cas_only_root>();
+  const auto sum = dsched::explore_dfs(sc, dsched::scaled_budget(1500));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+}
+
+TEST(DschedScenarios, AnchorRestartMultiLeafExcisionPct) {
+  // The pure Fig. 2 chain under a PCT sweep for both restart policies:
+  // depth-4 priority preemption is strong on the ancestor-CAS windows
+  // that decide whether a loser's anchor survives.
+  auto anchored = make_scenario<sched_nm_anchor_rec>(
+      {1, 2, 3}, {{{'e', 3}}, {{'e', 2}}, {{'e', 1}}}, {1, 2, 3});
+  obs::metrics_snapshot total;
+  anchored.on_terminal = [&total](sched_nm_anchor_rec& t) {
+    total.merge(t.stats().counters().snapshot());
+  };
+  const auto a = dsched::explore_pct(anchored, 71, dsched::scaled_budget(300),
+                                     /*depth=*/4);
+  EXPECT_TRUE(a.all_ok()) << a.first_failure;
+  EXPECT_EQ(total[obs::counter::seek_restarts],
+            total[obs::counter::seek_resumes_local] +
+                total[obs::counter::seek_anchor_fallbacks]);
+
+  auto rooted = make_scenario<sched_nm_root>(
+      {1, 2, 3}, {{{'e', 3}}, {{'e', 2}}, {{'e', 1}}}, {1, 2, 3});
+  const auto r = dsched::explore_pct(rooted, 71, dsched::scaled_budget(300),
+                                     /*depth=*/4);
+  EXPECT_TRUE(r.all_ok()) << r.first_failure;
+}
 
 TEST(DschedScenarios, TinyScenarioExhaustsCompletely) {
   auto sc = make_scenario<sched_nm>(

@@ -16,6 +16,7 @@
 #include "core/natarajan_tree.hpp"
 #include "harness/runner.hpp"
 #include "harness/workload.hpp"
+#include "shard/sharded_set.hpp"
 
 namespace lfbst::obs {
 namespace {
@@ -75,6 +76,31 @@ TEST(Metrics, CounterNamesAreStable) {
   EXPECT_STREQ(counter_name(counter::helps_flagged), "helps_flagged");
   EXPECT_STREQ(counter_name(counter::helps_tagged), "helps_tagged");
   EXPECT_STREQ(counter_name(counter::excised_nodes), "excised_nodes");
+  EXPECT_STREQ(counter_name(counter::restarts_injection_fail),
+               "restarts_injection_fail");
+  EXPECT_STREQ(counter_name(counter::restarts_cleanup_mode),
+               "restarts_cleanup_mode");
+  EXPECT_STREQ(counter_name(counter::seek_resumes_local),
+               "seek_resumes_local");
+  EXPECT_STREQ(counter_name(counter::seek_anchor_fallbacks),
+               "seek_anchor_fallbacks");
+}
+
+TEST(Recording, RestartAttributionSplitsByKind) {
+  recording rec;
+  rec.on_seek_restart(stats::restart_kind::injection_fail);
+  rec.on_seek_restart(stats::restart_kind::injection_fail);
+  rec.on_seek_restart(stats::restart_kind::cleanup_mode);
+  rec.on_seek_restart();  // unattributed (baseline trees)
+  rec.on_seek_resume_local();
+  rec.on_seek_resume_local();
+  rec.on_seek_anchor_fallback();
+  const metrics_snapshot s = rec.counters().snapshot();
+  EXPECT_EQ(s[counter::seek_restarts], 4u);
+  EXPECT_EQ(s[counter::restarts_injection_fail], 2u);
+  EXPECT_EQ(s[counter::restarts_cleanup_mode], 1u);
+  EXPECT_EQ(s[counter::seek_resumes_local], 2u);
+  EXPECT_EQ(s[counter::seek_anchor_fallbacks], 1u);
 }
 
 TEST(Recording, CountsOperationsOnNmTree) {
@@ -97,6 +123,10 @@ TEST(Recording, CountsOperationsOnNmTree) {
   EXPECT_EQ(s[counter::cas_failed], 0u);
   EXPECT_EQ(s[counter::helps], 0u);
   EXPECT_EQ(s[counter::seek_restarts], 0u);
+  EXPECT_EQ(s[counter::restarts_injection_fail], 0u);
+  EXPECT_EQ(s[counter::restarts_cleanup_mode], 0u);
+  EXPECT_EQ(s[counter::seek_resumes_local], 0u);
+  EXPECT_EQ(s[counter::seek_anchor_fallbacks], 0u);
   // Every successful erase runs cleanup; each excises at least one leaf.
   EXPECT_GE(s[counter::cleanups], 5u);
   EXPECT_EQ(s[counter::excisions], 5u);
@@ -170,6 +200,64 @@ TEST(Recording, ConcurrentWorkloadCountsAreConsistent) {
   // Every excision excises at least one node.
   EXPECT_GE(s[counter::excised_nodes], s[counter::excisions]);
   EXPECT_LE(s[counter::excisions], s[counter::cleanups]);
+}
+
+TEST(Recording, RestartCounterAlgebraUnderContention) {
+  // Every attributed restart (NM attributes them all) is followed by
+  // exactly one retry seek, which under the default restart::from_anchor
+  // resolves to a local resume or a root fallback — never both, never
+  // neither. The algebra must hold exactly for any interleaving.
+  using tree_t = nm_tree<long, std::less<long>, reclaim::leaky, recording>;
+  tree_t tree;
+  harness::workload_config cfg;
+  cfg.key_range = 64;  // tiny range: adjacent-leaf churn, real contention
+  cfg.mix = harness::write_dominated;
+  cfg.threads = 4;
+  cfg.duration = std::chrono::milliseconds(50);
+  (void)harness::run_workload(tree, cfg);
+
+  const metrics_snapshot s = tree.stats().counters().snapshot();
+  EXPECT_EQ(s[counter::seek_restarts],
+            s[counter::restarts_injection_fail] +
+                s[counter::restarts_cleanup_mode]);
+  EXPECT_EQ(s[counter::seek_restarts],
+            s[counter::seek_resumes_local] +
+                s[counter::seek_anchor_fallbacks]);
+}
+
+TEST(Recording, ShardMergeSurfacesRestartCounters) {
+  // The shard front-end's merged_counters() must fold the new restart
+  // attribution counters exactly like any other counter (the merge is
+  // a generic loop — this pins that new counters actually flow).
+  using tree_t = nm_tree<long, std::less<long>, reclaim::leaky, recording>;
+  shard::sharded_set<tree_t> set(4, 0, 64);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&set, t] {
+      for (int n = 0; n < 20'000; ++n) {
+        const long k = (n + static_cast<int>(t)) % 64;
+        if ((n & 1) != 0) {
+          set.insert(k);
+        } else {
+          set.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const metrics_snapshot merged = set.merged_counters();
+  metrics_snapshot manual;
+  for (std::size_t i = 0; i < set.shard_count(); ++i) {
+    manual.merge(set.shard(i).stats().counters().snapshot());
+  }
+  EXPECT_EQ(merged.values, manual.values);
+  EXPECT_EQ(merged[counter::seek_restarts],
+            merged[counter::restarts_injection_fail] +
+                merged[counter::restarts_cleanup_mode]);
+  EXPECT_EQ(merged[counter::seek_restarts],
+            merged[counter::seek_resumes_local] +
+                merged[counter::seek_anchor_fallbacks]);
 }
 
 TEST(LatencyObserver, RecordsEveryOperation) {

@@ -22,6 +22,17 @@ Two studies, two different comparisons:
       tolerance band (default 25%) for residual noise. A ratio that
       grew past the band is a real relative slowdown of that algorithm.
 
+A third check is *within-report* (no baseline needed):
+
+  restart_policy — contended churn under restart::from_anchor vs
+      restart::from_root (docs/PERF.md). The anchored local restart
+      must not lose throughput against the full root restart (band
+      --restart-slack, default 30% — the study is short and noisy by
+      design), and when the run actually produced seek restarts
+      (contention is machine-dependent; a 1-core runner produces
+      none), the from_anchor row must show local resumes — proof the
+      optimization is live, not silently disabled.
+
 Exit status 0 iff every check passes.
 """
 
@@ -126,6 +137,55 @@ def check_atomics(current, baseline, tolerance):
     return failures
 
 
+# Restarts below this count mean the run was effectively uncontended
+# (e.g. a single-core runner): there is nothing meaningful to attribute,
+# so the local-resume liveness check is skipped.
+RESTART_LIVENESS_MIN = 50
+
+
+def check_restart_policy(current, slack):
+    failures = []
+    rows = {r["policy"]: r for r in rows_by_study(current, "restart_policy")}
+    if not rows:
+        print("  [skip] restart_policy: study absent from current report")
+        return failures
+    for policy in ("from_anchor", "from_root"):
+        if policy not in rows:
+            failures.append(f"restart_policy: row {policy!r} missing")
+    if failures:
+        return failures
+    anchor, root = rows["from_anchor"], rows["from_root"]
+    a_mops, r_mops = float(anchor["mops"]), float(root["mops"])
+    floor = r_mops * (1.0 - slack)
+    status = "FAIL" if a_mops < floor else "ok"
+    print(f"  [{status}] restart_policy from_anchor {a_mops:.3f} Mops/s vs "
+          f"from_root {r_mops:.3f} (floor {floor:.3f})")
+    if a_mops < floor:
+        failures.append(
+            f"restart_policy: from_anchor throughput {a_mops:.3f} Mops/s "
+            f"fell more than {100 * slack:.0f}% below from_root "
+            f"{r_mops:.3f} — the anchored restart is a net loss")
+    restarts = int(anchor["seek_restarts"])
+    resumes = int(anchor["seek_resumes_local"])
+    fallbacks = int(anchor["seek_anchor_fallbacks"])
+    if restarts >= RESTART_LIVENESS_MIN:
+        status = "FAIL" if resumes == 0 else "ok"
+        print(f"  [{status}] restart_policy from_anchor attribution: "
+              f"{restarts} restarts -> {resumes} local, {fallbacks} fallback")
+        if resumes == 0:
+            failures.append(
+                f"restart_policy: {restarts} restarts under from_anchor but "
+                f"zero local resumes — anchor validation never succeeds")
+        if resumes + fallbacks != restarts:
+            failures.append(
+                f"restart_policy: attribution algebra broken: "
+                f"{resumes} + {fallbacks} != {restarts}")
+    else:
+        print(f"  [skip] restart_policy attribution: only {restarts} "
+              f"restarts (uncontended run, need {RESTART_LIVENESS_MIN})")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="fresh bench_micro_ops --json output")
@@ -134,6 +194,9 @@ def main():
                     help="allowed relative-throughput growth (0.25 = 25%%)")
     ap.add_argument("--atomics-tolerance", type=float, default=0.05,
                     help="allowed absolute drift of per-op atomic counts")
+    ap.add_argument("--restart-slack", type=float, default=0.30,
+                    help="allowed from_anchor vs from_root throughput "
+                         "shortfall in the restart_policy study")
     args = ap.parse_args()
 
     try:
@@ -146,6 +209,7 @@ def main():
     print(f"perf gate: {args.current} vs {args.baseline}")
     failures = check_atomics(current, baseline, args.atomics_tolerance)
     failures += check_micro(current, baseline, args.max_regression)
+    failures += check_restart_policy(current, args.restart_slack)
 
     if failures:
         print(f"\nFAIL: {len(failures)} perf-gate violation(s):",
