@@ -21,7 +21,11 @@
 //                         restart::from_anchor vs restart::from_root,
 //                         throughput plus the retry attribution
 //                         counters (docs/PERF.md). The gate checks
-//                         from_anchor does not regress vs from_root.
+//                         from_anchor does not regress vs from_root;
+//       study "scan"    — ordered-scan throughput with and without
+//                         concurrent writers, per reclaimer. Rows are
+//                         self-checking (sorted, stable-complete); the
+//                         gate fails on any violated scan invariant.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -287,6 +291,71 @@ restart_policy_sample measure_restart_policy(unsigned threads,
   return s;
 }
 
+// Concurrent-scan sample: writers churn the odd (CHURN) keys while the
+// measuring thread runs fixed-count ordered scans; even (STABLE) keys
+// are pre-inserted and never touched. The row is self-checking, not
+// baseline-compared: `sorted` and `stable_complete` must be 1 in every
+// row (tools/check_perf_regression.py check_scan enforces this), and
+// with writers=0 the keys_per_scan is exactly the stable population —
+// a deterministic count, so any drift is a scan-protocol change.
+struct scan_sample {
+  double mkeys_per_sec = 0;  // emitted keys per wall second, millions
+  double keys_per_scan = 0;
+  std::uint64_t scan_restarts = 0;
+  bool sorted = true;
+  bool stable_complete = true;
+};
+
+template <typename Tree>
+scan_sample measure_scan(unsigned writer_threads, int scans,
+                         long key_range) {
+  Tree tree;
+  for (long k = 0; k < key_range; k += 2) tree.insert(k);
+  const std::uint64_t stable = static_cast<std::uint64_t>(key_range) / 2;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < writer_threads; ++t) {
+    writers.emplace_back([&tree, &stop, key_range, t] {
+      pcg32 rng(0x2545F491u + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const long k =
+            2 * static_cast<long>(
+                    rng.bounded(static_cast<std::uint32_t>(key_range / 2))) +
+            1;
+        if (rng.bounded(2) != 0) {
+          tree.insert(k);
+        } else {
+          tree.erase(k);
+        }
+      }
+    });
+  }
+  scan_sample s;
+  std::uint64_t emitted = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < scans; ++i) {
+    const std::vector<long> got = tree.range_scan_closed(0, key_range - 1);
+    emitted += got.size();
+    std::uint64_t stable_seen = 0;
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      if (j > 0 && got[j - 1] >= got[j]) s.sorted = false;
+      if ((got[j] & 1) == 0) ++stable_seen;
+    }
+    if (stable_seen != stable) s.stable_complete = false;
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  stop.store(true, std::memory_order_release);
+  for (auto& w : writers) w.join();
+  s.mkeys_per_sec =
+      static_cast<double>(emitted) * 1e3 / static_cast<double>(ns);
+  s.keys_per_scan = static_cast<double>(emitted) / scans;
+  s.scan_restarts = tree.stats().counters().snapshot()
+                        [obs::counter::scan_restarts];
+  return s;
+}
+
 int run_json_mode(const lfbst::bench::flags& flags) {
   const std::string path = flags.get("json", "micro_ops.json");
   const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 200'000));
@@ -374,6 +443,33 @@ int run_json_mode(const lfbst::bench::flags& flags) {
               tag_policy::bts, void, atomics::native, restart::from_root>>(
       "from_root");
 
+  // Concurrent-scan study: self-checking rows (see measure_scan). One
+  // uncontended row per reclaimer pins the deterministic key count;
+  // the contended rows prove completeness/sortedness under real churn
+  // on both the pinned (epoch) and validated (hazard) scan paths.
+  harness::text_table scan({"study", "algorithm", "writers", "scans",
+                            "mkeys_per_sec", "keys_per_scan",
+                            "scan_restarts", "sorted", "stable_complete"});
+  constexpr long kScanRange = 8'192;
+  constexpr int kScans = 50;
+  auto scan_row = [&]<typename Tree>(const char* name, unsigned writers) {
+    const scan_sample s = measure_scan<Tree>(writers, kScans, kScanRange);
+    scan.add_row({"scan", name, std::to_string(writers),
+                  std::to_string(kScans),
+                  harness::format("%.3f", s.mkeys_per_sec),
+                  harness::format("%.1f", s.keys_per_scan),
+                  std::to_string(s.scan_restarts),
+                  s.sorted ? "1" : "0", s.stable_complete ? "1" : "0"});
+  };
+  using scan_epoch = nm_tree<long, std::less<long>, reclaim::epoch,
+                             obs::recording>;
+  using scan_hazard = nm_tree<long, std::less<long>, reclaim::hazard,
+                              obs::recording>;
+  scan_row.template operator()<scan_epoch>("NM-BST/epoch", 0);
+  scan_row.template operator()<scan_epoch>("NM-BST/epoch", 2);
+  scan_row.template operator()<scan_hazard>("NM-BST/hazard", 0);
+  scan_row.template operator()<scan_hazard>("NM-BST/hazard", 2);
+
   obs::bench_report report("micro_ops");
   report.config.set("ops", ops);
   report.config.set("seed", seed);
@@ -383,6 +479,9 @@ int run_json_mode(const lfbst::bench::flags& flags) {
   for (const auto& row : atomics_rows.items()) report.add_result(row);
   const obs::json::value rp_rows = obs::rows_from_table(rp.header(), rp.rows());
   for (const auto& row : rp_rows.items()) report.add_result(row);
+  const obs::json::value scan_rows =
+      obs::rows_from_table(scan.header(), scan.rows());
+  for (const auto& row : scan_rows.items()) report.add_result(row);
   if (!report.write_file(path)) return 1;
   std::printf("JSON report: %s\n", path.c_str());
   return 0;

@@ -11,6 +11,9 @@
 //   metrics : merged per-shard counters from an obs::recording run,
 //             one row per counter — the PR 2 merge algebra folded
 //             across shards.
+//   scan    : cross-shard ordered scans racing writers, self-checking
+//             (sorted + stable-key completeness columns the perf gate
+//             enforces).
 //
 // Defaults are laptop-sized; scale with flags:
 //   bench_sharded --millis 2000 --threads 1,2,4,8 --shards 1,2,4,8,16
@@ -196,6 +199,78 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- scan study ------------------------------------------------------
+  // Cross-shard ordered scans racing writers — no quiescence anywhere.
+  // Self-checking rows: even (STABLE) keys are pre-inserted and never
+  // touched, odd keys churn; every scan must report all stable keys in
+  // order. The gate (check_scan) fails the build on a violated row.
+  text_table scan_tbl({"study", "algorithm", "shards", "writers", "scans",
+                       "mkeys_per_sec", "keys_per_scan", "sorted",
+                       "stable_complete"});
+  {
+    const std::size_t scan_shards =
+        static_cast<std::size_t>(shard_counts.back());
+    const long scan_range = static_cast<long>(key_range);
+    shard::sharded_set<nm_tree<long, std::less<long>, reclaim::epoch>> set(
+        scan_shards, 0, scan_range);
+    for (long k = 0; k < scan_range; k += 2) set.insert(k);
+    const std::uint64_t stable = static_cast<std::uint64_t>(scan_range) / 2;
+    std::atomic<bool> stop{false};
+    constexpr unsigned kScanWriters = 2;
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kScanWriters; ++t) {
+      writers.emplace_back([&set, &stop, scan_range, seed, t] {
+        pcg32 rng = pcg32::for_thread(seed, t);
+        while (!stop.load(std::memory_order_acquire)) {
+          const long k =
+              2 * static_cast<long>(rng.bounded(
+                      static_cast<std::uint32_t>(scan_range / 2))) +
+              1;
+          if (rng.bounded(2) != 0) {
+            set.insert(k);
+          } else {
+            set.erase(k);
+          }
+        }
+      });
+    }
+    constexpr int kScanCount = 30;
+    bool sorted = true;
+    bool stable_complete = true;
+    std::uint64_t emitted = 0;
+    const auto scan_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kScanCount; ++i) {
+      const std::vector<long> got = set.range_scan_closed(0, scan_range - 1);
+      emitted += got.size();
+      std::uint64_t stable_seen = 0;
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        if (j > 0 && got[j - 1] >= got[j]) sorted = false;
+        if ((got[j] & 1) == 0) ++stable_seen;
+      }
+      if (stable_seen != stable) stable_complete = false;
+    }
+    const auto scan_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - scan_start)
+            .count();
+    stop.store(true, std::memory_order_release);
+    for (auto& w : writers) w.join();
+    scan_tbl.add_row(
+        {"scan", "Sharded/NM-BST-epoch", std::to_string(scan_shards),
+         std::to_string(kScanWriters), std::to_string(kScanCount),
+         format("%.3f",
+                static_cast<double>(emitted) * 1e3 /
+                    static_cast<double>(scan_ns)),
+         format("%.1f", static_cast<double>(emitted) / kScanCount),
+         sorted ? "1" : "0", stable_complete ? "1" : "0"});
+    if (!csv_only) {
+      std::printf("\n=== Concurrent cross-shard scans (shards=%zu, "
+                  "writers=%u) ===\n",
+                  scan_shards, kScanWriters);
+      scan_tbl.print();
+    }
+  }
+
   // --- metrics study ---------------------------------------------------
   // A short recording run; the report rows are the *merged* counters —
   // each shard owns its own registry and the merge algebra folds them.
@@ -238,6 +313,9 @@ int main(int argc, char** argv) {
     const obs::json::value metrics_rows =
         obs::rows_from_table(metrics_tbl.header(), metrics_tbl.rows());
     for (const auto& row : metrics_rows.items()) report.add_result(row);
+    const obs::json::value scan_rows =
+        obs::rows_from_table(scan_tbl.header(), scan_tbl.rows());
+    for (const auto& row : scan_rows.items()) report.add_result(row);
     if (!report.write_file(path)) return 1;
     if (!csv_only) std::printf("\nJSON report: %s\n", path.c_str());
   }

@@ -250,6 +250,53 @@ class nm_tree {
   }
 
   // ----------------------------------------------------------------
+  // Concurrent ordered scans. Unlike the *_slow observers below these
+  // are safe while writers run: the traversal is reclaimer-protected
+  // (pinned under epoch/leaky; hazard-validated under reclaim::hazard)
+  // and follows frozen marked edges, which by the paper's invariant
+  // ("once an edge has been marked, it cannot be changed") still lead
+  // to every node that was reachable when the edge froze — so a scan
+  // never observes a torn excision.
+  //
+  // Guarantee (the conservative-interval contract; DESIGN.md): the
+  // result is sorted and duplicate-free; every key present for the
+  // scan's whole duration appears; every key absent throughout does
+  // not. A key inserted or erased concurrently may or may not appear —
+  // each emitted (or skipped) key behaves like an individual
+  // contains() linearized somewhere inside the scan's interval, not
+  // like one atomic snapshot.
+  // ----------------------------------------------------------------
+
+  /// Keys in the half-open interval [lo, hi), ascending. Empty when
+  /// lo >= hi.
+  [[nodiscard]] std::vector<Key> range_scan(const Key& lo,
+                                            const Key& hi) const {
+    std::vector<Key> out;
+    if (!less_.cmp(lo, hi)) return out;
+    scan_impl(&lo, &hi, /*closed=*/false,
+              [&out](const Key& k) { out.push_back(k); });
+    return out;
+  }
+
+  /// Keys in the closed interval [lo, hi], ascending — reaches the key
+  /// domain's maximum value, which no half-open interval can name.
+  [[nodiscard]] std::vector<Key> range_scan_closed(const Key& lo,
+                                                   const Key& hi) const {
+    std::vector<Key> out;
+    if (less_.cmp(hi, lo)) return out;
+    scan_impl(&lo, &hi, /*closed=*/true,
+              [&out](const Key& k) { out.push_back(k); });
+    return out;
+  }
+
+  /// Concurrent whole-tree ordered visit: fn(key) for every key in
+  /// ascending order, under the same contract as range_scan.
+  template <typename F>
+  void for_each(F&& fn) const {
+    scan_impl(nullptr, nullptr, /*closed=*/false, std::forward<F>(fn));
+  }
+
+  // ----------------------------------------------------------------
   // Quiescent observers — valid only while no concurrent operations
   // run. Tests and examples use these; they are not part of the
   // concurrent API.
@@ -854,6 +901,290 @@ class nm_tree {
       retire_excised(r, keep);
     }
     reclaimer_.retire(n, &node_deleter, &pool_);
+  }
+
+  // --- concurrent ordered scans ----------------------------------------
+  //
+  // Correctness sketch (full story in DESIGN.md):
+  //
+  //   Sorted / duplicate-free — routing keys are immutable and cleanup
+  //   only ever replaces subtree(successor) by one of its own subtrees,
+  //   so any node ever reachable through a node's left edge has a key
+  //   below that node's key (and symmetrically right/≥). Both scan
+  //   shapes emit leaves in left-to-right traversal order, which under
+  //   that invariant is strictly increasing key order.
+  //
+  //   Completeness (a key present throughout the scan appears) — a leaf
+  //   whose incoming edge is never flagged is never excised: cleanup
+  //   only detaches regions whose internal nodes have both edges marked
+  //   and whose leaving leaves are flagged, and an unflagged leaf hit by
+  //   an excision is *reattached* by the ancestor CAS, on the side its
+  //   key routes to. Following frozen marked edges therefore always
+  //   leads the scan to the still-reachable part holding such a leaf.
+  //
+  //   Soundness (a key absent throughout does not appear) — a leaf is
+  //   only emitted if its incoming edge was loaded unflagged; a key
+  //   that was absent for the whole scan has no such leaf: its old leaf
+  //   was flagged before the scan began (erase linearizes at the flag
+  //   CAS), and flags survive reattachment (the ancestor CAS copies the
+  //   sibling edge's flag bit).
+
+  /// Does a (non-sentinel) leaf key fall inside the requested interval?
+  bool scan_in_range(const skey& k, const Key* lo, const Key* hi,
+                     bool closed) const {
+    if (lo != nullptr && less_(k, *lo)) return false;
+    if (hi == nullptr) return true;
+    return closed ? !less_(*hi, k) : less_(k, *hi);
+  }
+
+  /// Shared entry: pin once for the whole scan, dispatch on the
+  /// reclaimer's traversal contract, attribute keys visited.
+  template <typename F>
+  void scan_impl(const Key* lo, const Key* hi, bool closed, F&& fn) const {
+    std::uint64_t visited = 0;
+    {
+      [[maybe_unused]] auto guard = reclaimer_.pin();
+      if constexpr (Reclaimer::requires_validated_traversal) {
+        scan_protected(lo, hi, closed, fn, visited);
+      } else {
+        scan_pinned(lo, hi, closed, fn, visited);
+      }
+    }
+    stats_.on_scan_op(visited);
+  }
+
+  /// Epoch/leaky scan: one pinned in-order walk over the *current*
+  /// edges, marked ones included. The pin keeps every node the walk can
+  /// reach alive (epoch: grace period spans the pin; leaky: nothing is
+  /// ever freed), and frozen edges keep addressing their targets, so no
+  /// validation is needed — the walk simply never sees a torn excision.
+  /// The stack holds edge values (not bare nodes) because a leaf's
+  /// incoming flag bit decides whether the key is logically present.
+  template <typename F>
+  void scan_pinned(const Key* lo, const Key* hi, bool closed, F&& fn,
+                   std::uint64_t& visited) const {
+    std::vector<ptr_t> stack;
+    stack.push_back(ptr_t::clean(r_));
+    while (!stack.empty()) {
+      const ptr_t edge = stack.back();
+      stack.pop_back();
+      node* n = edge.address();
+      const ptr_t left = n->left.load();
+      if (left.address() == nullptr) {
+        // Leaf. A flagged incoming edge means a delete linearized
+        // against this key (possibly before the scan began): it is
+        // logically absent and must not appear.
+        if (!edge.flagged() && !n->key.is_sentinel() &&
+            scan_in_range(n->key, lo, hi, closed)) {
+          ++visited;
+          fn(n->key.key);
+        }
+        continue;
+      }
+      // Internal: prune on the immutable routing key; push right below
+      // left so the left subtree drains first (leaf-only in-order).
+      if (hi == nullptr ||
+          (closed ? !less_(*hi, n->key) : less_(n->key, *hi))) {
+        stack.push_back(n->right.load());
+      }
+      if (lo == nullptr || less_(*lo, n->key)) {
+        stack.push_back(left);
+      }
+    }
+  }
+
+  /// Where a cursor-routed hazard descent last stepped left, plus the
+  /// anchor snapshot that makes restarting *from* that node sound.
+  struct scan_turn {
+    node* turn = nullptr;       // deepest node the descent stepped left from
+    node* anchor = nullptr;     // tail of the last untagged edge above it
+    node* successor = nullptr;  // head of that edge
+    const word_t* anchor_edge = nullptr;  // the edge word itself
+  };
+
+  /// Hazard scan: hazard pointers protect six-odd nodes, not a whole
+  /// epoch, so a single long walk is impossible — instead the scan is a
+  /// chain of successor queries. Each round routes a validated descent
+  /// toward the cursor (the last emitted key); the landed leaf either
+  /// answers the query directly (it is the leftmost leaf at/past the
+  /// cursor) or the answer is the minimum leaf of the right subtree of
+  /// the descent's deepest left turn, reached by a second validated
+  /// descent started at the turn under its snapshotted anchor that
+  /// steps right once and then always left. Any validation failure
+  /// restarts the *current query* from
+  /// the root with the cursor preserved — emitted progress is never
+  /// redone, which is the scan's bounded-local-restart property (the
+  /// same shape as restart::from_anchor's root fallback).
+  template <typename F>
+  void scan_protected(const Key* lo, const Key* hi, bool closed, F&& fn,
+                      std::uint64_t& visited) const {
+    std::optional<Key> cursor;
+    if (lo != nullptr) cursor = *lo;
+    bool strict = false;  // first query admits key == cursor (lo inclusive)
+    [[maybe_unused]] backoff delay;
+    for (;;) {
+      // Leftmost leaf with key >= cursor routes exactly like a point
+      // seek for `cursor`: left iff cursor < node key. (Strictness does
+      // not change the routing, only the acceptance test below.)
+      const auto toward_cursor = [&](const node* n) {
+        return !cursor.has_value() || less_(*cursor, n->key);
+      };
+      scan_turn turn;
+      ptr_t landed =
+          scan_descend(r_, s_, &r_->left, s_, toward_cursor, &turn);
+      if (landed.address() == nullptr) {
+        stats_.on_scan_restart();
+        if constexpr (use_backoff) delay();
+        continue;
+      }
+      node* leaf = landed.address();
+      const bool satisfied = !cursor.has_value() ||
+                             (strict ? less_(*cursor, leaf->key)
+                                     : !less_(leaf->key, *cursor));
+      if (!satisfied) {
+        // The landed leaf is the rightmost leaf below the cursor; the
+        // successor is the minimum leaf under the deepest left turn's
+        // *right* child (every left subtree skipped below the turn holds
+        // only keys <= cursor), so this descent steps right once at the
+        // turn and then always left. A turn always exists: every client
+        // cursor routes left at the sentinels.
+        LFBST_ASSERT(turn.turn != nullptr,
+                     "cursor-routed descent took no left turn");
+        bool at_turn = true;
+        const auto succ_route = [&at_turn](const node*) {
+          const bool left = !at_turn;
+          at_turn = false;
+          return left;
+        };
+        landed = scan_descend(turn.anchor, turn.successor, turn.anchor_edge,
+                              turn.turn, succ_route, nullptr);
+        if (landed.address() == nullptr) {
+          stats_.on_scan_restart();
+          if constexpr (use_backoff) delay();
+          continue;
+        }
+        leaf = landed.address();
+      }
+      if (leaf->key.is_sentinel()) break;  // past the last client key
+      if (hi != nullptr &&
+          (closed ? less_(*hi, leaf->key) : !less_(leaf->key, *hi))) {
+        break;  // past the requested interval
+      }
+      cursor = leaf->key.key;  // progress survives future restarts
+      strict = true;
+      if (!landed.flagged()) {  // flagged = logically deleted: skip
+        ++visited;
+        fn(leaf->key.key);
+      }
+    }
+  }
+
+  /// One validated scan descent: from the edge (anchor → successor) —
+  /// the last untagged edge known to be above `from` — step through
+  /// `from` and keep descending in the direction `route` picks until a
+  /// leaf is reached. Follows the exact discipline of
+  /// seek_protected_from (announce, seq_cst re-read; clean edges
+  /// self-validate; a marked edge additionally re-validates the tracked
+  /// anchor edge), generalized in two ways: the direction is a functor
+  /// (cursor routing for the successor query, right-then-always-left
+  /// for the min-leaf descent) and the anchor edge travels as a word
+  /// pointer
+  /// because the min-leaf descent is not key-routed. Returns the landed
+  /// edge value (address = the leaf, protected in hp_leaf; the flag bit
+  /// tells the caller whether the leaf is logically deleted) or a null
+  /// edge on validation failure. With `turn_out`, records the deepest
+  /// node stepped left from plus its anchor snapshot, protected in the
+  /// dedicated scan slots, so a follow-up descent may start there.
+  /// Preconditions: `anchor`, `successor` and `from` are safe to
+  /// dereference (sentinels, or still announced by the descent that
+  /// recorded them); `from` is internal.
+  template <typename Route>
+  ptr_t scan_descend(node* anchor, node* successor,
+                     const word_t* anchor_edge, node* from, Route&& route,
+                     scan_turn* turn_out) const {
+    auto& dom = reclaimer_.domain();
+    dom.announce(Reclaimer::hp_ancestor, anchor);
+    dom.announce(Reclaimer::hp_successor, successor);
+    dom.announce(Reclaimer::hp_parent, from);
+    node* a_tail = anchor;
+    node* a_head = successor;
+    const word_t* a_edge = anchor_edge;
+    node* parent = from;
+
+    bool step_left = route(parent);
+    const word_t* parent_source = step_left ? &parent->left : &parent->right;
+    ptr_t parent_field = parent_source->load(std::memory_order_acquire);
+    node* candidate = parent_field.address();  // `from` is internal: non-null
+    dom.announce(Reclaimer::hp_leaf, candidate);
+    ptr_t recheck = parent_source->load(std::memory_order_seq_cst);
+    if (recheck.address() != candidate) return ptr_t();
+    parent_field = recheck;
+    if (parent_field.marked()) {
+      // The entry edge is frozen, so the re-read above proves nothing
+      // about retirement (docs/RECLAMATION.md, Lesson 1): re-validate
+      // the anchor edge after the announce. (The root call passes the
+      // never-marked ℝ → 𝕊 edge and trivially passes; the check is for
+      // descents resumed at a recorded turn.)
+      const ptr_t check = a_edge->load(std::memory_order_seq_cst);
+      if (check.marked() || check.address() != a_head) return ptr_t();
+    }
+    if (step_left && turn_out != nullptr) {
+      turn_out->turn = parent;
+      turn_out->anchor = a_tail;
+      turn_out->successor = a_head;
+      turn_out->anchor_edge = a_edge;
+      dom.announce(Reclaimer::hp_scan_turn, parent);
+      dom.announce(Reclaimer::hp_scan_turn_anchor, a_tail);
+      dom.announce(Reclaimer::hp_scan_turn_successor, a_head);
+    }
+    node* leaf = candidate;
+
+    step_left = route(leaf);
+    const word_t* current_source = step_left ? &leaf->left : &leaf->right;
+    ptr_t current_field = current_source->load(std::memory_order_acquire);
+    node* current = current_field.address();
+    while (current != nullptr) {
+      prefetch_ro(current);
+      dom.announce(Reclaimer::hp_scratch, current);
+      recheck = current_source->load(std::memory_order_seq_cst);
+      if (recheck.address() != current) return ptr_t();
+      current_field = recheck;
+      if (!parent_field.tagged()) {
+        a_tail = parent;
+        a_head = leaf;
+        a_edge = parent_source;
+        dom.announce(Reclaimer::hp_ancestor, a_tail);
+        dom.announce(Reclaimer::hp_successor, a_head);
+      }
+      if (current_field.marked()) {
+        const ptr_t check = a_edge->load(std::memory_order_seq_cst);
+        if (check.marked() || check.address() != a_head) return ptr_t();
+      }
+      if (step_left && turn_out != nullptr) {
+        // Stepping left from `leaf`: it becomes the deepest turn, and
+        // the anchor pair just maintained above is exactly the last
+        // untagged edge at or above it. All three are currently
+        // announced in descent slots, so the copy-announces are safe.
+        turn_out->turn = leaf;
+        turn_out->anchor = a_tail;
+        turn_out->successor = a_head;
+        turn_out->anchor_edge = a_edge;
+        dom.announce(Reclaimer::hp_scan_turn, leaf);
+        dom.announce(Reclaimer::hp_scan_turn_anchor, a_tail);
+        dom.announce(Reclaimer::hp_scan_turn_successor, a_head);
+      }
+      parent = leaf;
+      dom.announce(Reclaimer::hp_parent, parent);
+      leaf = current;
+      dom.announce(Reclaimer::hp_leaf, leaf);
+      parent_field = current_field;
+      parent_source = current_source;
+      step_left = route(leaf);
+      current_source = step_left ? &leaf->left : &leaf->right;
+      current_field = current_source->load(std::memory_order_acquire);
+      current = current_field.address();
+    }
+    return parent_field;  // the incoming edge of the landed leaf
   }
 
   // --- quiescent helpers ----------------------------------------------

@@ -85,6 +85,12 @@ struct op_record {
   std::uint64_t helps = 0;          // cleanup invocations on behalf of others
   std::uint64_t helps_flagged = 0;  // ... for a flagged edge (leaf leaving)
   std::uint64_t helps_tagged = 0;   // ... for a tagged edge (parent leaving)
+  // Ordered-scan attribution (range_scan / for_each). Scans are not a
+  // new op_kind — op_kind values are stable in traces and JSON — so they
+  // get their own columns instead.
+  std::uint64_t scans = 0;              // completed range_scan/for_each calls
+  std::uint64_t scan_keys_visited = 0;  // keys emitted across all scans
+  std::uint64_t scan_restarts = 0;      // validation-failure re-descents
 
   [[nodiscard]] std::uint64_t atomics() const noexcept {
     return cas_executed + bts_executed;
@@ -103,6 +109,9 @@ struct op_record {
     helps -= o.helps;
     helps_flagged -= o.helps_flagged;
     helps_tagged -= o.helps_tagged;
+    scans -= o.scans;
+    scan_keys_visited -= o.scan_keys_visited;
+    scan_restarts -= o.scan_restarts;
     return *this;
   }
 };
@@ -125,6 +134,8 @@ struct none {
   static void on_op_begin(op_kind) noexcept {}
   static void on_op_end(op_kind, bool) noexcept {}
   static void on_seek(std::uint64_t) noexcept {}
+  static void on_scan_op(std::uint64_t) noexcept {}
+  static void on_scan_restart() noexcept {}
 };
 
 /// Thread-local counting policy.
@@ -169,6 +180,12 @@ struct counting {
   static void on_op_begin(op_kind) noexcept {}
   static void on_op_end(op_kind, bool) noexcept {}
   static void on_seek(std::uint64_t) noexcept {}
+  static void on_scan_op(std::uint64_t keys_visited) noexcept {
+    op_record& r = local();
+    ++r.scans;
+    r.scan_keys_visited += keys_visited;
+  }
+  static void on_scan_restart() noexcept { ++local().scan_restarts; }
 
   static void reset() noexcept { local() = op_record{}; }
 

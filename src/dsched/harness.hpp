@@ -105,6 +105,41 @@ class recorder {
                         });
   }
 
+  // Concurrent ordered scan over [lo, hi), encoded like a batch: a scan
+  // is not atomic, so each key of the interval becomes one contains(k,
+  // k ∈ result) observation sharing the scan's [invoke, response]
+  // window. Omitted keys become contains→false entries — a wrongly
+  // missing key (one present for the whole window) fails the check.
+  // Sortedness and uniqueness are the scan's own unconditional
+  // guarantees, so they are asserted here, on every explored schedule.
+  std::vector<int> range_scan(int lo, int hi)
+    requires requires(Tree t, int k) { t.range_scan(k, k); }
+  {
+    LFBST_ASSERT(lo >= 0 && hi <= 64, "dsched scenario keys live in [0,64)");
+    const std::uint64_t invoke = ++clock_;
+    using tree_key = typename Tree::key_type;
+    const std::vector<tree_key> raw = tree_.range_scan(
+        static_cast<tree_key>(lo), static_cast<tree_key>(hi));
+    const std::uint64_t response = ++clock_;
+    std::vector<int> result;
+    result.reserve(raw.size());
+    for (const tree_key& k : raw) result.push_back(static_cast<int>(k));
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      LFBST_ASSERT(result[i] >= lo && result[i] < hi,
+                   "range_scan returned a key outside [lo, hi)");
+      LFBST_ASSERT(i == 0 || result[i - 1] < result[i],
+                   "range_scan result not sorted/unique");
+    }
+    std::size_t next = 0;
+    for (int k = lo; k < hi; ++k) {
+      while (next < result.size() && result[next] < k) ++next;
+      const bool present = next < result.size() && result[next] == k;
+      sink_.push_back(
+          {lincheck::op_kind::contains, k, present, invoke, response});
+    }
+    return result;
+  }
+
  private:
   bool record(lincheck::op_kind kind, int key) {
     LFBST_ASSERT(key >= 0 && key < 64, "dsched scenario keys live in [0,64)");

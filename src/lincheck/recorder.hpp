@@ -55,6 +55,38 @@ class recorder {
                         [&] { return set.contains_batch(keys); });
   }
 
+  /// Concurrent ordered scan, encoded with the same conservative
+  /// intervals as a batch: a scan is not atomic — each key it reports
+  /// (or omits) behaves like an individual contains() linearized inside
+  /// the scan — so the history gets one contains(k, k ∈ result) entry
+  /// for every key of [lo, hi), all sharing the scan's [invoke,
+  /// response] window. Keys the scan skipped become contains→false
+  /// entries, which is what makes a *wrongly missing* key fail the
+  /// check. Keep ranges small: each scan appends hi − lo entries to the
+  /// history the checker must order.
+  template <typename Set>
+  std::vector<int> range_scan(Set& set, int lo, int hi) {
+    using set_key = typename Set::key_type;
+    const std::uint64_t invoke =
+        clock_.fetch_add(1, std::memory_order_acq_rel);
+    const std::vector<set_key> raw = set.range_scan(
+        static_cast<set_key>(lo), static_cast<set_key>(hi));
+    const std::uint64_t response =
+        clock_.fetch_add(1, std::memory_order_acq_rel);
+    std::vector<int> result;
+    result.reserve(raw.size());
+    for (const set_key& k : raw) result.push_back(static_cast<int>(k));
+    std::lock_guard<std::mutex> g(mutex_);
+    std::size_t next = 0;  // result is sorted: one linear merge suffices
+    for (int k = lo; k < hi; ++k) {
+      while (next < result.size() && result[next] < k) ++next;
+      const bool present = next < result.size() && result[next] == k;
+      ops_.push_back(operation{op_kind::contains, k, present, invoke,
+                               response});
+    }
+    return result;
+  }
+
   /// The completed history; call only after all recording threads have
   /// joined.
   [[nodiscard]] history take() {

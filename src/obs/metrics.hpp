@@ -67,6 +67,9 @@ enum class counter : unsigned {
   excisions,       // successful ancestor-CAS removals
   excised_nodes,   // total nodes removed by those excisions (>2 per
                    // excision is the paper's Fig. 2 multi-leaf removal)
+  ops_scan,            // completed range_scan/for_each calls
+  scan_keys_visited,   // keys emitted across all scans
+  scan_restarts,       // scan validation failures forcing a re-descent
   kCount
 };
 
@@ -94,6 +97,9 @@ inline constexpr std::size_t counter_count =
     case counter::cleanups: return "cleanups";
     case counter::excisions: return "excisions";
     case counter::excised_nodes: return "excised_nodes";
+    case counter::ops_scan: return "ops_scan";
+    case counter::scan_keys_visited: return "scan_keys_visited";
+    case counter::scan_restarts: return "scan_restarts";
     case counter::kCount: break;
   }
   return "unknown";
@@ -270,6 +276,14 @@ class recording {
 
   void on_seek(std::uint64_t depth) const noexcept {
     local().seek_depth.record(depth);
+  }
+
+  void on_scan_op(std::uint64_t keys_visited) const noexcept {
+    metrics_->add(counter::ops_scan);
+    metrics_->add(counter::scan_keys_visited, keys_visited);
+  }
+  void on_scan_restart() const noexcept {
+    metrics_->add(counter::scan_restarts);
   }
 
   // --- instance access ------------------------------------------------

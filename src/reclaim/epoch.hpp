@@ -91,10 +91,24 @@ class epoch {
   /// guard). Periodically attempts to advance the global epoch and flush.
   void retire(void* object, deleter_fn deleter, void* context) {
     thread_state& ts = threads_[this_thread_index()].value;
+    // An unpinned retire is a use-after-free factory: without a guard the
+    // retiring thread does not hold the epoch back, so the object can be
+    // flushed while a reader that observed it (pinned in an older epoch)
+    // still dereferences it. Enforce the documented contract.
+    LFBST_ASSERT(ts.nesting > 0,
+                 "epoch::retire called while not pinned (no guard held)");
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     ts.limbo[e % 3].push_back({object, deleter, context});
-    ts.pending_count++;
-    if (ts.pending_count > ts.pending_hwm) ts.pending_hwm = ts.pending_count;
+    // Single-writer counters (only the owning thread stores), but
+    // pending()/pending_high_water() read them cross-thread: relaxed
+    // atomics keep those monitoring reads data-race-free without
+    // ordering cost on the retire path.
+    const std::size_t pend =
+        ts.pending_count.load(std::memory_order_relaxed) + 1;
+    ts.pending_count.store(pend, std::memory_order_relaxed);
+    if (pend > ts.pending_hwm.load(std::memory_order_relaxed)) {
+      ts.pending_hwm.store(pend, std::memory_order_relaxed);
+    }
     if (++ts.retires_since_scan >= scan_interval) {
       ts.retires_since_scan = 0;
       try_advance_and_flush(ts);
@@ -103,7 +117,11 @@ class epoch {
 
   /// Frees everything still pending, regardless of epochs. Caller must
   /// guarantee quiescence (no concurrent operations) — used by tree
-  /// destructors and by tests between phases.
+  /// destructors and by tests between phases. Resets *all* per-thread
+  /// bookkeeping, not just the limbo lists: a multi-phase test (or a
+  /// recycled thread_id slot after thread churn) must start the next
+  /// phase with a fresh high-water mark and a fresh scan cadence, not
+  /// inherit the prior phase's retires_since_scan countdown.
   void drain_all_unsafe() {
     for (auto& padded_ts : threads_) {
       thread_state& ts = padded_ts.value;
@@ -111,7 +129,9 @@ class epoch {
         for (const retired& r : bucket) r.deleter(r.object, r.context);
         bucket.clear();
       }
-      ts.pending_count = 0;
+      ts.pending_count.store(0, std::memory_order_relaxed);
+      ts.pending_hwm.store(0, std::memory_order_relaxed);
+      ts.retires_since_scan = 0;
     }
   }
 
@@ -119,7 +139,9 @@ class epoch {
   /// concurrency; exact at quiescence).
   [[nodiscard]] std::size_t pending() const noexcept {
     std::size_t n = 0;
-    for (const auto& ts : threads_) n += ts.value.pending_count;
+    for (const auto& ts : threads_) {
+      n += ts.value.pending_count.load(std::memory_order_relaxed);
+    }
     return n;
   }
 
@@ -140,7 +162,9 @@ class epoch {
   /// the true instantaneous maximum; exact for single-threaded phases.
   [[nodiscard]] std::size_t pending_high_water() const noexcept {
     std::size_t n = 0;
-    for (const auto& ts : threads_) n += ts.value.pending_hwm;
+    for (const auto& ts : threads_) {
+      n += ts.value.pending_hwm.load(std::memory_order_relaxed);
+    }
     return n;
   }
 
@@ -156,8 +180,12 @@ class epoch {
     std::atomic<std::uint64_t> local_epoch{0};
     unsigned nesting = 0;
     unsigned retires_since_scan = 0;
-    std::size_t pending_count = 0;
-    std::size_t pending_hwm = 0;  // high-water mark of pending_count
+    // Written only by the owning thread, but polled cross-thread by
+    // pending()/pending_high_water() (monitoring, tests, bench_memory):
+    // relaxed atomics make the polls data-race-free. The values remain
+    // approximate under concurrency, exact at quiescence.
+    std::atomic<std::size_t> pending_count{0};
+    std::atomic<std::size_t> pending_hwm{0};  // high-water of pending_count
     // One limbo bucket per epoch residue class. Bucket e%3 holds objects
     // retired in epoch e; it is safe to flush when global >= e+2, at
     // which point the bucket is about to be reused for epoch e+3.
@@ -199,7 +227,9 @@ class epoch {
 
   void flush_bucket(thread_state& ts, std::size_t idx) {
     auto& bucket = ts.limbo[idx];
-    ts.pending_count -= bucket.size();
+    ts.pending_count.store(
+        ts.pending_count.load(std::memory_order_relaxed) - bucket.size(),
+        std::memory_order_relaxed);
     for (const retired& r : bucket) r.deleter(r.object, r.context);
     bucket.clear();
   }

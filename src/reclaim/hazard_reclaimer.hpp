@@ -8,11 +8,15 @@
 // bottom of reclaim/hazard_pointers.hpp, implemented by
 // nm_tree::seek_protected).
 //
-// Slot layout (6 per thread): the four seek-record nodes — ancestor,
+// Slot layout (8 per thread): the four seek-record nodes — ancestor,
 // successor, parent, leaf — each own a slot so they stay protected for
 // the whole operation (cleanup dereferences all four), one scratch slot
 // guards the node currently being stepped onto, and one slot pins the
-// leaf a delete flagged for the duration of its cleanup phase.
+// leaf a delete flagged for the duration of its cleanup phase. Ordered
+// scans (nm_tree::range_scan) add two slots for the successor-query
+// anchor snapshot and reuse the flagged-leaf slot — a thread runs one
+// operation at a time and only erase uses hp_flagged — for the scan's
+// deepest-left-turn node.
 //
 // Trade-off vs epoch: bounded garbage (at most slots x threads retired
 // nodes are ever held back) at the price of one seq_cst store + one
@@ -47,7 +51,16 @@ class hazard {
   /// must stay protected so the `sr.leaf != leaf` identity test cannot
   /// be fooled by address reuse (ABA on a freed-and-recycled node).
   static constexpr unsigned hp_flagged = 5;
-  static constexpr unsigned slot_count = 6;
+  /// Ordered-scan slots (nm_tree::scan_protected). The deepest left turn
+  /// of the current successor descent reuses hp_flagged: scans never run
+  /// inside an erase, so the slot is guaranteed free. Its anchor edge
+  /// snapshot (the last untagged edge above the turn, used to resume
+  /// validation after the turn is reached) needs two slots of its own so
+  /// the pair stays protected across the phase-2 min-leaf descent.
+  static constexpr unsigned hp_scan_turn = hp_flagged;
+  static constexpr unsigned hp_scan_turn_anchor = 6;
+  static constexpr unsigned hp_scan_turn_successor = 7;
+  static constexpr unsigned slot_count = 8;
 
   using domain_type = hazard_domain<slot_count>;
 

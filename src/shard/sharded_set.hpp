@@ -30,12 +30,17 @@
 // per-element guarantee the lincheck and dsched suites pin down).
 // Elements targeting the same shard apply in input order.
 //
-// range_scan(lo, hi) walks the shards that intersect [lo, hi) in
-// splitter order and stitches their in-order walks into one sorted
-// sequence. Each per-shard walk has for_each_slow's contract (that
-// shard quiescent); shards outside the scanned range may be mutated
-// freely, which is the operational win over a single tree where any
-// scan races with every writer.
+// range_scan(lo, hi) / range_scan_closed(lo, hi) walk the shards that
+// intersect the interval in splitter order and stitch their ordered
+// scans into one sorted sequence. When the inner tree provides a
+// concurrent scan (nm_tree::range_scan), each per-shard scan runs
+// *while writers run* — no quiescence anywhere; the stitched result
+// carries the per-shard conservative-interval contract (every key
+// present in the whole call's interval appears, every key absent
+// throughout does not — see docs/SHARDING.md for the cross-shard
+// story). Inner trees without a concurrent scan (EFRB/HJ baselines)
+// fall back to their quiescent for_each_slow, restoring the old
+// visited-shards-must-be-quiescent precondition for them only.
 //
 // Metrics: when the inner tree records per-instance metrics
 // (obs::recording), merged_counters() / merged_latency_histogram() /
@@ -136,21 +141,39 @@ class sharded_set {
 
   // --- cross-shard ordered scan --------------------------------------
 
-  /// All keys in [lo, hi), sorted. Visits only the shards whose range
-  /// intersects [lo, hi) and stitches their in-order walks in splitter
-  /// order. Per-shard semantics are those of for_each_slow: each
-  /// visited shard must be quiescent while it is walked; untouched
-  /// shards may be mutated concurrently.
+  /// All keys in the half-open interval [lo, hi), sorted. Visits only
+  /// the shards whose range intersects [lo, hi), in splitter order
+  /// (== key order). Runs concurrently with writers when the inner
+  /// tree has a concurrent scan; each key behaves like an individual
+  /// contains() linearized inside the call, so every key present for
+  /// the whole call appears and every key absent throughout does not.
+  /// Note [lo, hi) cannot name the key domain's maximum value — use
+  /// range_scan_closed to reach it.
   [[nodiscard]] std::vector<key_type> range_scan(const key_type& lo,
                                                  const key_type& hi) const {
     std::vector<key_type> out;
     if (!(lo < hi)) return out;
+    // lo < hi makes hi - 1 safe: it cannot underflow past lo.
     const std::size_t first = router_.shard_of(lo);
     const std::size_t last = router_.shard_of(static_cast<key_type>(hi - 1));
     for (std::size_t s = first; s <= last; ++s) {
-      shards_[s]->tree.for_each_slow([&](const key_type& k) {
-        if (!(k < lo) && k < hi) out.push_back(k);
-      });
+      scan_shard(shards_[s]->tree, lo, hi, /*closed=*/false, out);
+    }
+    return out;
+  }
+
+  /// All keys in the closed interval [lo, hi], sorted — the form that
+  /// can return the key domain's maximum (the half-open bound above
+  /// stops one short of it by construction). Same concurrency contract
+  /// as range_scan.
+  [[nodiscard]] std::vector<key_type> range_scan_closed(
+      const key_type& lo, const key_type& hi) const {
+    std::vector<key_type> out;
+    if (hi < lo) return out;
+    const std::size_t first = router_.shard_of(lo);
+    const std::size_t last = router_.shard_of(hi);
+    for (std::size_t s = first; s <= last; ++s) {
+      scan_shard(shards_[s]->tree, lo, hi, /*closed=*/true, out);
     }
     return out;
   }
@@ -253,6 +276,31 @@ class sharded_set {
   struct alignas(cacheline_size) slot {
     Tree tree;
   };
+
+  /// Per-shard scan dispatch: the inner tree's concurrent ordered scan
+  /// when it has one, else its quiescent walk (which keeps EFRB/HJ
+  /// compositions compiling, at the price of their old quiescence
+  /// precondition). The bounds are passed through unchanged — the tree
+  /// filters inherently, and a shard never holds keys outside its
+  /// router range, so no double filtering happens.
+  static void scan_shard(const Tree& tree, const key_type& lo,
+                         const key_type& hi, bool closed,
+                         std::vector<key_type>& out) {
+    if constexpr (requires {
+                    tree.range_scan(lo, hi);
+                    tree.range_scan_closed(lo, hi);
+                  }) {
+      const std::vector<key_type> part = closed
+                                             ? tree.range_scan_closed(lo, hi)
+                                             : tree.range_scan(lo, hi);
+      out.insert(out.end(), part.begin(), part.end());
+    } else {
+      tree.for_each_slow([&](const key_type& k) {
+        if (k < lo) return;
+        if (closed ? !(hi < k) : (k < hi)) out.push_back(k);
+      });
+    }
+  }
 
   /// Shared batch engine; `Self` deduces const for contains_batch and
   /// non-const for the mutating batches.

@@ -71,6 +71,46 @@ TEST(ReclamationStress, EpochPendingStaysBounded) {
   EXPECT_LT(t.reclaimer_pending(), 5'000u);
 }
 
+TEST(ReclamationStress, PendingPollsRaceDeleteHeavyChurn) {
+  // Regression test for the epoch pending counters: pending() is a
+  // monitoring read that races the retire path by design. The per-slot
+  // counters are relaxed atomics precisely so this poll is TSan-clean;
+  // this test exists to keep it that way — a revert to plain size_t
+  // fields fails the ThreadSanitizer build here.
+  nm_tree<long, std::less<long>, reclaim::epoch> t;
+  constexpr long kRange = 256;
+  for (long k = 0; k < kRange; ++k) ASSERT_TRUE(t.insert(k));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < 3; ++tid) {
+    threads.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(4040, tid);
+      for (int i = 0; i < 40'000; ++i) {
+        const long k = rng.bounded(kRange);
+        // Delete-heavy: two erase attempts per insert keeps the limbo
+        // buckets churning so the poll overlaps live retire() calls.
+        if (rng.bounded(3) == 0) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+      stop.store(true, std::memory_order_release);
+    });
+  }
+  // Keep polling until the churn ends, with a floor so the poll count
+  // does not depend on thread-start timing.
+  std::uint64_t polls = 0;
+  while (!stop.load(std::memory_order_acquire) || polls < 1'000) {
+    const std::size_t pending = t.reclaimer_pending();
+    EXPECT_LE(pending, 1'000'000u);  // sanity: no torn/garbage read
+    ++polls;
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.validate(), "");
+}
+
 TEST(ReclamationStress, LeakyFootprintGrowsEpochFootprintPlateaus) {
   // The observable difference between the two policies: the leaky tree's
   // pool keeps growing under churn (no reuse of removed nodes), while

@@ -426,6 +426,123 @@ TEST(DschedScenarios, AnchorRestartMultiLeafExcisionPct) {
   EXPECT_TRUE(r.all_ok()) << r.first_failure;
 }
 
+// --------------------------------------------------------------------
+// Concurrent ordered scans under schedule control. The recorder encodes
+// each scan as one contains(k, k ∈ result) observation per key of the
+// interval, all sharing the scan's conservative window, so the checker
+// proves every reported (and omitted) key explainable by some
+// linearization point inside the scan — and asserts sortedness and
+// uniqueness on every explored interleaving. Scenarios cover a scan
+// racing an insert, racing an erase, and racing the Fig. 2 multi-leaf
+// excision chain, across both tag policies and both restart policies.
+// --------------------------------------------------------------------
+
+template <typename Tree>
+typename dsched::scenario<Tree>::script scan_script(int lo, int hi,
+                                                    int repeats = 1) {
+  return [lo, hi, repeats](dsched::recorder<Tree>& r) {
+    for (int i = 0; i < repeats; ++i) r.range_scan(lo, hi);
+  };
+}
+
+template <typename Tree>
+dsched::scenario<Tree> scan_vs_insert_scenario() {
+  dsched::scenario<Tree> sc = make_scenario<Tree>(
+      /*setup=*/{2, 4},
+      /*threads=*/{{{'i', 3}}},
+      /*universe=*/{1, 2, 3, 4, 5});
+  // Two back-to-back scans: at least one overlaps the insert's edge CAS
+  // in most interleavings, and consecutive windows must stay coherent.
+  sc.threads.push_back(scan_script<Tree>(1, 6, /*repeats=*/2));
+  return sc;
+}
+
+template <typename Tree>
+dsched::scenario<Tree> scan_vs_erase_scenario() {
+  dsched::scenario<Tree> sc = make_scenario<Tree>(
+      /*setup=*/{1, 2, 3},
+      /*threads=*/{{{'e', 2}}},
+      /*universe=*/{0, 1, 2, 3, 4});
+  sc.threads.push_back(scan_script<Tree>(0, 5, /*repeats=*/2));
+  return sc;
+}
+
+// A scan threaded through two nesting cleanups on the right spine: the
+// scan walks exactly the edges the excisions freeze and swing.
+template <typename Tree>
+dsched::scenario<Tree> scan_vs_excision_scenario() {
+  dsched::scenario<Tree> sc = make_scenario<Tree>(
+      /*setup=*/{1, 2, 3},
+      /*threads=*/{{{'e', 3}}, {{'e', 2}}},
+      /*universe=*/{0, 1, 2, 3, 4});
+  sc.threads.push_back(scan_script<Tree>(0, 5));
+  return sc;
+}
+
+TEST(DschedScenarios, ScanRacingInsertDfs) {
+  const auto sum = dsched::explore_dfs(scan_vs_insert_scenario<sched_nm>(),
+                                       dsched::scaled_budget(2048));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GE(sum.executions, 1000u);
+}
+
+TEST(DschedScenarios, ScanRacingInsertCasOnlyDfs) {
+  const auto sum =
+      dsched::explore_dfs(scan_vs_insert_scenario<sched_nm_cas_only>(),
+                          dsched::scaled_budget(2048));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+}
+
+TEST(DschedScenarios, ScanRacingEraseDfs) {
+  const auto sum = dsched::explore_dfs(scan_vs_erase_scenario<sched_nm>(),
+                                       dsched::scaled_budget(2048));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+  EXPECT_GE(sum.executions, 1000u);
+}
+
+TEST(DschedScenarios, ScanRacingEraseCasOnlyDfs) {
+  const auto sum =
+      dsched::explore_dfs(scan_vs_erase_scenario<sched_nm_cas_only>(),
+                          dsched::scaled_budget(2048));
+  EXPECT_TRUE(sum.all_ok()) << sum.first_failure;
+}
+
+TEST(DschedScenarios, ScanRacingMultiLeafExcisionDfs) {
+  const auto bts = dsched::explore_dfs(scan_vs_excision_scenario<sched_nm>(),
+                                       dsched::scaled_budget(1500));
+  EXPECT_TRUE(bts.all_ok()) << bts.first_failure;
+  const auto cas =
+      dsched::explore_dfs(scan_vs_excision_scenario<sched_nm_cas_only>(),
+                          dsched::scaled_budget(1500));
+  EXPECT_TRUE(cas.all_ok()) << cas.first_failure;
+}
+
+TEST(DschedScenarios, ScanRacingMultiLeafExcisionPct) {
+  // The full three-erase chain plus a scan is too wide for DFS; PCT at
+  // depth 4 lands preemptions on the ancestor-CAS windows the scan must
+  // survive. Swept for both restart policies (the writers' retry path
+  // decides which edges the scan can meet mid-swing) and both taggings.
+  auto anchored = scan_vs_excision_scenario<sched_nm>();
+  anchored.threads.push_back(op_script<sched_nm>({{'e', 1}}));
+  const auto a =
+      dsched::explore_pct(anchored, 83, dsched::scaled_budget(300),
+                          /*depth=*/4);
+  EXPECT_TRUE(a.all_ok()) << a.first_failure;
+
+  auto rooted = scan_vs_excision_scenario<sched_nm_root>();
+  rooted.threads.push_back(op_script<sched_nm_root>({{'e', 1}}));
+  const auto r = dsched::explore_pct(rooted, 83, dsched::scaled_budget(300),
+                                     /*depth=*/4);
+  EXPECT_TRUE(r.all_ok()) << r.first_failure;
+
+  auto cas_rooted = scan_vs_excision_scenario<sched_nm_cas_only_root>();
+  cas_rooted.threads.push_back(op_script<sched_nm_cas_only_root>({{'e', 1}}));
+  const auto c =
+      dsched::explore_pct(cas_rooted, 83, dsched::scaled_budget(300),
+                          /*depth=*/4);
+  EXPECT_TRUE(c.all_ok()) << c.first_failure;
+}
+
 TEST(DschedScenarios, TinyScenarioExhaustsCompletely) {
   auto sc = make_scenario<sched_nm>(
       /*setup=*/{},

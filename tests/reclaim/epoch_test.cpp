@@ -65,6 +65,12 @@ TEST(Epoch, EpochAdvancesWhenUnpinned) {
   }
   EXPECT_GT(domain.current_epoch(), e0);
   EXPECT_GT(freed.load(), 0);
+  // Flush the tail before `cs` dies: the canaries retired after the
+  // last advance are still pending, and ~epoch's drain would otherwise
+  // run the deleter into the destroyed vector's storage (a real
+  // use-after-free, caught by ASan).
+  domain.drain_all_unsafe();
+  EXPECT_EQ(freed.load(), 1000);
 }
 
 TEST(Epoch, PinnedReaderBlocksAdvance) {
@@ -163,6 +169,86 @@ TEST(Epoch, PendingCountsAccurately) {
   EXPECT_EQ(domain.pending(), 10u);
   domain.drain_all_unsafe();
   EXPECT_EQ(domain.pending(), 0u);
+}
+
+#if !defined(LFBST_DISABLE_ASSERTS)
+// Retiring while not pinned is a contract violation, not a quiet leak:
+// an unpinned retire can land in a bucket that flushes while the caller
+// still holds the pointer. The retire asserts on guard nesting.
+TEST(EpochDeathTest, RetireWhileUnpinnedAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  canary c;
+  EXPECT_DEATH(domain.retire(&c, &canary_deleter, &freed),
+               "epoch::retire called while not pinned");
+}
+#endif
+
+TEST(Epoch, DrainResetsHighWaterAndScanCadence) {
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  std::vector<canary> cs(100);
+  for (auto& c : cs) {
+    auto g = domain.pin();
+    domain.retire(&c, &canary_deleter, &freed);
+  }
+  EXPECT_GT(domain.pending_high_water(), 0u);
+
+  // 100 retires leave the advance countdown mid-cycle (100 mod 64). The
+  // drain must zero the counters AND restart the countdown: a fresh
+  // phase that inherits a stale countdown advances the epoch early,
+  // which is how multi-phase tests lose their determinism.
+  domain.drain_all_unsafe();
+  EXPECT_EQ(domain.pending(), 0u);
+  EXPECT_EQ(domain.pending_high_water(), 0u);
+
+  const std::uint64_t e0 = domain.current_epoch();
+  std::vector<canary> fresh(63);  // one short of scan_interval
+  for (auto& c : fresh) {
+    auto g = domain.pin();
+    domain.retire(&c, &canary_deleter, &freed);
+  }
+  // No advance attempt may have run yet; a stale countdown would have
+  // triggered one mid-loop.
+  EXPECT_EQ(domain.current_epoch(), e0);
+  domain.drain_all_unsafe();
+}
+
+TEST(Epoch, ThreadChurnPhasesNeitherLeakNorDoubleFree) {
+  // Thread slots are recycled across phases: each phase spawns fresh
+  // threads that retire heap canaries, joins them, then drains. Every
+  // canary must be freed exactly once — the deleter counts, and the
+  // `delete` makes ASan/valgrind catch a double free outright.
+  reclaim::epoch domain;
+  std::atomic<int> freed{0};
+  constexpr int kPhases = 4;
+  constexpr int kThreads = 4;
+  constexpr int kRetiresPerThread = 500;
+  for (int phase = 0; phase < kPhases; ++phase) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&domain, &freed] {
+        for (int i = 0; i < kRetiresPerThread; ++i) {
+          auto g = domain.pin();
+          domain.retire(
+              new canary,
+              +[](void* obj, void* ctr) noexcept {
+                auto* c = static_cast<canary*>(obj);
+                c->state = canary::dead;
+                static_cast<std::atomic<int>*>(ctr)->fetch_add(1);
+                delete c;
+              },
+              &freed);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    domain.drain_all_unsafe();
+    EXPECT_EQ(freed.load(), (phase + 1) * kThreads * kRetiresPerThread);
+    EXPECT_EQ(domain.pending(), 0u);
+    EXPECT_EQ(domain.pending_high_water(), 0u);
+  }
 }
 
 TEST(Leaky, InterfaceIsInert) {

@@ -174,6 +174,123 @@ TEST(ShardedConcurrent, BatchElementsAreLinearizable) {
   }
 }
 
+// Scans racing writers, checked with the Wing–Gong checker: the
+// recorder turns each scan into one contains(k, k ∈ result) entry per
+// interval key over the scan's conservative window, so a key the scan
+// wrongly misses (present for the whole window) or wrongly reports
+// (absent throughout) makes the history non-linearizable.
+TEST(ShardedConcurrent, ScanResultsAreLinearizable) {
+  constexpr int kHistories = 120;
+  for (int h = 0; h < kHistories; ++h) {
+    shard::sharded_set<nm_tree<int>> set(4, 0, 16);
+    std::uint64_t initial_state = 0;
+    for (int k = 0; k < 16; k += 4) {
+      ASSERT_TRUE(set.insert(k));  // pre-population, outside the history
+      initial_state |= std::uint64_t{1} << k;
+    }
+    lincheck::recorder rec;
+    spin_barrier barrier(3);
+    std::vector<std::thread> workers;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+      workers.emplace_back([&, tid] {
+        pcg32 rng = pcg32::for_thread(
+            static_cast<std::uint64_t>(h) * 104729 + 3, tid);
+        barrier.arrive_and_wait();
+        for (int op = 0; op < 4; ++op) {
+          const int k = static_cast<int>(rng.bounded(16));
+          if (rng.bounded(2) == 0) {
+            rec.insert(set, k);
+          } else {
+            rec.erase(set, k);
+          }
+        }
+      });
+    }
+    workers.emplace_back([&] {
+      barrier.arrive_and_wait();
+      rec.range_scan(set, 2, 14);  // 12 history entries per scan
+      rec.range_scan(set, 0, 8);
+    });
+    for (auto& t : workers) t.join();
+
+    lincheck::history hist = rec.take();
+    std::uint64_t ts = 1;
+    for (const auto& op : hist) ts = std::max(ts, op.response + 1);
+    for (int k = 0; k < 16; ++k) {
+      hist.push_back({lincheck::op_kind::contains, k, set.contains(k), ts,
+                      ts});
+      ++ts;
+    }
+    ASSERT_LE(hist.size(), lincheck::checker::max_ops);
+    EXPECT_TRUE(lincheck::checker::is_linearizable(hist, initial_state))
+        << "history " << h << " not linearizable";
+    ASSERT_EQ(set.validate(), "");
+  }
+}
+
+// Concurrent range scans against the *churning* shards themselves — the
+// contract the per-shard concurrent scan lifts to the front-end: no
+// quiescence anywhere, yet every scan stays sorted, in-interval, and
+// complete for keys that were present the whole time. STABLE keys
+// (k % 3 == 0) are pre-inserted and never touched; CHURN keys
+// (k % 3 == 1) flicker under the writers; NEVER keys (k % 3 == 2) are
+// never inserted and must never appear.
+template <typename Tree>
+void sharded_churning_scan_contract() {
+  shard::sharded_set<Tree> set(8, 0, 1024);
+  for (long k = 0; k < 1024; k += 3) ASSERT_TRUE(set.insert(k));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (unsigned w = 0; w < 3; ++w) {
+    writers.emplace_back([&set, &stop, w] {
+      pcg32 rng = pcg32::for_thread(97, w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long k = 3 * static_cast<long>(rng.bounded(341)) + 1;
+        if ((rng() & 1u) != 0) {
+          set.insert(k);
+        } else {
+          set.erase(k);
+        }
+      }
+    });
+  }
+  for (int scan = 0; scan < 60; ++scan) {
+    const bool closed = (scan & 1) != 0;
+    const long lo = 100 + scan;
+    const long hi = 900 - scan;
+    const std::vector<long> got =
+        closed ? set.range_scan_closed(lo, hi) : set.range_scan(lo, hi);
+    std::set<long> seen;
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      const long k = got[j];
+      ASSERT_TRUE(j == 0 || got[j - 1] < k) << "not sorted at scan " << scan;
+      ASSERT_GE(k, lo);
+      if (closed) {
+        ASSERT_LE(k, hi);
+      } else {
+        ASSERT_LT(k, hi);
+      }
+      ASSERT_NE(k % 3, 2) << "NEVER key " << k << " reported present";
+      seen.insert(k);
+    }
+    for (long k = lo + ((3 - lo % 3) % 3); closed ? k <= hi : k < hi; k += 3) {
+      ASSERT_EQ(seen.count(k), 1u) << "STABLE key " << k << " missing";
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(set.validate(), "");
+}
+
+TEST(ShardedConcurrent, RangeScanOfChurningShardsEpoch) {
+  sharded_churning_scan_contract<
+      nm_tree<long, std::less<long>, reclaim::epoch>>();
+}
+TEST(ShardedConcurrent, RangeScanOfChurningShardsHazard) {
+  sharded_churning_scan_contract<
+      nm_tree<long, std::less<long>, reclaim::hazard>>();
+}
+
 // Concurrent range scans against untouched shards: writers hammer the
 // low shards while a reader repeatedly scans the quiescent high range.
 TEST(ShardedConcurrent, RangeScanOfQuiescentShardsDuringWrites) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -273,6 +274,45 @@ TEST(ShardedSet, RangeScanAtSplitterBoundary) {
   std::vector<long> want;
   for (long k = b1; k < b2; ++k) want.push_back(k);
   EXPECT_EQ(set.range_scan(b1, b2), want);
+}
+
+TEST(ShardedSet, RangeScanClosedIncludesBothEndpoints) {
+  sharded_set<nm_tree<long>> set(4, 0, 1024);
+  for (long k : {10L, 20L, 30L, 40L}) ASSERT_TRUE(set.insert(k));
+  EXPECT_EQ(set.range_scan_closed(20, 40), (std::vector<long>{20, 30, 40}));
+  EXPECT_EQ(set.range_scan_closed(20, 20), (std::vector<long>{20}));
+  EXPECT_TRUE(set.range_scan_closed(40, 20).empty());  // inverted interval
+  EXPECT_TRUE(set.range_scan_closed(21, 29).empty());
+}
+
+TEST(ShardedSet, RangeScanClosedAtSplitterBoundary) {
+  sharded_set<nm_tree<long>> set(4, 0, 1024);
+  const long b1 = set.router().splitter(1);
+  const long b2 = set.router().splitter(2);
+  for (long k = b1 - 2; k <= b2 + 2; ++k) ASSERT_TRUE(set.insert(k));
+  // Closed interval whose endpoints are exactly the splitters: both
+  // boundary keys are included, and the scan crosses the shard seam.
+  std::vector<long> want;
+  for (long k = b1; k <= b2; ++k) want.push_back(k);
+  EXPECT_EQ(set.range_scan_closed(b1, b2), want);
+}
+
+// The half-open form cannot name an interval containing the largest
+// key of the domain — [lo, max) excludes max and [lo, max+1) overflows.
+// The closed form covers that gap, all the way to the router's edge
+// shard.
+TEST(ShardedSet, RangeScanClosedReachesDomainMax) {
+  constexpr long kMax = std::numeric_limits<long>::max();
+  sharded_set<nm_tree<long>> set;  // default: whole key domain
+  ASSERT_TRUE(set.insert(kMax));
+  ASSERT_TRUE(set.insert(kMax - 5));
+  ASSERT_TRUE(set.insert(0));
+  EXPECT_EQ(set.range_scan_closed(kMax - 5, kMax),
+            (std::vector<long>{kMax - 5, kMax}));
+  EXPECT_EQ(set.range_scan_closed(0, kMax),
+            (std::vector<long>{0, kMax - 5, kMax}));
+  // Documented half-open behaviour over the same bounds: max excluded.
+  EXPECT_EQ(set.range_scan(0, kMax), (std::vector<long>{0, kMax - 5}));
 }
 
 // --- merged metrics ---------------------------------------------------------

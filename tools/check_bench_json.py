@@ -28,6 +28,14 @@ import sys
 SCHEMA = "lfbst-bench-v1"
 SCALARS = (str, int, float, bool, type(None))
 
+# Studies whose rows must carry a known minimal column set, on top of the
+# generic per-study key-consistency check. Extra columns are fine (the
+# micro_ops scan rows add scan_restarts, the sharded rows add shards).
+STUDY_REQUIRED = {
+    "scan": {"study", "algorithm", "writers", "scans", "mkeys_per_sec",
+             "keys_per_scan", "sorted", "stable_complete"},
+}
+
 
 def fail(path, msg):
     print(f"{path}: FAIL: {msg}", file=sys.stderr)
@@ -63,6 +71,13 @@ def check_bench(path):
             if not isinstance(v, SCALARS):
                 return fail(path, f"results[{i}][{k!r}] is not a flat scalar")
         group = row.get("study")
+        required = STUDY_REQUIRED.get(group)
+        if required and not required <= set(row):
+            return fail(
+                path,
+                f"results[{i}] (study {group!r}) missing required "
+                f"column(s) {sorted(required - set(row))}",
+            )
         if group not in group_keys:
             group_keys[group] = (i, set(row))
         elif set(row) != group_keys[group][1]:

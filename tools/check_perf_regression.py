@@ -33,6 +33,12 @@ A third check is *within-report* (no baseline needed):
       none), the from_anchor row must show local resumes — proof the
       optimization is live, not silently disabled.
 
+  scan — concurrent ordered scans racing writers. Each row carries the
+      bench's own verdict: sorted == 1 (result came back ordered and
+      duplicate-free) and stable_complete == 1 (every key that was
+      present for the scan's whole duration appeared). Any zero fails;
+      writers == 0 rows must also report an integral keys_per_scan.
+
 Exit status 0 iff every check passes.
 """
 
@@ -186,6 +192,46 @@ def check_restart_policy(current, slack):
     return failures
 
 
+def check_scan(current):
+    """Within-report (no baseline): every scan-study row is self-checking
+    — the bench verifies each scan came back sorted and containing every
+    stable key, and records the verdict in the row. A zero in either
+    column means a concurrent scan observed a torn or incomplete view.
+    Uncontended rows (writers == 0) must additionally visit a stable,
+    integral number of keys per scan: nothing was mutating, so any
+    fractional average means scans disagreed with each other."""
+    failures = []
+    rows = rows_by_study(current, "scan")
+    if not rows:
+        print("  [skip] scan: study absent from current report")
+        return failures
+    for row in rows:
+        algo = row["algorithm"]
+        writers = int(row["writers"])
+        sorted_ok = int(row["sorted"]) == 1
+        complete_ok = int(row["stable_complete"]) == 1
+        status = "FAIL" if not (sorted_ok and complete_ok) else "ok"
+        print(f"  [{status}] scan {algo:>20} writers={writers} "
+              f"sorted={int(row['sorted'])} "
+              f"stable_complete={int(row['stable_complete'])} "
+              f"({float(row['keys_per_scan']):.1f} keys/scan)")
+        if not sorted_ok:
+            failures.append(
+                f"scan: {algo} (writers={writers}) returned an unsorted "
+                f"or duplicated result — ordered-scan contract broken")
+        if not complete_ok:
+            failures.append(
+                f"scan: {algo} (writers={writers}) missed a key that was "
+                f"present for the whole scan — not linearizable")
+        if writers == 0:
+            kps = float(row["keys_per_scan"])
+            if kps <= 0 or kps != int(kps):
+                failures.append(
+                    f"scan: {algo} uncontended run averaged {kps} "
+                    f"keys/scan — scans of an idle tree disagreed")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="fresh bench_micro_ops --json output")
@@ -210,6 +256,7 @@ def main():
     failures = check_atomics(current, baseline, args.atomics_tolerance)
     failures += check_micro(current, baseline, args.max_regression)
     failures += check_restart_policy(current, args.restart_slack)
+    failures += check_scan(current)
 
     if failures:
         print(f"\nFAIL: {len(failures)} perf-gate violation(s):",
