@@ -289,6 +289,24 @@ class nm_tree {
     return out;
   }
 
+  /// Bounded form: the up-to-max_items *smallest* keys of [lo, hi),
+  /// ascending, under the same conservative-interval contract. The scan
+  /// stops walking as soon as the budget fills — a page over a huge
+  /// subrange costs O(page), not O(range) (modulo the pruned descent to
+  /// lo). Exactly max_items results does not by itself imply more keys
+  /// remain; callers that page treat a full page as "maybe more" and
+  /// resume above the last key (shard::sharded_set::range_scan_limit).
+  [[nodiscard]] std::vector<Key> range_scan(const Key& lo, const Key& hi,
+                                            std::size_t max_items) const {
+    std::vector<Key> out;
+    if (max_items == 0 || !less_.cmp(lo, hi)) return out;
+    scan_impl_until(&lo, &hi, /*closed=*/false, [&](const Key& k) {
+      out.push_back(k);
+      return out.size() < max_items;
+    });
+    return out;
+  }
+
   /// Concurrent whole-tree ordered visit: fn(key) for every key in
   /// ascending order, under the same contract as range_scan.
   template <typename F>
@@ -937,10 +955,22 @@ class nm_tree {
     return closed ? !less_(*hi, k) : less_(k, *hi);
   }
 
-  /// Shared entry: pin once for the whole scan, dispatch on the
-  /// reclaimer's traversal contract, attribute keys visited.
+  /// Unbounded entry: adapts the void visitor to the resumable core.
   template <typename F>
   void scan_impl(const Key* lo, const Key* hi, bool closed, F&& fn) const {
+    scan_impl_until(lo, hi, closed, [&fn](const Key& k) {
+      fn(k);
+      return true;
+    });
+  }
+
+  /// Shared entry: pin once for the whole scan, dispatch on the
+  /// reclaimer's traversal contract, attribute keys visited. The
+  /// visitor returns false to stop the scan early (bounded pages); keys
+  /// already emitted stay emitted.
+  template <typename F>
+  void scan_impl_until(const Key* lo, const Key* hi, bool closed,
+                       F&& fn) const {
     std::uint64_t visited = 0;
     {
       [[maybe_unused]] auto guard = reclaimer_.pin();
@@ -977,7 +1007,7 @@ class nm_tree {
         if (!edge.flagged() && !n->key.is_sentinel() &&
             scan_in_range(n->key, lo, hi, closed)) {
           ++visited;
-          fn(n->key.key);
+          if (!fn(n->key.key)) return;  // visitor filled its budget
         }
         continue;
       }
@@ -1074,7 +1104,7 @@ class nm_tree {
       strict = true;
       if (!landed.flagged()) {  // flagged = logically deleted: skip
         ++visited;
-        fn(leaf->key.key);
+        if (!fn(leaf->key.key)) break;  // visitor filled its budget
       }
     }
   }

@@ -1,0 +1,281 @@
+// lfbst server: a small blocking client for the wire protocol.
+//
+// This is the test and bench counterpart of basic_server: it owns one
+// TCP connection, encodes requests with protocol.hpp, and decodes
+// responses out of an internal buffer. Two usage styles:
+//
+//   * convenience calls (get/insert/erase/batch/range_scan/ping): one
+//     request, wait for its response — simple oracle-test plumbing;
+//   * pipelining: send_request() any number of frames, then
+//     recv_response() them back; the server guarantees input-order
+//     responses per connection, which the integration test asserts.
+//
+// All receives honor a deadline (default 10 s) so a wedged server fails
+// a test instead of hanging it. The client is deliberately not
+// thread-safe: one connection per thread, like a real client shard.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace lfbst::server {
+
+class client {
+ public:
+  client() = default;
+
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+
+  client(client&& other) noexcept { swap(other); }
+
+  client& operator=(client&& other) noexcept {
+    if (this != &other) {
+      close();
+      swap(other);
+    }
+    return *this;
+  }
+
+  ~client() { close(); }
+
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      close();
+      return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      close();
+      return false;
+    }
+    const int one = 1;
+    (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  void close() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    rbuf_.clear();
+    rpos_ = 0;
+  }
+
+  /// Half-close the sending side: the server answers what it received
+  /// and then closes — the clean "send all, read all, EOF" shutdown.
+  void shutdown_send() noexcept {
+    if (fd_ >= 0) (void)::shutdown(fd_, SHUT_WR);
+  }
+
+  void set_recv_timeout_ms(int ms) noexcept { recv_timeout_ms_ = ms; }
+
+  /// Encodes and writes one request frame (blocking until the kernel
+  /// accepts it). False on a broken connection.
+  [[nodiscard]] bool send_request(const request& req) {
+    scratch_.clear();
+    encode_request(scratch_, req);
+    return send_raw(scratch_.data(), scratch_.size());
+  }
+
+  /// Writes pre-encoded bytes — the fault tests use this to send
+  /// truncated and garbage frames a well-formed encoder never would.
+  [[nodiscard]] bool send_raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (len > 0) {
+      const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+      if (n > 0) {
+        p += n;
+        len -= static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  /// Blocks (up to the recv timeout) for the next response frame.
+  /// False on timeout, EOF, or a malformed frame from the server.
+  [[nodiscard]] bool recv_response(response& out) {
+    for (;;) {
+      std::size_t consumed = 0;
+      const decode_status st = try_decode_response(
+          rbuf_.data() + rpos_, rbuf_.size() - rpos_, out, consumed);
+      if (st == decode_status::ok) {
+        rpos_ += consumed;
+        if (rpos_ == rbuf_.size()) {
+          rbuf_.clear();
+          rpos_ = 0;
+        }
+        return true;
+      }
+      if (st == decode_status::bad_frame) return false;
+      if (!fill()) return false;
+    }
+  }
+
+  // --- one-shot convenience ops --------------------------------------
+
+  /// status_code::ok and a boolean result, or nullopt-like failure via
+  /// the out-params; tests that care about NACK statuses use the
+  /// request/response API directly.
+  [[nodiscard]] bool get(std::int64_t key, bool& found) {
+    return point_op(opcode::get, key, found);
+  }
+
+  [[nodiscard]] bool insert(std::int64_t key, bool& inserted) {
+    return point_op(opcode::insert, key, inserted);
+  }
+
+  [[nodiscard]] bool erase(std::int64_t key, bool& erased) {
+    return point_op(opcode::erase, key, erased);
+  }
+
+  [[nodiscard]] bool ping() {
+    request req;
+    req.op = opcode::ping;
+    req.id = next_id_++;
+    response resp;
+    return roundtrip(req, resp) && resp.status == status_code::ok;
+  }
+
+  /// One batch frame; results[i] corresponds to keys[i] (input order).
+  [[nodiscard]] bool batch(opcode sub_op,
+                           const std::vector<std::int64_t>& keys,
+                           std::vector<bool>& results) {
+    request req;
+    req.op = opcode::batch;
+    req.id = next_id_++;
+    req.batch_op = sub_op;
+    req.keys = keys;
+    response resp;
+    if (!roundtrip(req, resp) || resp.status != status_code::ok ||
+        resp.results.size() != keys.size()) {
+      return false;
+    }
+    results.assign(resp.results.size(), false);
+    for (std::size_t i = 0; i < resp.results.size(); ++i) {
+      results[i] = resp.results[i] != 0;
+    }
+    return true;
+  }
+
+  struct scan_result {
+    std::vector<std::int64_t> keys;
+    bool truncated = false;
+    std::int64_t resume_key = 0;
+  };
+
+  /// One page of [lo, hi); max_items = 0 asks for the server default.
+  [[nodiscard]] bool range_scan(std::int64_t lo, std::int64_t hi,
+                                std::uint32_t max_items, scan_result& out) {
+    request req;
+    req.op = opcode::range_scan;
+    req.id = next_id_++;
+    req.lo = lo;
+    req.hi = hi;
+    req.max_items = max_items;
+    response resp;
+    if (!roundtrip(req, resp) || resp.status != status_code::ok) {
+      return false;
+    }
+    out.keys = std::move(resp.keys);
+    out.truncated = resp.truncated;
+    out.resume_key = resp.resume_key;
+    return true;
+  }
+
+  /// Follows continuation keys until the whole [lo, hi) range has been
+  /// paged out — how a client is meant to consume a big scan.
+  [[nodiscard]] bool range_scan_all(std::int64_t lo, std::int64_t hi,
+                                    std::uint32_t page,
+                                    std::vector<std::int64_t>& out) {
+    out.clear();
+    std::int64_t cursor = lo;
+    for (;;) {
+      scan_result part;
+      if (!range_scan(cursor, hi, page, part)) return false;
+      out.insert(out.end(), part.keys.begin(), part.keys.end());
+      if (!part.truncated) return true;
+      cursor = part.resume_key;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t next_id() noexcept { return next_id_++; }
+
+ private:
+  void swap(client& other) noexcept {
+    std::swap(fd_, other.fd_);
+    std::swap(rbuf_, other.rbuf_);
+    std::swap(rpos_, other.rpos_);
+    std::swap(next_id_, other.next_id_);
+    std::swap(recv_timeout_ms_, other.recv_timeout_ms_);
+  }
+
+  [[nodiscard]] bool point_op(opcode op, std::int64_t key, bool& result) {
+    request req;
+    req.op = op;
+    req.id = next_id_++;
+    req.key = key;
+    response resp;
+    if (!roundtrip(req, resp) || resp.status != status_code::ok) {
+      return false;
+    }
+    result = resp.result;
+    return true;
+  }
+
+  [[nodiscard]] bool roundtrip(const request& req, response& resp) {
+    return send_request(req) && recv_response(resp) && resp.id == req.id;
+  }
+
+  /// Waits for readability (deadline!) and appends whatever arrived.
+  [[nodiscard]] bool fill() {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    for (;;) {
+      const int pr = ::poll(&pfd, 1, recv_timeout_ms_);
+      if (pr < 0 && errno == EINTR) continue;
+      if (pr <= 0) return false;  // timeout or poll failure
+      break;
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;  // EOF or error
+    rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rpos_ = 0;
+  std::vector<std::uint8_t> scratch_;
+  std::uint64_t next_id_ = 1;
+  int recv_timeout_ms_ = 10'000;
+};
+
+}  // namespace lfbst::server

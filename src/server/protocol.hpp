@@ -1,0 +1,429 @@
+// lfbst server: the wire protocol — length-prefixed binary frames over
+// a byte stream (TCP), the contract between src/server/server.hpp, the
+// client library (src/server/client.hpp), bench/bench_server.cpp and
+// the codec fuzzer (tests/server/codec_test.cpp).
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 body_len          1 <= body_len <= max_frame_bytes
+//   u8  opcode            get/insert/erase/batch/range_scan/ping
+//   u64 request_id        echoed verbatim in the response
+//   ...opcode payload...
+//
+// Request payloads:
+//
+//   get/insert/erase      i64 key
+//   batch                 u8 sub_op (get|insert|erase), u32 count
+//                         (<= max_batch_keys), i64 key[count]
+//   range_scan            i64 lo, i64 hi, u32 max_items  — half-open
+//                         [lo, hi); max_items 0 = server's default page
+//   ping                  (empty)
+//
+// Response payloads (u8 status after the echoed opcode + id; payload
+// present only when status == ok):
+//
+//   get/insert/erase      u8 result
+//   batch                 u32 count, u8 result[count]   (input order)
+//   range_scan            u8 truncated, i64 resume_key, u32 count,
+//                         i64 key[count] — sorted; when truncated, the
+//                         remainder is reachable by re-issuing the scan
+//                         with lo = resume_key (the bounded-result form
+//                         of shard::sharded_set::range_scan_limit, so a
+//                         huge subrange cannot head-of-line-block the
+//                         connection)
+//   ping                  (empty)
+//
+// Decoding discipline: the decoder is incremental (feed it any prefix
+// of the stream; it answers need_more until a whole frame is present),
+// strictly bounded (never reads past the bytes it was given, rejects
+// body lengths over max_frame_bytes before buffering), and strict (a
+// body whose payload does not exactly match its opcode's layout —
+// trailing bytes included — is bad_frame). bad_frame means the stream
+// itself can no longer be trusted (framing is lost); the server replies
+// status=malformed when it could still recover the request id, then
+// closes the connection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lfbst::server {
+
+enum class opcode : std::uint8_t {
+  get = 1,
+  insert = 2,
+  erase = 3,
+  batch = 4,
+  range_scan = 5,
+  ping = 6,
+};
+
+enum class status_code : std::uint8_t {
+  ok = 0,
+  malformed = 1,      // frame decoded structurally but was rejected
+  too_large = 2,      // batch/scan bounds above the server's limits
+  shutting_down = 3,  // request arrived after drain began
+};
+
+/// Hard ceiling on one frame's body. Large enough for a full-size batch
+/// or scan page plus headers; small enough that one connection cannot
+/// balloon the server's read buffer.
+inline constexpr std::size_t max_frame_bytes = 1u << 20;  // 1 MiB
+
+/// Largest batch a single frame may carry.
+inline constexpr std::uint32_t max_batch_keys = 1u << 16;
+
+/// Largest scan page a response will carry; servers clamp a request's
+/// max_items to this.
+inline constexpr std::uint32_t max_scan_items = 1u << 16;
+
+[[nodiscard]] inline bool valid_opcode(std::uint8_t b) noexcept {
+  return b >= static_cast<std::uint8_t>(opcode::get) &&
+         b <= static_cast<std::uint8_t>(opcode::ping);
+}
+
+[[nodiscard]] inline const char* opcode_name(opcode op) noexcept {
+  switch (op) {
+    case opcode::get: return "get";
+    case opcode::insert: return "insert";
+    case opcode::erase: return "erase";
+    case opcode::batch: return "batch";
+    case opcode::range_scan: return "range_scan";
+    case opcode::ping: return "ping";
+  }
+  return "unknown";
+}
+
+/// One decoded request. Which members are meaningful depends on `op`:
+/// key for the point ops; batch_op + keys for batch; lo/hi/max_items
+/// for range_scan.
+struct request {
+  opcode op = opcode::ping;
+  std::uint64_t id = 0;
+  std::int64_t key = 0;
+  opcode batch_op = opcode::get;
+  std::vector<std::int64_t> keys;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::uint32_t max_items = 0;
+};
+
+/// One decoded response; payload members mirror the request shape.
+struct response {
+  opcode op = opcode::ping;
+  std::uint64_t id = 0;
+  status_code status = status_code::ok;
+  bool result = false;
+  std::vector<std::uint8_t> results;  // batch: 0/1 per input key
+  bool truncated = false;
+  std::int64_t resume_key = 0;
+  std::vector<std::int64_t> keys;  // scan page, sorted
+};
+
+enum class decode_status : std::uint8_t {
+  ok,         // one frame decoded; `consumed` bytes were used
+  need_more,  // the buffer holds only a prefix of the next frame
+  bad_frame,  // framing or payload is invalid; the stream is dead
+};
+
+// --- little-endian primitives ---------------------------------------
+
+namespace wire {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader over a byte span. Every take_*
+/// checks remaining() first; ok_ latches false on the first overrun so
+/// callers can batch reads and test once.
+class reader {
+ public:
+  reader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return len_ - pos_; }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return ok_ && pos_ == len_;
+  }
+
+  std::uint8_t take_u8() noexcept {
+    if (remaining() < 1) return fail_zero();
+    return data_[pos_++];
+  }
+
+  std::uint32_t take_u32() noexcept {
+    if (remaining() < 4) return static_cast<std::uint32_t>(fail_zero());
+    std::uint32_t v = 0;
+    v |= static_cast<std::uint32_t>(data_[pos_ + 0]);
+    v |= static_cast<std::uint32_t>(data_[pos_ + 1]) << 8;
+    v |= static_cast<std::uint32_t>(data_[pos_ + 2]) << 16;
+    v |= static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t take_u64() noexcept {
+    const std::uint64_t lo = take_u32();
+    const std::uint64_t hi = take_u32();
+    return lo | (hi << 32);
+  }
+
+  std::int64_t take_i64() noexcept {
+    return static_cast<std::int64_t>(take_u64());
+  }
+
+ private:
+  std::uint8_t fail_zero() noexcept {
+    ok_ = false;
+    pos_ = len_;  // poison: every further take fails too
+    return 0;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace wire
+
+// --- encoding --------------------------------------------------------
+
+namespace detail {
+
+/// Reserves the 4-byte length prefix, returns its offset.
+inline std::size_t begin_frame(std::vector<std::uint8_t>& out) {
+  const std::size_t at = out.size();
+  wire::put_u32(out, 0);
+  return at;
+}
+
+/// Patches the length prefix with the body size written since
+/// begin_frame.
+inline void end_frame(std::vector<std::uint8_t>& out, std::size_t at) {
+  const std::uint32_t body =
+      static_cast<std::uint32_t>(out.size() - at - 4);
+  out[at + 0] = static_cast<std::uint8_t>(body);
+  out[at + 1] = static_cast<std::uint8_t>(body >> 8);
+  out[at + 2] = static_cast<std::uint8_t>(body >> 16);
+  out[at + 3] = static_cast<std::uint8_t>(body >> 24);
+}
+
+}  // namespace detail
+
+/// Appends one encoded request frame to `out`.
+inline void encode_request(std::vector<std::uint8_t>& out,
+                           const request& req) {
+  const std::size_t frame = detail::begin_frame(out);
+  wire::put_u8(out, static_cast<std::uint8_t>(req.op));
+  wire::put_u64(out, req.id);
+  switch (req.op) {
+    case opcode::get:
+    case opcode::insert:
+    case opcode::erase: wire::put_i64(out, req.key); break;
+    case opcode::batch:
+      wire::put_u8(out, static_cast<std::uint8_t>(req.batch_op));
+      wire::put_u32(out, static_cast<std::uint32_t>(req.keys.size()));
+      for (std::int64_t k : req.keys) wire::put_i64(out, k);
+      break;
+    case opcode::range_scan:
+      wire::put_i64(out, req.lo);
+      wire::put_i64(out, req.hi);
+      wire::put_u32(out, req.max_items);
+      break;
+    case opcode::ping: break;
+  }
+  detail::end_frame(out, frame);
+}
+
+/// Appends one encoded response frame to `out`.
+inline void encode_response(std::vector<std::uint8_t>& out,
+                            const response& resp) {
+  const std::size_t frame = detail::begin_frame(out);
+  wire::put_u8(out, static_cast<std::uint8_t>(resp.op));
+  wire::put_u64(out, resp.id);
+  wire::put_u8(out, static_cast<std::uint8_t>(resp.status));
+  if (resp.status == status_code::ok) {
+    switch (resp.op) {
+      case opcode::get:
+      case opcode::insert:
+      case opcode::erase: wire::put_u8(out, resp.result ? 1 : 0); break;
+      case opcode::batch:
+        wire::put_u32(out, static_cast<std::uint32_t>(resp.results.size()));
+        for (std::uint8_t r : resp.results) wire::put_u8(out, r);
+        break;
+      case opcode::range_scan:
+        wire::put_u8(out, resp.truncated ? 1 : 0);
+        wire::put_i64(out, resp.resume_key);
+        wire::put_u32(out, static_cast<std::uint32_t>(resp.keys.size()));
+        for (std::int64_t k : resp.keys) wire::put_i64(out, k);
+        break;
+      case opcode::ping: break;
+    }
+  }
+  detail::end_frame(out, frame);
+}
+
+// --- decoding --------------------------------------------------------
+
+namespace detail {
+
+/// Shared framing: validates the length prefix against the bytes
+/// available and max_frame_bytes. On ok, *body/*body_len describe the
+/// frame body and *consumed the whole frame.
+inline decode_status frame_bounds(const std::uint8_t* data, std::size_t len,
+                                  const std::uint8_t** body,
+                                  std::size_t* body_len,
+                                  std::size_t* consumed) {
+  if (len < 4) return decode_status::need_more;
+  const std::uint32_t n = static_cast<std::uint32_t>(data[0]) |
+                          static_cast<std::uint32_t>(data[1]) << 8 |
+                          static_cast<std::uint32_t>(data[2]) << 16 |
+                          static_cast<std::uint32_t>(data[3]) << 24;
+  if (n == 0 || n > max_frame_bytes) return decode_status::bad_frame;
+  if (len - 4 < n) return decode_status::need_more;
+  *body = data + 4;
+  *body_len = n;
+  *consumed = 4 + static_cast<std::size_t>(n);
+  return decode_status::ok;
+}
+
+}  // namespace detail
+
+/// Decodes one request frame from data[0..len). ok: `out` is filled and
+/// `consumed` says how many bytes the frame used; need_more: keep the
+/// bytes and retry with more; bad_frame: close the stream.
+inline decode_status try_decode_request(const std::uint8_t* data,
+                                        std::size_t len, request& out,
+                                        std::size_t& consumed) {
+  const std::uint8_t* body = nullptr;
+  std::size_t body_len = 0;
+  const decode_status framed =
+      detail::frame_bounds(data, len, &body, &body_len, &consumed);
+  if (framed != decode_status::ok) return framed;
+
+  wire::reader r(body, body_len);
+  const std::uint8_t op_byte = r.take_u8();
+  const std::uint64_t id = r.take_u64();
+  if (!r.ok() || !valid_opcode(op_byte)) return decode_status::bad_frame;
+  out = request{};
+  out.op = static_cast<opcode>(op_byte);
+  out.id = id;
+  switch (out.op) {
+    case opcode::get:
+    case opcode::insert:
+    case opcode::erase: out.key = r.take_i64(); break;
+    case opcode::batch: {
+      const std::uint8_t sub = r.take_u8();
+      const std::uint32_t count = r.take_u32();
+      if (!r.ok() || sub < static_cast<std::uint8_t>(opcode::get) ||
+          sub > static_cast<std::uint8_t>(opcode::erase)) {
+        return decode_status::bad_frame;
+      }
+      if (count > max_batch_keys || r.remaining() != count * 8u) {
+        return decode_status::bad_frame;
+      }
+      out.batch_op = static_cast<opcode>(sub);
+      out.keys.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) out.keys[i] = r.take_i64();
+      break;
+    }
+    case opcode::range_scan:
+      out.lo = r.take_i64();
+      out.hi = r.take_i64();
+      out.max_items = r.take_u32();
+      break;
+    case opcode::ping: break;
+  }
+  if (!r.exhausted()) return decode_status::bad_frame;  // short or trailing
+  return decode_status::ok;
+}
+
+/// Decodes one response frame; same contract as try_decode_request.
+inline decode_status try_decode_response(const std::uint8_t* data,
+                                         std::size_t len, response& out,
+                                         std::size_t& consumed) {
+  const std::uint8_t* body = nullptr;
+  std::size_t body_len = 0;
+  const decode_status framed =
+      detail::frame_bounds(data, len, &body, &body_len, &consumed);
+  if (framed != decode_status::ok) return framed;
+
+  wire::reader r(body, body_len);
+  const std::uint8_t op_byte = r.take_u8();
+  const std::uint64_t id = r.take_u64();
+  const std::uint8_t st = r.take_u8();
+  if (!r.ok() || !valid_opcode(op_byte) ||
+      st > static_cast<std::uint8_t>(status_code::shutting_down)) {
+    return decode_status::bad_frame;
+  }
+  out = response{};
+  out.op = static_cast<opcode>(op_byte);
+  out.id = id;
+  out.status = static_cast<status_code>(st);
+  if (out.status == status_code::ok) {
+    switch (out.op) {
+      case opcode::get:
+      case opcode::insert:
+      case opcode::erase: {
+        // Booleans are canonical on the wire: only 0 and 1 decode, so
+        // decode ∘ encode is the identity on accepted frames.
+        const std::uint8_t b = r.take_u8();
+        if (b > 1) return decode_status::bad_frame;
+        out.result = b != 0;
+        break;
+      }
+      case opcode::batch: {
+        const std::uint32_t count = r.take_u32();
+        if (!r.ok() || count > max_batch_keys ||
+            r.remaining() != count) {
+          return decode_status::bad_frame;
+        }
+        out.results.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint8_t b = r.take_u8();
+          if (b > 1) return decode_status::bad_frame;
+          out.results[i] = b;
+        }
+        break;
+      }
+      case opcode::range_scan: {
+        const std::uint8_t trunc = r.take_u8();
+        if (trunc > 1) return decode_status::bad_frame;
+        out.truncated = trunc != 0;
+        out.resume_key = r.take_i64();
+        const std::uint32_t count = r.take_u32();
+        if (!r.ok() || count > max_scan_items ||
+            r.remaining() != count * 8u) {
+          return decode_status::bad_frame;
+        }
+        out.keys.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) out.keys[i] = r.take_i64();
+        break;
+      }
+      case opcode::ping: break;
+    }
+  }
+  if (!r.exhausted()) return decode_status::bad_frame;
+  return decode_status::ok;
+}
+
+}  // namespace lfbst::server

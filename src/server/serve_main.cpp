@@ -1,0 +1,113 @@
+// lfbst_serve: the server binary. An int64 membership set, sharded over
+// NM-BSTs with epoch reclamation and recording stats, behind the TCP
+// wire protocol. SIGTERM (and SIGINT) trigger a graceful drain:
+// everything already received is answered, late frames are NACKed with
+// status shutting_down, buffers are flushed, then the process exits and
+// prints its wire-level counters (and, with --json, an lfbst-bench-v1
+// document of server-side latency percentiles).
+//
+//   lfbst_serve --port=7171 --threads=2 --shards=8
+//
+// Flags: --host (default 127.0.0.1), --port (default 7171; 0 picks an
+// ephemeral port, printed on stdout), --threads event loops, --shards
+// power-of-two shard count, --scan-page default range-scan page size,
+// --drain-ms drain deadline, --json[=path] latency report on exit.
+#include <signal.h>  // NOLINT: sigaction needs the POSIX header
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "core/natarajan_tree.hpp"
+#include "harness/flags.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "server/server.hpp"
+#include "shard/sharded_set.hpp"
+
+namespace {
+
+using tree_type = lfbst::nm_tree<std::int64_t, std::less<std::int64_t>,
+                                 lfbst::reclaim::epoch, lfbst::obs::recording>;
+using set_type = lfbst::shard::sharded_set<tree_type>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lfbst::bench::flags flags(argc, argv);
+  lfbst::server::server_config cfg;
+  cfg.host = flags.get("host", "127.0.0.1");
+  cfg.port = static_cast<std::uint16_t>(flags.get_int("port", 7171));
+  cfg.event_threads = static_cast<unsigned>(flags.get_int("threads", 2));
+  cfg.default_scan_items =
+      static_cast<std::uint32_t>(flags.get_int("scan-page", 4096));
+  cfg.drain_deadline_ms =
+      static_cast<std::uint64_t>(flags.get_int("drain-ms", 5000));
+
+  set_type set(static_cast<std::size_t>(flags.get_int("shards", 8)),
+               std::numeric_limits<std::int64_t>::min(),
+               std::numeric_limits<std::int64_t>::max());
+  lfbst::server::basic_server<set_type> server(set, cfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "lfbst_serve: cannot listen on %s:%u\n",
+                 cfg.host.c_str(), static_cast<unsigned>(cfg.port));
+    return 1;
+  }
+  std::printf("lfbst_serve: listening on %s:%u (%u event threads)\n",
+              cfg.host.c_str(), static_cast<unsigned>(server.port()),
+              cfg.event_threads);
+  std::fflush(stdout);
+
+  // SIGTERM drains the server directly from the handler (begin_drain is
+  // async-signal-safe); SIGINT takes the same path for interactive use.
+  // The event threads do all the work, so the main thread just blocks
+  // in join() — it returns once the drain (or a hard stop) finishes.
+  lfbst::server::drain_on_sigterm(server);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = lfbst::server::detail::sigterm_trampoline;
+  (void)sigaction(SIGINT, &sa, nullptr);
+  server.join();
+
+  const auto& st = server.stats();
+  std::fprintf(
+      stderr,
+      "lfbst_serve: conns=%llu/%llu frames=%llu responses=%llu "
+      "bytes=%llu/%llu proto_errors=%llu nack_drain=%llu "
+      "coalesced=%llu/%llu backpressure=%llu\n",
+      static_cast<unsigned long long>(st.connections_accepted.load()),
+      static_cast<unsigned long long>(st.connections_closed.load()),
+      static_cast<unsigned long long>(st.frames_in.load()),
+      static_cast<unsigned long long>(st.responses_out.load()),
+      static_cast<unsigned long long>(st.bytes_in.load()),
+      static_cast<unsigned long long>(st.bytes_out.load()),
+      static_cast<unsigned long long>(st.protocol_errors.load()),
+      static_cast<unsigned long long>(st.rejected_shutting_down.load()),
+      static_cast<unsigned long long>(st.coalesced_groups.load()),
+      static_cast<unsigned long long>(st.coalesced_ops.load()),
+      static_cast<unsigned long long>(st.backpressure_pauses.load()));
+
+  if (flags.has("json")) {
+    lfbst::obs::bench_report report("lfbst_serve");
+    report.config.set("host", cfg.host);
+    report.config.set("port", static_cast<std::int64_t>(server.port()));
+    report.config.set("threads",
+                      static_cast<std::int64_t>(cfg.event_threads));
+    const auto h = server.latency().merged_all();
+    lfbst::obs::json::value row = lfbst::obs::json::value::object();
+    row.set("study", "server_lifetime");
+    row.set("ops", static_cast<std::int64_t>(h.count()));
+    row.set("p50_ns", static_cast<std::int64_t>(h.value_at_percentile(50)));
+    row.set("p99_ns", static_cast<std::int64_t>(h.value_at_percentile(99)));
+    row.set("p999_ns",
+            static_cast<std::int64_t>(h.value_at_percentile(99.9)));
+    report.add_result(std::move(row));
+    const std::string path = flags.get("json", "serve_report.json");
+    if (!report.write_file(path.empty() ? "serve_report.json" : path)) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,839 @@
+// lfbst server: a TCP front-end that serves a concurrent set over the
+// length-prefixed wire protocol of src/server/protocol.hpp — the layer
+// that turns the NM-BST reproduction into a network service and forces
+// honest answers about batching, admission and tail latency.
+//
+// Architecture (Linux epoll, level-agnostic one-shot-free design):
+//
+//   * `event_threads` event loops, each with its own epoll instance and
+//     its own set of connections (no connection is ever touched by two
+//     loops, so per-connection state needs no locks). Loop 0 owns the
+//     listening socket and hands accepted connections out round-robin
+//     via per-loop eventfd-signalled inboxes.
+//   * Per connection: a read buffer fed by non-blocking reads, a
+//     decoded-request inbox (the *bounded per-connection queue*, cap
+//     `max_inflight`), and a write buffer flushed opportunistically and
+//     then by EPOLLOUT.
+//   * Request coalescing: the inbox is drained in maximal runs of
+//     same-opcode point requests (get/get/get...), and each run is
+//     executed through the set's contains_batch / insert_batch /
+//     erase_batch — one counting sort in shard::sharded_set amortizes
+//     across the whole pipelined run. Responses are emitted in input
+//     order (the protocol has request ids, but order is guaranteed per
+//     connection anyway).
+//   * Backpressure: when a connection's unflushed write bytes exceed
+//     `write_buffer_cap`, the loop stops draining its inbox and stops
+//     reading from its socket (EPOLLIN disarmed) until EPOLLOUT flushes
+//     it below `write_buffer_resume` — a slow reader throttles only
+//     itself; TCP pushes the backpressure to the client.
+//   * Graceful drain (begin_drain(), async-signal-safe; see
+//     drain_on_sigterm): stop accepting, answer every request received
+//     before the drain, NACK (status shutting_down) frames that were
+//     still in the kernel socket buffer, flush, close. A drain deadline
+//     force-closes stragglers so join() always returns.
+//
+// Scan requests use shard::sharded_set::range_scan_limit — the
+// bounded-result form — so one scan of a huge subrange returns one
+// clamped page plus a continuation key instead of head-of-line-blocking
+// the connection behind a multi-megabyte response.
+//
+// Observability: per-request service latency (decode → response
+// encoded) flows through an obs::latency_observer (get and range_scan
+// record as op_kind::search; a batch frame records one sample under its
+// sub-op), and the server keeps its own wire-level counters
+// (server_stats). The tree-level attribution lives in the set itself
+// (e.g. sharded_set::merged_counters() when the inner tree records).
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>  // NOLINT: sigaction needs the POSIX header
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "obs/metrics.hpp"
+#include "server/protocol.hpp"
+
+namespace lfbst::server {
+
+struct server_config {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = kernel-assigned ephemeral port
+  unsigned event_threads = 1;
+  /// Backpressure: pause reading/executing above cap, resume below.
+  std::size_t write_buffer_cap = 4u << 20;
+  std::size_t write_buffer_resume = 1u << 20;
+  /// Bounded per-connection queue of decoded-but-unexecuted requests.
+  std::size_t max_inflight = 1024;
+  /// Page size used when a scan request leaves max_items = 0.
+  std::uint32_t default_scan_items = 4096;
+  /// Grace period for flushing during drain before force-closing.
+  std::uint64_t drain_deadline_ms = 5000;
+  int listen_backlog = 128;
+};
+
+/// Wire-level counters. Monotonic, relaxed; read them after join() (or
+/// accept racy monotonic reads, as with obs::metrics).
+struct server_stats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> responses_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> rejected_shutting_down{0};
+  std::atomic<std::uint64_t> coalesced_groups{0};
+  std::atomic<std::uint64_t> coalesced_ops{0};
+  std::atomic<std::uint64_t> backpressure_pauses{0};
+};
+
+/// TCP server over any set exposing the sharded_set surface:
+/// contains/insert/erase (+ the *_batch forms) and range_scan_limit.
+/// The server borrows the set — callers keep ownership so they can
+/// read merged metrics or keep using it after the server stops.
+template <typename Set>
+class basic_server {
+ public:
+  using set_type = Set;
+
+  explicit basic_server(Set& set, server_config cfg = {})
+      : set_(&set), cfg_(std::move(cfg)) {
+    if (cfg_.event_threads == 0) cfg_.event_threads = 1;
+    if (cfg_.write_buffer_resume > cfg_.write_buffer_cap) {
+      cfg_.write_buffer_resume = cfg_.write_buffer_cap;
+    }
+    if (cfg_.max_inflight == 0) cfg_.max_inflight = 1;
+  }
+
+  basic_server(const basic_server&) = delete;
+  basic_server& operator=(const basic_server&) = delete;
+
+  ~basic_server() {
+    stop();
+    join();
+  }
+
+  /// Binds, listens, spawns the event threads. False on socket errors
+  /// (port in use, exhausted fds); the server is then inert.
+  [[nodiscard]] bool start() {
+    if (started_) return false;
+    listen_fd_ = make_listener();
+    if (listen_fd_ < 0) return false;
+    loops_.reserve(cfg_.event_threads);
+    for (unsigned i = 0; i < cfg_.event_threads; ++i) {
+      auto lp = std::make_unique<loop>();
+      lp->epfd = epoll_create1(EPOLL_CLOEXEC);
+      lp->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (lp->epfd < 0 || lp->wake_fd < 0) {
+        if (lp->epfd >= 0) ::close(lp->epfd);
+        if (lp->wake_fd >= 0) ::close(lp->wake_fd);
+        teardown_sockets();
+        return false;
+      }
+      add_interest(lp->epfd, lp->wake_fd, EPOLLIN);
+      loops_.push_back(std::move(lp));
+    }
+    add_interest(loops_[0]->epfd, listen_fd_, EPOLLIN);
+    started_ = true;
+    for (unsigned i = 0; i < cfg_.event_threads; ++i) {
+      loops_[i]->thr = std::thread([this, i] { run(i); });
+    }
+    return true;
+  }
+
+  /// The bound port (useful with cfg.port = 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Begins a graceful drain: stop accepting, answer everything
+  /// received so far, NACK late frames, flush, close, exit the loops.
+  /// Async-signal-safe (an atomic store plus eventfd writes) so a
+  /// SIGTERM handler may call it directly.
+  void begin_drain() noexcept {
+    drain_.store(true, std::memory_order_release);
+    wake_all();
+  }
+
+  /// Hard stop: close every connection immediately, flushed or not.
+  void stop() noexcept {
+    stop_.store(true, std::memory_order_release);
+    wake_all();
+  }
+
+  /// Joins the event threads (returns immediately if never started).
+  /// After join() all sockets are closed and stats are final.
+  void join() {
+    for (auto& lp : loops_) {
+      if (lp->thr.joinable()) lp->thr.join();
+    }
+    teardown_sockets();
+  }
+
+  [[nodiscard]] const server_stats& stats() const noexcept { return stats_; }
+
+  /// Per-request service latency (decode to response-encoded), striped
+  /// per event thread. Quiescence (join) required for merged reads.
+  [[nodiscard]] obs::latency_observer& latency() noexcept {
+    return latency_;
+  }
+
+  [[nodiscard]] const server_config& config() const noexcept { return cfg_; }
+
+ private:
+  struct pending_request {
+    request req;
+    std::uint64_t t0_ns = 0;
+  };
+
+  struct connection {
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::size_t rpos = 0;  // consumed prefix of rbuf
+    std::deque<pending_request> inbox;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t wpos = 0;  // flushed prefix of wbuf
+    std::uint32_t armed = 0;  // epoll interest currently registered
+    bool paused = false;      // reading suspended by backpressure
+    bool eof = false;         // peer half-closed; answer then close
+    bool closing = false;     // flush wbuf, then close
+    bool drained = false;     // this connection saw the drain sweep
+  };
+
+  struct loop {
+    int epfd = -1;
+    int wake_fd = -1;
+    std::thread thr;
+    std::unordered_map<int, std::unique_ptr<connection>> conns;
+    std::mutex inbox_mu;
+    std::vector<int> inbox;  // fds handed over by the acceptor
+  };
+
+  // --- socket plumbing -----------------------------------------------
+
+  [[nodiscard]] int make_listener() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    const int one = 1;
+    (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return -1;
+    }
+    if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(fd, cfg_.listen_backlog) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+    return fd;
+  }
+
+  void teardown_sockets() {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (auto& lp : loops_) {
+      for (auto& [fd, conn] : lp->conns) {
+        (void)conn;
+        ::close(fd);
+        stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      }
+      lp->conns.clear();
+      if (lp->epfd >= 0) {
+        ::close(lp->epfd);
+        lp->epfd = -1;
+      }
+      if (lp->wake_fd >= 0) {
+        ::close(lp->wake_fd);
+        lp->wake_fd = -1;
+      }
+    }
+  }
+
+  static void add_interest(int epfd, int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    (void)epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void wake_all() noexcept {
+    const std::uint64_t one = 1;
+    for (auto& lp : loops_) {
+      if (lp->wake_fd >= 0) {
+        [[maybe_unused]] ssize_t n = ::write(lp->wake_fd, &one, sizeof(one));
+      }
+    }
+  }
+
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  // --- the event loop -------------------------------------------------
+
+  void run(unsigned index) {
+    loop& lp = *loops_[index];
+    std::vector<epoll_event> events(128);
+    std::uint64_t drain_started_ns = 0;
+    bool draining_seen = false;
+    for (;;) {
+      const bool stopping = stop_.load(std::memory_order_acquire);
+      const bool draining = drain_.load(std::memory_order_acquire);
+      if (stopping) {
+        close_all(lp);
+        return;
+      }
+      if (draining) {
+        if (!draining_seen) {
+          draining_seen = true;
+          drain_started_ns = now_ns();
+          begin_drain_on_loop(lp, index);
+        } else if (now_ns() - drain_started_ns >
+                   cfg_.drain_deadline_ms * 1'000'000ull) {
+          close_all(lp);  // deadline: abandon unflushed bytes
+          return;
+        }
+        if (lp.conns.empty()) return;
+      }
+      const int timeout_ms = draining ? 20 : 200;
+      const int n = epoll_wait(lp.epfd, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        close_all(lp);
+        return;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        const std::uint32_t ev = events[i].events;
+        if (fd == lp.wake_fd) {
+          drain_wakeups(lp);
+          continue;
+        }
+        if (fd == listen_fd_) {
+          if (!draining) accept_ready(lp);
+          continue;
+        }
+        auto it = lp.conns.find(fd);
+        if (it == lp.conns.end()) continue;
+        connection& conn = *it->second;
+        bool alive = true;
+        if ((ev & (EPOLLERR | EPOLLHUP)) != 0 && (ev & EPOLLIN) == 0) {
+          alive = false;
+        }
+        if (alive && (ev & EPOLLOUT) != 0) alive = on_writable(conn);
+        if (alive && (ev & EPOLLIN) != 0) alive = on_readable(conn);
+        if (alive && (ev & (EPOLLERR | EPOLLHUP)) != 0) alive = false;
+        if (alive && conn.closing && write_bytes(conn) == 0 &&
+            conn.inbox.empty()) {
+          alive = false;
+        }
+        if (!alive) {
+          close_connection(lp, fd);
+        } else {
+          update_interest(lp, conn);
+        }
+      }
+    }
+  }
+
+  void drain_wakeups(loop& lp) {
+    std::uint64_t junk = 0;
+    while (::read(lp.wake_fd, &junk, sizeof(junk)) > 0) {
+    }
+    std::vector<int> handed;
+    {
+      std::lock_guard<std::mutex> guard(lp.inbox_mu);
+      handed.swap(lp.inbox);
+    }
+    for (int fd : handed) adopt_connection(lp, fd);
+  }
+
+  void accept_ready(loop& lp0) {
+    for (;;) {
+      const int fd =
+          accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN and friends: nothing more to accept
+      const int one = 1;
+      (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      const unsigned target = next_loop_++ % cfg_.event_threads;
+      if (target == 0) {
+        adopt_connection(lp0, fd);
+      } else {
+        loop& lp = *loops_[target];
+        {
+          std::lock_guard<std::mutex> guard(lp.inbox_mu);
+          lp.inbox.push_back(fd);
+        }
+        const std::uint64_t one64 = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(lp.wake_fd, &one64, sizeof(one64));
+      }
+    }
+  }
+
+  void adopt_connection(loop& lp, int fd) {
+    auto conn = std::make_unique<connection>();
+    conn->fd = fd;
+    conn->armed = EPOLLIN;
+    add_interest(lp.epfd, fd, EPOLLIN);
+    connection& ref = *conn;
+    lp.conns.emplace(fd, std::move(conn));
+    // A connection handed over after the drain began still gets the
+    // drain protocol instead of lingering until the deadline.
+    if (drain_.load(std::memory_order_acquire)) {
+      if (!drain_sweep(ref)) {
+        close_connection(lp, fd);
+      } else {
+        update_interest(lp, ref);
+      }
+    }
+  }
+
+  void close_connection(loop& lp, int fd) {
+    auto it = lp.conns.find(fd);
+    if (it == lp.conns.end()) return;
+    (void)epoll_ctl(lp.epfd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    lp.conns.erase(it);
+    stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void close_all(loop& lp) {
+    while (!lp.conns.empty()) {
+      close_connection(lp, lp.conns.begin()->first);
+    }
+  }
+
+  /// Drain entry per loop: close the listener once (loop 0), then give
+  /// every connection the drain sweep: answer what was received, NACK
+  /// what was still in flight, flush-and-close.
+  void begin_drain_on_loop(loop& lp, unsigned index) {
+    if (index == 0 && listen_fd_ >= 0) {
+      (void)epoll_ctl(lp.epfd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    }
+    std::vector<int> dead;
+    for (auto& [fd, conn_ptr] : lp.conns) {
+      connection& conn = *conn_ptr;
+      if (!drain_sweep(conn)) {
+        dead.push_back(fd);
+      } else {
+        update_interest(lp, conn);
+      }
+    }
+    for (int fd : dead) close_connection(lp, fd);
+  }
+
+  /// One connection's graceful-drain protocol. Returns false when the
+  /// connection is finished and should be closed now.
+  [[nodiscard]] bool drain_sweep(connection& conn) {
+    conn.drained = true;
+    // 1. Frames already in user space were admitted: decode the read
+    //    buffer without the inflight bound and answer every one, in
+    //    input order, before any NACK can overtake them.
+    const bool stream_ok = decode_into_inbox(conn, /*bounded=*/false);
+    execute_inbox(conn, /*respect_cap=*/false);
+    if (!stream_ok) conn.inbox.clear();
+    // 2. One final sweep of the kernel socket buffer: those frames
+    //    raced the drain and are NACKed so the client knows to retry
+    //    elsewhere rather than time out on silence.
+    if (!conn.closing) (void)read_available(conn);
+    for (;;) {
+      request req;
+      std::size_t consumed = 0;
+      const decode_status st = try_decode_request(
+          conn.rbuf.data() + conn.rpos, conn.rbuf.size() - conn.rpos, req,
+          consumed);
+      if (st != decode_status::ok) break;
+      conn.rpos += consumed;
+      response resp;
+      resp.op = req.op;
+      resp.id = req.id;
+      resp.status = status_code::shutting_down;
+      encode_response(conn.wbuf, resp);
+      stats_.rejected_shutting_down.fetch_add(1, std::memory_order_relaxed);
+      stats_.responses_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    // 3. Flush; keep the connection only while bytes remain queued.
+    conn.closing = true;
+    if (!flush_writes(conn)) return false;
+    return write_bytes(conn) > 0;
+  }
+
+  // --- per-connection read/decode/execute/write ----------------------
+
+  [[nodiscard]] std::size_t write_bytes(const connection& conn) const {
+    return conn.wbuf.size() - conn.wpos;
+  }
+
+  /// Non-blocking read into rbuf until EAGAIN, EOF, or a full buffer's
+  /// worth. Returns false on a fatal socket error.
+  [[nodiscard]] bool read_available(connection& conn) {
+    std::uint8_t chunk[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn.rbuf.insert(conn.rbuf.end(), chunk, chunk + n);
+        stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+        // One frame + one max frame of lookahead bounds the buffer.
+        if (conn.rbuf.size() - conn.rpos > 2 * (max_frame_bytes + 4)) {
+          return true;
+        }
+        continue;
+      }
+      if (n == 0) {
+        conn.eof = true;
+        return true;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;  // ECONNRESET and friends
+    }
+  }
+
+  /// Moves complete frames from rbuf into the inbox. Returns false on a
+  /// protocol error (a malformed NACK is queued and the connection is
+  /// marked closing).
+  [[nodiscard]] bool decode_into_inbox(connection& conn, bool bounded) {
+    while (!bounded || conn.inbox.size() < cfg_.max_inflight) {
+      request req;
+      std::size_t consumed = 0;
+      const decode_status st = try_decode_request(
+          conn.rbuf.data() + conn.rpos, conn.rbuf.size() - conn.rpos, req,
+          consumed);
+      if (st == decode_status::need_more) break;
+      if (st == decode_status::bad_frame) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        // Answer everything admitted before the bad frame first so the
+        // NACK cannot overtake an in-order response, then salvage the
+        // (opcode, id) prefix when present so the client can correlate
+        // the NACK; after that the stream is unusable.
+        execute_inbox(conn, /*respect_cap=*/false);
+        response resp;
+        resp.status = status_code::malformed;
+        if (conn.rbuf.size() - conn.rpos >= 13) {
+          const std::uint8_t* p = conn.rbuf.data() + conn.rpos;
+          if (valid_opcode(p[4])) resp.op = static_cast<opcode>(p[4]);
+          wire::reader idr(p + 5, 8);
+          resp.id = idr.take_u64();
+        }
+        encode_response(conn.wbuf, resp);
+        stats_.responses_out.fetch_add(1, std::memory_order_relaxed);
+        conn.closing = true;
+        conn.rpos = conn.rbuf.size();
+        compact_rbuf(conn);
+        return false;
+      }
+      conn.rpos += consumed;
+      stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+      conn.inbox.push_back(pending_request{std::move(req), now_ns()});
+    }
+    compact_rbuf(conn);
+    return true;
+  }
+
+  void compact_rbuf(connection& conn) {
+    if (conn.rpos == conn.rbuf.size()) {
+      conn.rbuf.clear();
+      conn.rpos = 0;
+    } else if (conn.rpos >= 64 * 1024) {
+      conn.rbuf.erase(conn.rbuf.begin(),
+                      conn.rbuf.begin() +
+                          static_cast<std::ptrdiff_t>(conn.rpos));
+      conn.rpos = 0;
+    }
+  }
+
+  /// Drains the inbox into the write buffer, coalescing maximal runs of
+  /// same-opcode point requests through the batch API. Stops early when
+  /// the write buffer crosses the backpressure cap (unless the
+  /// connection is past caring, i.e. draining or at EOF).
+  void execute_inbox(connection& conn, bool respect_cap) {
+    while (!conn.inbox.empty()) {
+      if (respect_cap && write_bytes(conn) > cfg_.write_buffer_cap) {
+        // Suspending execution with admitted requests still queued is
+        // the observable backpressure event (the EPOLLIN disarm in
+        // update_interest only shows up when the kernel also backs up).
+        stats_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      const opcode front_op = conn.inbox.front().req.op;
+      if (front_op == opcode::get || front_op == opcode::insert ||
+          front_op == opcode::erase) {
+        std::size_t run = 1;
+        while (run < conn.inbox.size() &&
+               conn.inbox[run].req.op == front_op) {
+          ++run;
+        }
+        execute_point_run(conn, front_op, run);
+      } else {
+        execute_one(conn, conn.inbox.front());
+        conn.inbox.pop_front();
+      }
+    }
+  }
+
+  static stats::op_kind kind_of(opcode op) noexcept {
+    switch (op) {
+      case opcode::insert: return stats::op_kind::insert;
+      case opcode::erase: return stats::op_kind::erase;
+      default: return stats::op_kind::search;  // get, scan, ping, batch-get
+    }
+  }
+
+  void finish_response(connection& conn, const response& resp,
+                       stats::op_kind kind, std::uint64_t t0_ns,
+                       bool result) {
+    encode_response(conn.wbuf, resp);
+    stats_.responses_out.fetch_add(1, std::memory_order_relaxed);
+    latency_.on_op(0, kind, result, now_ns() - t0_ns);
+  }
+
+  /// A pipelined run of `run` identical point ops leaves as one batch
+  /// call — the coalescing that lets sharded_set's counting sort
+  /// amortize over the connection's whole in-flight window.
+  void execute_point_run(connection& conn, opcode op, std::size_t run) {
+    if (run == 1) {
+      const pending_request& p = conn.inbox.front();
+      response resp;
+      resp.op = op;
+      resp.id = p.req.id;
+      switch (op) {
+        case opcode::get: resp.result = set_->contains(p.req.key); break;
+        case opcode::insert: resp.result = set_->insert(p.req.key); break;
+        case opcode::erase: resp.result = set_->erase(p.req.key); break;
+        default: break;
+      }
+      finish_response(conn, resp, kind_of(op), p.t0_ns, resp.result);
+      conn.inbox.pop_front();
+      return;
+    }
+    std::vector<std::int64_t> keys(run);
+    for (std::size_t i = 0; i < run; ++i) {
+      keys[i] = conn.inbox[i].req.key;
+    }
+    std::vector<bool> results;
+    switch (op) {
+      case opcode::get: results = set_->contains_batch(keys); break;
+      case opcode::insert: results = set_->insert_batch(keys); break;
+      case opcode::erase: results = set_->erase_batch(keys); break;
+      default: break;
+    }
+    stats_.coalesced_groups.fetch_add(1, std::memory_order_relaxed);
+    stats_.coalesced_ops.fetch_add(run, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < run; ++i) {
+      const pending_request& p = conn.inbox.front();
+      response resp;
+      resp.op = op;
+      resp.id = p.req.id;
+      resp.result = results[i];
+      finish_response(conn, resp, kind_of(op), p.t0_ns, resp.result);
+      conn.inbox.pop_front();
+    }
+  }
+
+  void execute_one(connection& conn, const pending_request& p) {
+    response resp;
+    resp.op = p.req.op;
+    resp.id = p.req.id;
+    stats::op_kind kind = stats::op_kind::search;
+    bool result = true;
+    switch (p.req.op) {
+      case opcode::batch: {
+        kind = kind_of(p.req.batch_op);
+        std::vector<bool> results;
+        switch (p.req.batch_op) {
+          case opcode::get: results = set_->contains_batch(p.req.keys); break;
+          case opcode::insert: results = set_->insert_batch(p.req.keys); break;
+          case opcode::erase: results = set_->erase_batch(p.req.keys); break;
+          default: break;
+        }
+        resp.results.reserve(results.size());
+        for (const bool r : results) {
+          resp.results.push_back(r ? 1 : 0);
+        }
+        stats_.coalesced_groups.fetch_add(1, std::memory_order_relaxed);
+        stats_.coalesced_ops.fetch_add(results.size(),
+                                       std::memory_order_relaxed);
+        break;
+      }
+      case opcode::range_scan: {
+        const std::uint32_t page =
+            p.req.max_items == 0
+                ? cfg_.default_scan_items
+                : std::min(p.req.max_items, max_scan_items);
+        auto scanned = set_->range_scan_limit(p.req.lo, p.req.hi, page);
+        resp.truncated = scanned.truncated;
+        resp.resume_key = scanned.resume_key;
+        resp.keys = std::move(scanned.keys);
+        break;
+      }
+      case opcode::ping: break;
+      default: break;
+    }
+    finish_response(conn, resp, kind, p.t0_ns, result);
+  }
+
+  /// Writes as much of wbuf as the socket accepts. False on fatal
+  /// errors (peer reset mid-response).
+  [[nodiscard]] bool flush_writes(connection& conn) {
+    while (write_bytes(conn) > 0) {
+      const ssize_t n =
+          ::write(conn.fd, conn.wbuf.data() + conn.wpos, write_bytes(conn));
+      if (n > 0) {
+        conn.wpos += static_cast<std::size_t>(n);
+        stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EPIPE/ECONNRESET: the reader is gone
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    return true;
+  }
+
+  /// Executes queued requests for as long as the socket keeps up:
+  /// execute until the cap, flush, and if the kernel drained the buffer
+  /// below the low-water mark, go again. Exits with either an empty
+  /// inbox or bytes pending (so EPOLLOUT is armed and on_writable
+  /// continues later) — a connection can never wedge with admitted
+  /// requests and no event to finish them.
+  [[nodiscard]] bool pump_inbox(connection& conn) {
+    for (;;) {
+      execute_inbox(conn, /*respect_cap=*/!(conn.eof || conn.drained));
+      if (!flush_writes(conn)) return false;
+      if (conn.inbox.empty() ||
+          write_bytes(conn) > cfg_.write_buffer_resume) {
+        return true;
+      }
+    }
+  }
+
+  [[nodiscard]] bool on_readable(connection& conn) {
+    if (conn.closing || conn.drained) return true;  // no longer reading
+    if (!read_available(conn)) return false;
+    if (!decode_into_inbox(conn, /*bounded=*/true)) {
+      // Protocol error: the NACK is queued; fall through to flush it.
+    }
+    if (!pump_inbox(conn)) return false;
+    if (conn.eof) {
+      conn.closing = true;
+      if (write_bytes(conn) == 0 && conn.inbox.empty()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool on_writable(connection& conn) {
+    if (!flush_writes(conn)) return false;
+    // Flushed below the low-water mark: resume executing queued work
+    // (and, via update_interest, resume reading).
+    if (write_bytes(conn) <= cfg_.write_buffer_resume &&
+        !conn.inbox.empty()) {
+      if (!pump_inbox(conn)) return false;
+    }
+    if (conn.closing && write_bytes(conn) == 0 && conn.inbox.empty()) {
+      return false;
+    }
+    return true;
+  }
+
+  void update_interest(loop& lp, connection& conn) {
+    std::uint32_t want = 0;
+    const bool backpressured = write_bytes(conn) > cfg_.write_buffer_cap ||
+                               conn.inbox.size() >= cfg_.max_inflight;
+    if (!conn.closing && !conn.eof && !conn.drained && !backpressured) {
+      want |= EPOLLIN;
+    }
+    if (write_bytes(conn) > 0) want |= EPOLLOUT;
+    if (backpressured && !conn.paused) {
+      conn.paused = true;
+      stats_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+    } else if (!backpressured) {
+      conn.paused = false;
+    }
+    if (want == conn.armed) return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.fd = conn.fd;
+    (void)epoll_ctl(lp.epfd, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.armed = want;
+  }
+
+  Set* set_;
+  server_config cfg_;
+  server_stats stats_;
+  obs::latency_observer latency_;
+  std::vector<std::unique_ptr<loop>> loops_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<unsigned> next_loop_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_{false};
+};
+
+namespace detail {
+
+inline std::atomic<void*> sigterm_target{nullptr};
+inline std::atomic<void (*)(void*)> sigterm_fn{nullptr};
+
+inline void sigterm_trampoline(int) {
+  void (*fn)(void*) = sigterm_fn.load(std::memory_order_acquire);
+  void* target = sigterm_target.load(std::memory_order_acquire);
+  if (fn != nullptr && target != nullptr) fn(target);
+}
+
+}  // namespace detail
+
+/// Installs a SIGTERM handler that gracefully drains `s` (begin_drain
+/// is async-signal-safe). One server at a time; the caller keeps `s`
+/// alive until the process exits or the handler is replaced.
+template <typename Set>
+inline void drain_on_sigterm(basic_server<Set>& s) {
+  detail::sigterm_target.store(&s, std::memory_order_release);
+  detail::sigterm_fn.store(
+      [](void* p) { static_cast<basic_server<Set>*>(p)->begin_drain(); },
+      std::memory_order_release);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = detail::sigterm_trampoline;
+  (void)sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace lfbst::server

@@ -178,6 +178,57 @@ class sharded_set {
     return out;
   }
 
+  /// One page of a bounded scan plus how to get the next one. When
+  /// truncated, resume_key is the smallest key the page did NOT cover:
+  /// range_scan_limit(resume_key, hi, n) continues exactly where this
+  /// page stopped, with no key skipped or repeated across pages.
+  /// `truncated` is conservative — a full page reports truncated even
+  /// when the range happened to end at the boundary; the follow-up call
+  /// then returns an empty, non-truncated page.
+  struct scan_page {
+    std::vector<key_type> keys;
+    bool truncated = false;
+    key_type resume_key{};
+  };
+
+  /// Bounded form of range_scan: the up-to-max_items smallest keys of
+  /// [lo, hi), sorted, same conservative-interval contract. One scan of
+  /// a huge subrange costs O(max_items) instead of O(range) — the form
+  /// the network server pages responses with so a big scan cannot
+  /// head-of-line-block a connection.
+  [[nodiscard]] scan_page range_scan_limit(const key_type& lo,
+                                           const key_type& hi,
+                                           std::size_t max_items) const {
+    scan_page page;
+    if (!(lo < hi)) return page;
+    if (max_items == 0) {  // zero budget: pure continuation marker
+      page.truncated = true;
+      page.resume_key = lo;
+      return page;
+    }
+    const std::size_t first = router_.shard_of(lo);
+    const std::size_t last = router_.shard_of(static_cast<key_type>(hi - 1));
+    for (std::size_t s = first; s <= last; ++s) {
+      const std::size_t remaining = max_items - page.keys.size();
+      const std::size_t before = page.keys.size();
+      scan_shard_limit(shards_[s]->tree, lo, hi, remaining, page.keys);
+      if (page.keys.size() - before == remaining) {
+        // Budget filled. The page holds the smallest `max_items` keys
+        // seen; whether more remain is unknown without scanning on, so
+        // report truncated and resume just above the last emitted key —
+        // unless that key is hi - 1, where [resume, hi) would be empty
+        // by construction (this also keeps resume_key + 1 from
+        // overflowing at the key domain's maximum).
+        const key_type last_key = page.keys.back();
+        if (!(last_key < static_cast<key_type>(hi - 1))) return page;
+        page.truncated = true;
+        page.resume_key = static_cast<key_type>(last_key + 1);
+        return page;
+      }
+    }
+    return page;
+  }
+
   // --- quiescent observers -------------------------------------------
 
   [[nodiscard]] std::size_t size_slow() const {
@@ -298,6 +349,26 @@ class sharded_set {
       tree.for_each_slow([&](const key_type& k) {
         if (k < lo) return;
         if (closed ? !(hi < k) : (k < hi)) out.push_back(k);
+      });
+    }
+  }
+
+  /// Bounded per-shard scan dispatch: the inner tree's budgeted scan
+  /// when it has one (stops walking once the page fills), else the
+  /// quiescent walk trimmed to the budget — for_each_slow visits in
+  /// order, so the first `max_items` in-range keys are the smallest.
+  static void scan_shard_limit(const Tree& tree, const key_type& lo,
+                               const key_type& hi, std::size_t max_items,
+                               std::vector<key_type>& out) {
+    if constexpr (requires { tree.range_scan(lo, hi, max_items); }) {
+      const std::vector<key_type> part = tree.range_scan(lo, hi, max_items);
+      out.insert(out.end(), part.begin(), part.end());
+    } else {
+      std::size_t budget = max_items;
+      tree.for_each_slow([&](const key_type& k) {
+        if (budget == 0 || k < lo || !(k < hi)) return;
+        out.push_back(k);
+        --budget;
       });
     }
   }

@@ -1,0 +1,478 @@
+// Wire-codec tests for src/server/protocol.hpp: exact round-trips for
+// every frame type, the incremental-decode contract (need_more on every
+// strict prefix, one frame consumed at a time), and a structure-aware
+// fuzzer that mutates valid frames and throws garbage at the decoder —
+// asserting it never crashes, never reads past the bytes it was given
+// (the spans are heap-exact so ASan catches a single-byte over-read),
+// and never accepts a frame whose re-encoding disagrees with it.
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lfbst::server {
+namespace {
+
+// --- helpers ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const request& req) {
+  std::vector<std::uint8_t> out;
+  encode_request(out, req);
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const response& resp) {
+  std::vector<std::uint8_t> out;
+  encode_response(out, resp);
+  return out;
+}
+
+/// Decodes from a heap buffer sized exactly to `len` bytes so any
+/// out-of-bounds read trips ASan instead of landing in slack space.
+template <typename Frame, typename Decoder>
+decode_status decode_exact(const std::vector<std::uint8_t>& bytes,
+                           Decoder&& decode, Frame& out,
+                           std::size_t& consumed) {
+  const std::size_t len = bytes.size();
+  std::unique_ptr<std::uint8_t[]> exact(new std::uint8_t[len ? len : 1]);
+  if (len != 0) std::memcpy(exact.get(), bytes.data(), len);
+  return decode(exact.get(), len, out, consumed);
+}
+
+decode_status decode_req(const std::vector<std::uint8_t>& bytes,
+                         request& out, std::size_t& consumed) {
+  return decode_exact(bytes, try_decode_request, out, consumed);
+}
+
+decode_status decode_resp(const std::vector<std::uint8_t>& bytes,
+                          response& out, std::size_t& consumed) {
+  return decode_exact(bytes, try_decode_response, out, consumed);
+}
+
+void expect_request_eq(const request& a, const request& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.id, b.id);
+  switch (a.op) {
+    case opcode::get:
+    case opcode::insert:
+    case opcode::erase: EXPECT_EQ(a.key, b.key); break;
+    case opcode::batch:
+      EXPECT_EQ(a.batch_op, b.batch_op);
+      EXPECT_EQ(a.keys, b.keys);
+      break;
+    case opcode::range_scan:
+      EXPECT_EQ(a.lo, b.lo);
+      EXPECT_EQ(a.hi, b.hi);
+      EXPECT_EQ(a.max_items, b.max_items);
+      break;
+    case opcode::ping: break;
+  }
+}
+
+void expect_response_eq(const response& a, const response& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.status, b.status);
+  if (a.status != status_code::ok) return;
+  switch (a.op) {
+    case opcode::get:
+    case opcode::insert:
+    case opcode::erase: EXPECT_EQ(a.result, b.result); break;
+    case opcode::batch: EXPECT_EQ(a.results, b.results); break;
+    case opcode::range_scan:
+      EXPECT_EQ(a.truncated, b.truncated);
+      EXPECT_EQ(a.resume_key, b.resume_key);
+      EXPECT_EQ(a.keys, b.keys);
+      break;
+    case opcode::ping: break;
+  }
+}
+
+// --- round trips -----------------------------------------------------
+
+TEST(Codec, RoundTripPointRequests) {
+  for (const opcode op : {opcode::get, opcode::insert, opcode::erase}) {
+    request req;
+    req.op = op;
+    req.id = 0xDEADBEEFCAFEF00DULL;
+    req.key = -123456789;
+    const auto bytes = encode(req);
+    request back;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_req(bytes, back, consumed), decode_status::ok);
+    EXPECT_EQ(consumed, bytes.size());
+    expect_request_eq(req, back);
+  }
+}
+
+TEST(Codec, RoundTripBatchRequest) {
+  for (const opcode sub : {opcode::get, opcode::insert, opcode::erase}) {
+    request req;
+    req.op = opcode::batch;
+    req.id = 7;
+    req.batch_op = sub;
+    req.keys = {INT64_MIN, -1, 0, 1, INT64_MAX};
+    const auto bytes = encode(req);
+    request back;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_req(bytes, back, consumed), decode_status::ok);
+    EXPECT_EQ(consumed, bytes.size());
+    expect_request_eq(req, back);
+  }
+}
+
+TEST(Codec, RoundTripEmptyBatch) {
+  request req;
+  req.op = opcode::batch;
+  req.id = 1;
+  req.batch_op = opcode::get;
+  const auto bytes = encode(req);
+  request back;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_req(bytes, back, consumed), decode_status::ok);
+  EXPECT_TRUE(back.keys.empty());
+}
+
+TEST(Codec, RoundTripRangeScanRequestAndPing) {
+  request scan;
+  scan.op = opcode::range_scan;
+  scan.id = 99;
+  scan.lo = INT64_MIN;
+  scan.hi = INT64_MAX;
+  scan.max_items = max_scan_items;
+  request ping;
+  ping.op = opcode::ping;
+  ping.id = 100;
+  for (const request& req : {scan, ping}) {
+    const auto bytes = encode(req);
+    request back;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_req(bytes, back, consumed), decode_status::ok);
+    EXPECT_EQ(consumed, bytes.size());
+    expect_request_eq(req, back);
+  }
+}
+
+TEST(Codec, RoundTripResponsesAllOpcodesAllStatuses) {
+  for (const opcode op : {opcode::get, opcode::insert, opcode::erase,
+                          opcode::batch, opcode::range_scan, opcode::ping}) {
+    for (const status_code st :
+         {status_code::ok, status_code::malformed, status_code::too_large,
+          status_code::shutting_down}) {
+      response resp;
+      resp.op = op;
+      resp.id = 0x0123456789ABCDEFULL;
+      resp.status = st;
+      resp.result = true;
+      resp.results = {1, 0, 1};
+      resp.truncated = true;
+      resp.resume_key = -42;
+      resp.keys = {-3, 5, 7};
+      const auto bytes = encode(resp);
+      response back;
+      std::size_t consumed = 0;
+      ASSERT_EQ(decode_resp(bytes, back, consumed), decode_status::ok)
+          << opcode_name(op) << " status " << static_cast<int>(st);
+      EXPECT_EQ(consumed, bytes.size());
+      expect_response_eq(resp, back);
+      if (st != status_code::ok) {
+        // NACKs carry no payload: header-only body (op + id + status).
+        EXPECT_EQ(bytes.size(), 4u + 1 + 8 + 1);
+      }
+    }
+  }
+}
+
+// --- incremental decoding -------------------------------------------
+
+TEST(Codec, EveryStrictPrefixNeedsMore) {
+  request req;
+  req.op = opcode::batch;
+  req.id = 31337;
+  req.batch_op = opcode::insert;
+  req.keys = {1, 2, 3, 4, 5, 6, 7};
+  const auto bytes = encode(req);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + cut);
+    request back;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_req(prefix, back, consumed), decode_status::need_more)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Codec, DecodesOneFrameAtATimeFromAConcatenatedStream) {
+  std::vector<std::uint8_t> stream;
+  std::vector<request> sent;
+  for (int i = 0; i < 5; ++i) {
+    request req;
+    req.op = i % 2 == 0 ? opcode::insert : opcode::get;
+    req.id = static_cast<std::uint64_t>(i);
+    req.key = i * 1000;
+    encode_request(stream, req);
+    sent.push_back(req);
+  }
+  std::size_t pos = 0;
+  for (const request& expected : sent) {
+    request back;
+    std::size_t consumed = 0;
+    ASSERT_EQ(try_decode_request(stream.data() + pos, stream.size() - pos,
+                                 back, consumed),
+              decode_status::ok);
+    expect_request_eq(expected, back);
+    pos += consumed;
+  }
+  EXPECT_EQ(pos, stream.size());
+}
+
+// --- malformed inputs ------------------------------------------------
+
+TEST(Codec, RejectsZeroAndOversizedBodyLengths) {
+  request back;
+  std::size_t consumed = 0;
+  const std::vector<std::uint8_t> zero = {0, 0, 0, 0};
+  EXPECT_EQ(decode_req(zero, back, consumed), decode_status::bad_frame);
+  std::vector<std::uint8_t> huge;
+  wire::put_u32(huge, static_cast<std::uint32_t>(max_frame_bytes + 1));
+  // The oversized length must be rejected *before* the body arrives —
+  // a server that waited for max_frame_bytes+1 bytes could be ballooned.
+  EXPECT_EQ(decode_req(huge, back, consumed), decode_status::bad_frame);
+}
+
+TEST(Codec, RejectsUnknownOpcodeAndBadBatchSubOp) {
+  request req;
+  req.op = opcode::ping;
+  req.id = 5;
+  auto bytes = encode(req);
+  bytes[4] = 0;  // opcode byte below the valid range
+  request back;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_req(bytes, back, consumed), decode_status::bad_frame);
+  bytes[4] = 200;  // above the valid range
+  EXPECT_EQ(decode_req(bytes, back, consumed), decode_status::bad_frame);
+
+  request batch;
+  batch.op = opcode::batch;
+  batch.id = 6;
+  batch.batch_op = opcode::get;
+  batch.keys = {1};
+  auto bb = encode(batch);
+  bb[4 + 1 + 8] = static_cast<std::uint8_t>(opcode::batch);  // sub_op
+  EXPECT_EQ(decode_req(bb, back, consumed), decode_status::bad_frame);
+}
+
+TEST(Codec, RejectsTrailingAndMissingPayloadBytes) {
+  request req;
+  req.op = opcode::get;
+  req.id = 9;
+  req.key = 1234;
+  auto bytes = encode(req);
+  // One trailing byte inside the declared body.
+  bytes.push_back(0xAB);
+  bytes[0] += 1;  // body_len grows with it
+  request back;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_req(bytes, back, consumed), decode_status::bad_frame);
+  // One payload byte short (declared body shrinks; the bytes exist in
+  // the buffer, so this is a strictness failure, not need_more).
+  auto short_bytes = encode(req);
+  short_bytes[0] -= 1;
+  short_bytes.pop_back();
+  EXPECT_EQ(decode_req(short_bytes, back, consumed),
+            decode_status::bad_frame);
+}
+
+TEST(Codec, RejectsBatchCountDisagreeingWithBody) {
+  request req;
+  req.op = opcode::batch;
+  req.id = 10;
+  req.batch_op = opcode::erase;
+  req.keys = {1, 2, 3};
+  auto bytes = encode(req);
+  // count sits after len(4) + op(1) + id(8) + sub_op(1).
+  bytes[4 + 1 + 8 + 1] = 200;  // claims 200 keys, body holds 3
+  request back;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_req(bytes, back, consumed), decode_status::bad_frame);
+}
+
+TEST(Codec, RejectsOverlongBatchCountBeforeAllocating) {
+  // A frame that *claims* max_batch_keys+1 keys must die on the count
+  // check, not attempt a resize of the keys vector.
+  std::vector<std::uint8_t> bytes;
+  const std::size_t frame = detail::begin_frame(bytes);
+  wire::put_u8(bytes, static_cast<std::uint8_t>(opcode::batch));
+  wire::put_u64(bytes, 11);
+  wire::put_u8(bytes, static_cast<std::uint8_t>(opcode::get));
+  wire::put_u32(bytes, max_batch_keys + 1);
+  detail::end_frame(bytes, frame);
+  request back;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_req(bytes, back, consumed), decode_status::bad_frame);
+}
+
+TEST(Codec, RejectsResponseWithUnknownStatus) {
+  response resp;
+  resp.op = opcode::ping;
+  resp.id = 3;
+  auto bytes = encode(resp);
+  bytes[4 + 1 + 8] = 99;  // status byte
+  response back;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_resp(bytes, back, consumed), decode_status::bad_frame);
+}
+
+// --- structure-aware fuzzing ----------------------------------------
+
+request random_request(pcg32& rng) {
+  request req;
+  req.op = static_cast<opcode>(1 + rng.bounded(6));
+  req.id = rng.next64();
+  req.key = static_cast<std::int64_t>(rng.next64());
+  if (req.op == opcode::batch) {
+    req.batch_op = static_cast<opcode>(1 + rng.bounded(3));
+    req.keys.resize(rng.bounded(33));
+    for (auto& k : req.keys) k = static_cast<std::int64_t>(rng.next64());
+  }
+  if (req.op == opcode::range_scan) {
+    req.lo = static_cast<std::int64_t>(rng.next64());
+    req.hi = static_cast<std::int64_t>(rng.next64());
+    req.max_items = rng.bounded(max_scan_items + 1);
+  }
+  return req;
+}
+
+response random_response(pcg32& rng) {
+  response resp;
+  resp.op = static_cast<opcode>(1 + rng.bounded(6));
+  resp.id = rng.next64();
+  resp.status = static_cast<status_code>(rng.bounded(4));
+  resp.result = rng.bounded(2) != 0;
+  resp.results.resize(rng.bounded(33));
+  for (auto& r : resp.results) r = static_cast<std::uint8_t>(rng.bounded(2));
+  resp.truncated = rng.bounded(2) != 0;
+  resp.resume_key = static_cast<std::int64_t>(rng.next64());
+  resp.keys.resize(rng.bounded(33));
+  for (auto& k : resp.keys) k = static_cast<std::int64_t>(rng.next64());
+  return resp;
+}
+
+/// The fuzz invariant: whatever the bytes, decoding must not crash or
+/// over-read (ASan via the exact-sized heap span), must consume at most
+/// what it was given, and an accepted frame must re-encode to exactly
+/// the consumed bytes (decode ∘ encode = identity on the accepted set —
+/// a decoder that "repairs" malformed input would fail this).
+template <typename Frame, typename Decoder, typename Encoder>
+void fuzz_one(const std::vector<std::uint8_t>& bytes, Decoder&& decode,
+              Encoder&& encode_fn) {
+  Frame out;
+  std::size_t consumed = 0;
+  const decode_status st = decode_exact(bytes, decode, out, consumed);
+  if (st != decode_status::ok) return;
+  ASSERT_LE(consumed, bytes.size());
+  std::vector<std::uint8_t> again;
+  encode_fn(again, out);
+  ASSERT_EQ(again.size(), consumed);
+  ASSERT_EQ(0, std::memcmp(again.data(), bytes.data(), consumed));
+}
+
+TEST(CodecFuzz, MutatedRequestsNeverCrashOrMisdecode) {
+  pcg32 rng(0xF00DF00DULL);
+  for (int iter = 0; iter < 4000; ++iter) {
+    auto bytes = encode(random_request(rng));
+    const std::uint32_t mutations = 1 + rng.bounded(4);
+    for (std::uint32_t m = 0; m < mutations; ++m) {
+      if (bytes.empty()) break;
+      switch (rng.bounded(4)) {
+        case 0:  // flip a byte
+          bytes[rng.bounded(static_cast<std::uint32_t>(bytes.size()))] ^=
+              static_cast<std::uint8_t>(1 + rng.bounded(255));
+          break;
+        case 1:  // truncate
+          bytes.resize(rng.bounded(
+              static_cast<std::uint32_t>(bytes.size()) + 1));
+          break;
+        case 2:  // append garbage
+          for (std::uint32_t i = rng.bounded(9); i > 0; --i) {
+            bytes.push_back(static_cast<std::uint8_t>(rng.bounded(256)));
+          }
+          break;
+        case 3:  // splice the length prefix
+          if (bytes.size() >= 4) {
+            bytes[rng.bounded(4)] ^=
+                static_cast<std::uint8_t>(1 + rng.bounded(255));
+          }
+          break;
+      }
+    }
+    fuzz_one<request>(bytes, try_decode_request, encode_request);
+  }
+}
+
+TEST(CodecFuzz, MutatedResponsesNeverCrashOrMisdecode) {
+  pcg32 rng(0xBEEFBEEFULL);
+  for (int iter = 0; iter < 4000; ++iter) {
+    auto bytes = encode(random_response(rng));
+    bytes[rng.bounded(static_cast<std::uint32_t>(bytes.size()))] ^=
+        static_cast<std::uint8_t>(1 + rng.bounded(255));
+    fuzz_one<response>(bytes, try_decode_response, encode_response);
+  }
+}
+
+TEST(CodecFuzz, PureGarbageNeverCrashes) {
+  pcg32 rng(0xA5A5A5A5ULL);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<std::uint8_t> bytes(rng.bounded(96));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.bounded(256));
+    fuzz_one<request>(bytes, try_decode_request, encode_request);
+    fuzz_one<response>(bytes, try_decode_response, encode_response);
+  }
+}
+
+TEST(CodecFuzz, SplitAtEveryByteDecodesIdentically) {
+  // Feed a multi-frame stream split at every byte boundary: the decoder
+  // must answer need_more on the partial half and produce the same
+  // frames once the rest arrives — no state hides inside the codec.
+  pcg32 rng(0x5EED5EEDULL);
+  std::vector<std::uint8_t> stream;
+  std::vector<request> sent;
+  for (int i = 0; i < 6; ++i) {
+    const request req = random_request(rng);
+    encode_request(stream, req);
+    sent.push_back(req);
+  }
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    std::vector<std::uint8_t> buffer(stream.begin(), stream.begin() + cut);
+    std::size_t pos = 0, frames = 0;
+    auto drain = [&] {
+      for (;;) {
+        request back;
+        std::size_t consumed = 0;
+        const decode_status st = try_decode_request(
+            buffer.data() + pos, buffer.size() - pos, back, consumed);
+        if (st != decode_status::ok) {
+          ASSERT_EQ(st, decode_status::need_more);
+          return;
+        }
+        ASSERT_LT(frames, sent.size());
+        expect_request_eq(sent[frames], back);
+        pos += consumed;
+        ++frames;
+      }
+    };
+    drain();
+    buffer.insert(buffer.end(), stream.begin() + cut, stream.end());
+    drain();
+    EXPECT_EQ(frames, sent.size()) << "split at " << cut;
+    EXPECT_EQ(pos, stream.size());
+  }
+}
+
+}  // namespace
+}  // namespace lfbst::server

@@ -1,0 +1,392 @@
+// Oracle-backed integration tests for the TCP server: an in-process
+// basic_server on an ephemeral loopback port, driven by real sockets.
+//
+// The single-threaded suites check exact agreement with a std::set
+// oracle. The concurrent suite partitions the key space the same way
+// nm_scan_test does — per-writer private churn keys (each writer checks
+// its own results exactly against its own mirror), plus globally stable
+// keys (seeded, never touched) and forbidden keys (never inserted) so
+// concurrent range scans can be checked against the conservative-
+// interval contract: every stable key in range appears, no forbidden
+// key ever does, and every page arrives sorted and duplicate-free.
+//
+// Key-space layout by residue mod 4 over [0, key_range):
+//   0 -> stable (seeded, never mutated)     2 -> forbidden (never inserted)
+//   1, 3 -> churn, partitioned among writer threads by (k / 2) % writers
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/natarajan_tree.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "shard/sharded_set.hpp"
+
+namespace lfbst::server {
+namespace {
+
+using tree_type = nm_tree<std::int64_t, std::less<std::int64_t>,
+                          reclaim::epoch, obs::recording>;
+using set_type = shard::sharded_set<tree_type>;
+
+constexpr std::int64_t kKeyRange = 1 << 14;
+
+struct server_fixture {
+  set_type set;
+  basic_server<set_type> server;
+
+  explicit server_fixture(unsigned event_threads = 2,
+                          server_config extra = {})
+      : set(8, 0, kKeyRange), server(set, [&] {
+          extra.event_threads = event_threads;
+          return extra;
+        }()) {
+    EXPECT_TRUE(server.start());
+  }
+
+  [[nodiscard]] client connect() {
+    client c;
+    EXPECT_TRUE(c.connect("127.0.0.1", server.port()));
+    return c;
+  }
+};
+
+TEST(ServerIntegration, PointOpsMatchStdSetOracle) {
+  server_fixture fx;
+  client c = fx.connect();
+  std::set<std::int64_t> oracle;
+  pcg32 rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    const std::int64_t key = rng.bounded(512);
+    bool result = false;
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_TRUE(c.insert(key, result));
+        EXPECT_EQ(result, oracle.insert(key).second);
+        break;
+      case 1:
+        ASSERT_TRUE(c.erase(key, result));
+        EXPECT_EQ(result, oracle.erase(key) > 0);
+        break;
+      default:
+        ASSERT_TRUE(c.get(key, result));
+        EXPECT_EQ(result, oracle.count(key) > 0);
+        break;
+    }
+  }
+  // The final state agrees key for key.
+  std::vector<std::int64_t> all;
+  ASSERT_TRUE(c.range_scan_all(0, kKeyRange, 128, all));
+  EXPECT_EQ(all, std::vector<std::int64_t>(oracle.begin(), oracle.end()));
+}
+
+TEST(ServerIntegration, BatchFramesMatchOracleInInputOrder) {
+  server_fixture fx;
+  client c = fx.connect();
+  std::set<std::int64_t> oracle;
+  pcg32 rng(7);
+  for (int round = 0; round < 60; ++round) {
+    std::vector<std::int64_t> keys(1 + rng.bounded(200));
+    for (auto& k : keys) k = rng.bounded(256);
+    const opcode sub = static_cast<opcode>(1 + rng.bounded(3));
+    std::vector<bool> results;
+    ASSERT_TRUE(c.batch(sub, keys, results));
+    ASSERT_EQ(results.size(), keys.size());
+    // Replay against the oracle element by element: same-shard batch
+    // elements apply in input order, and a serial client's batch is
+    // fully ordered against its other requests.
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      bool expected = false;
+      switch (sub) {
+        case opcode::get: expected = oracle.count(keys[i]) > 0; break;
+        case opcode::insert: expected = oracle.insert(keys[i]).second; break;
+        case opcode::erase: expected = oracle.erase(keys[i]) > 0; break;
+        default: break;
+      }
+      EXPECT_EQ(results[i], expected) << "round " << round << " elem " << i;
+    }
+  }
+}
+
+TEST(ServerIntegration, RangeScanPagesStitchIntoTheOracleView) {
+  server_fixture fx;
+  client c = fx.connect();
+  std::set<std::int64_t> oracle;
+  pcg32 rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t key = rng.bounded(kKeyRange);
+    bool r = false;
+    ASSERT_TRUE(c.insert(key, r));
+    oracle.insert(key);
+  }
+  // Whole-range pagination at several page sizes, including 1.
+  for (const std::uint32_t page : {1u, 7u, 128u, 100000u}) {
+    std::vector<std::int64_t> all;
+    ASSERT_TRUE(c.range_scan_all(0, kKeyRange, page, all));
+    EXPECT_EQ(all, std::vector<std::int64_t>(oracle.begin(), oracle.end()))
+        << "page " << page;
+  }
+  // Sub-range pages agree with the oracle's interval view.
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t lo = rng.bounded(kKeyRange);
+    const std::int64_t hi = lo + 1 + rng.bounded(2048);
+    std::vector<std::int64_t> got;
+    ASSERT_TRUE(c.range_scan_all(lo, hi, 32, got));
+    const std::vector<std::int64_t> want(oracle.lower_bound(lo),
+                                         oracle.lower_bound(hi));
+    EXPECT_EQ(got, want) << "[" << lo << ", " << hi << ")";
+  }
+  // max_items = 0 delegates to the server's default page size.
+  client::scan_result first;
+  ASSERT_TRUE(c.range_scan(0, kKeyRange, 0, first));
+  EXPECT_LE(first.keys.size(), fx.server.config().default_scan_items);
+}
+
+TEST(ServerIntegration, PipelinedMixedFramesComeBackInInputOrder) {
+  server_fixture fx;
+  client c = fx.connect();
+  // A pipeline mixing coalescable point runs, batch frames and scans;
+  // responses must arrive in exactly the order the requests were sent,
+  // with every id echoed.
+  std::vector<request> sent;
+  pcg32 rng(1234);
+  for (int i = 0; i < 400; ++i) {
+    request req;
+    req.id = c.next_id();
+    switch (rng.bounded(6)) {
+      case 0:
+      case 1:
+      case 2: {  // runs of point ops (coalescing food)
+        req.op = static_cast<opcode>(1 + rng.bounded(3));
+        req.key = rng.bounded(1024);
+        break;
+      }
+      case 3: {
+        req.op = opcode::batch;
+        req.batch_op = static_cast<opcode>(1 + rng.bounded(3));
+        req.keys.resize(1 + rng.bounded(16));
+        for (auto& k : req.keys) k = rng.bounded(1024);
+        break;
+      }
+      case 4: {
+        req.op = opcode::range_scan;
+        req.lo = 0;
+        req.hi = 1024;
+        req.max_items = 64;
+        break;
+      }
+      default: req.op = opcode::ping; break;
+    }
+    ASSERT_TRUE(c.send_request(req));
+    sent.push_back(std::move(req));
+  }
+  std::set<std::int64_t> oracle;
+  for (const request& req : sent) {
+    response resp;
+    ASSERT_TRUE(c.recv_response(resp));
+    ASSERT_EQ(resp.id, req.id) << "response out of input order";
+    ASSERT_EQ(resp.op, req.op);
+    ASSERT_EQ(resp.status, status_code::ok);
+    // Replay serially: input-order responses make the oracle exact.
+    switch (req.op) {
+      case opcode::get: EXPECT_EQ(resp.result, oracle.count(req.key) > 0); break;
+      case opcode::insert:
+        EXPECT_EQ(resp.result, oracle.insert(req.key).second);
+        break;
+      case opcode::erase:
+        EXPECT_EQ(resp.result, oracle.erase(req.key) > 0);
+        break;
+      case opcode::batch:
+        ASSERT_EQ(resp.results.size(), req.keys.size());
+        for (std::size_t i = 0; i < req.keys.size(); ++i) {
+          bool expected = false;
+          switch (req.batch_op) {
+            case opcode::get: expected = oracle.count(req.keys[i]) > 0; break;
+            case opcode::insert:
+              expected = oracle.insert(req.keys[i]).second;
+              break;
+            case opcode::erase: expected = oracle.erase(req.keys[i]) > 0; break;
+            default: break;
+          }
+          EXPECT_EQ(resp.results[i] != 0, expected);
+        }
+        break;
+      case opcode::range_scan: {
+        // Serial client: the scan page is exact — the smallest
+        // max_items oracle keys of [lo, hi).
+        std::vector<std::int64_t> expect_page(
+            oracle.lower_bound(req.lo), oracle.lower_bound(req.hi));
+        if (expect_page.size() > req.max_items) {
+          expect_page.resize(req.max_items);
+        }
+        EXPECT_EQ(resp.keys, expect_page);
+        break;
+      }
+      case opcode::ping: break;
+    }
+  }
+  // The pipelined point runs must actually have been coalesced.
+  EXPECT_GT(fx.server.stats().coalesced_groups.load(), 0u);
+}
+
+TEST(ServerIntegration, ConcurrentMixedWorkloadHonorsTheScanContract) {
+  server_config cfg;
+  server_fixture fx(/*event_threads=*/3, cfg);
+  constexpr int kWriters = 4;
+  constexpr int kScanners = 2;
+  constexpr int kOpsPerWriter = 3000;
+
+  // Seed the stable keys (residue 0 mod 4) through the wire.
+  {
+    client seed = fx.connect();
+    std::vector<std::int64_t> stable;
+    for (std::int64_t k = 0; k < kKeyRange; k += 4) stable.push_back(k);
+    std::vector<bool> results;
+    ASSERT_TRUE(seed.batch(opcode::insert, stable, results));
+    for (const bool inserted : results) ASSERT_TRUE(inserted);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kScanners);
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      client c;
+      if (!c.connect("127.0.0.1", fx.server.port())) {
+        ++failures;
+        return;
+      }
+      // This writer owns odd keys with (k / 2) % kWriters == w: nobody
+      // else mutates them, so a private mirror predicts every result.
+      std::set<std::int64_t> mine;
+      pcg32 rng = pcg32::for_thread(99, static_cast<unsigned>(w));
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::int64_t half = rng.bounded(kKeyRange / 2);
+        const std::int64_t owned =
+            (half / kWriters) * kWriters + w;  // (owned) % kWriters == w
+        const std::int64_t key = 2 * owned + 1;
+        if (key >= kKeyRange) continue;
+        bool result = false;
+        bool sent = false;
+        switch (rng.bounded(4)) {
+          case 0:
+          case 1:
+            sent = c.insert(key, result);
+            if (sent && result != mine.insert(key).second) ++failures;
+            break;
+          case 2:
+            sent = c.erase(key, result);
+            if (sent && result != (mine.erase(key) > 0)) ++failures;
+            break;
+          default:
+            sent = c.get(key, result);
+            if (sent && result != (mine.count(key) > 0)) ++failures;
+            break;
+        }
+        if (!sent) {
+          ++failures;
+          return;
+        }
+        // Sprinkle batches over owned keys: results must match the
+        // mirror element-for-element, in input order.
+        if (i % 64 == 0) {
+          std::vector<std::int64_t> keys;
+          for (int j = 0; j < 16; ++j) {
+            const std::int64_t h = rng.bounded(kKeyRange / 2);
+            const std::int64_t own = (h / kWriters) * kWriters + w;
+            const std::int64_t k2 = 2 * own + 1;
+            if (k2 < kKeyRange) keys.push_back(k2);
+          }
+          std::vector<bool> results2;
+          if (!c.batch(opcode::insert, keys, results2) ||
+              results2.size() != keys.size()) {
+            ++failures;
+            return;
+          }
+          for (std::size_t j = 0; j < keys.size(); ++j) {
+            if (results2[j] != mine.insert(keys[j]).second) ++failures;
+          }
+        }
+      }
+    });
+  }
+
+  for (int s = 0; s < kScanners; ++s) {
+    threads.emplace_back([&, s] {
+      client c;
+      if (!c.connect("127.0.0.1", fx.server.port())) {
+        ++failures;
+        return;
+      }
+      pcg32 rng = pcg32::for_thread(1234, static_cast<unsigned>(100 + s));
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::int64_t lo = rng.bounded(kKeyRange / 2);
+        const std::int64_t hi = lo + 1 + rng.bounded(kKeyRange / 2);
+        std::vector<std::int64_t> page;
+        if (!c.range_scan_all(lo, hi, 64 + rng.bounded(256), page)) {
+          ++failures;
+          return;
+        }
+        // Sorted, duplicate-free.
+        for (std::size_t i = 1; i < page.size(); ++i) {
+          if (!(page[i - 1] < page[i])) ++failures;
+        }
+        // Conservative-interval contract across pages: stable keys
+        // (0 mod 4) always appear; forbidden keys (2 mod 4) never do.
+        std::size_t stable_seen = 0;
+        for (const std::int64_t k : page) {
+          if (k < lo || k >= hi) ++failures;  // out of requested range
+          if ((k & 3) == 2) ++failures;       // never inserted
+          if ((k & 3) == 0) ++stable_seen;
+        }
+        const std::size_t stable_expected =
+            static_cast<std::size_t>((hi + 3) / 4 - (lo + 3) / 4);
+        if (stable_seen != stable_expected) ++failures;
+      }
+    });
+  }
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The set's own merged attribution saw the traffic: every wire op
+  // lands in a shard's recording registry.
+  const auto counters = fx.set.merged_counters();
+  EXPECT_GT(counters[obs::counter::ops_insert], 0u);
+  EXPECT_GT(counters[obs::counter::ops_scan], 0u);
+  const auto& st = fx.server.stats();
+  EXPECT_EQ(st.frames_in.load(), st.responses_out.load());
+  EXPECT_EQ(st.protocol_errors.load(), 0u);
+}
+
+TEST(ServerIntegration, LatencyObserverRecordsEveryRequest) {
+  server_fixture fx;
+  {
+    client c = fx.connect();
+    bool r = false;
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE(c.insert(i, r));
+    for (int i = 0; i < 50; ++i) ASSERT_TRUE(c.get(i, r));
+    for (int i = 0; i < 25; ++i) ASSERT_TRUE(c.erase(i, r));
+  }
+  fx.server.begin_drain();
+  fx.server.join();
+  EXPECT_EQ(fx.server.latency().merged(stats::op_kind::insert).count(), 100u);
+  EXPECT_EQ(fx.server.latency().merged(stats::op_kind::search).count(), 50u);
+  EXPECT_EQ(fx.server.latency().merged(stats::op_kind::erase).count(), 25u);
+  const auto all = fx.server.latency().merged_all();
+  EXPECT_EQ(all.count(), 175u);
+  EXPECT_GT(all.value_at_percentile(50), 0u);
+}
+
+}  // namespace
+}  // namespace lfbst::server

@@ -285,6 +285,102 @@ TEST(ShardedSet, RangeScanClosedIncludesBothEndpoints) {
   EXPECT_TRUE(set.range_scan_closed(21, 29).empty());
 }
 
+// --- bounded scans (the server's paging form) -------------------------------
+
+TEST(ShardedSet, RangeScanLimitPagesStitchIntoTheFullScan) {
+  sharded_set<nm_tree<long>> set(8, 0, 1024);
+  pcg32 rng(23);
+  for (int i = 0; i < 500; ++i) {
+    (void)set.insert(static_cast<long>(rng.bounded(1024)));
+  }
+  const std::vector<long> full = set.range_scan(0, 1024);
+  for (const std::size_t page_size : {1u, 3u, 7u, 64u, 4096u}) {
+    std::vector<long> paged;
+    long cursor = 0;
+    for (;;) {
+      const auto page = set.range_scan_limit(cursor, 1024, page_size);
+      EXPECT_LE(page.keys.size(), page_size);
+      paged.insert(paged.end(), page.keys.begin(), page.keys.end());
+      if (!page.truncated) break;
+      EXPECT_GT(page.resume_key, cursor);  // progress every page
+      cursor = page.resume_key;
+    }
+    EXPECT_EQ(paged, full) << "page size " << page_size;
+  }
+}
+
+TEST(ShardedSet, RangeScanLimitResumesExactlyAtShardBoundaries) {
+  sharded_set<nm_tree<long>> set(4, 0, 1024);
+  const long b1 = set.router().splitter(1);
+  // Keys straddling the seam: b1-3 .. b1+2 plus distant outliers.
+  for (long k = b1 - 3; k <= b1 + 2; ++k) ASSERT_TRUE(set.insert(k));
+  ASSERT_TRUE(set.insert(5));
+  ASSERT_TRUE(set.insert(1000));
+  // A page that fills exactly at the last key below the seam must
+  // resume at the seam key itself — nothing skipped, nothing repeated.
+  const auto page = set.range_scan_limit(0, 1024, 4);  // 5, b1-3..b1-1
+  ASSERT_EQ(page.keys, (std::vector<long>{5, b1 - 3, b1 - 2, b1 - 1}));
+  ASSERT_TRUE(page.truncated);
+  EXPECT_EQ(page.resume_key, b1);
+  const auto rest = set.range_scan_limit(page.resume_key, 1024, 4096);
+  EXPECT_EQ(rest.keys, (std::vector<long>{b1, b1 + 1, b1 + 2, 1000}));
+  EXPECT_FALSE(rest.truncated);
+}
+
+TEST(ShardedSet, RangeScanLimitEdgeCases) {
+  sharded_set<nm_tree<long>> set(4, 0, 1024);
+  for (long k : {10L, 20L, 30L}) ASSERT_TRUE(set.insert(k));
+  // Zero budget: a pure continuation marker, resuming at lo.
+  const auto zero = set.range_scan_limit(10, 31, 0);
+  EXPECT_TRUE(zero.keys.empty());
+  EXPECT_TRUE(zero.truncated);
+  EXPECT_EQ(zero.resume_key, 10);
+  // Empty and inverted intervals are complete, not truncated.
+  EXPECT_FALSE(set.range_scan_limit(10, 10, 8).truncated);
+  EXPECT_FALSE(set.range_scan_limit(30, 10, 8).truncated);
+  // Budget larger than the population: complete in one page.
+  const auto all = set.range_scan_limit(0, 1024, 8);
+  EXPECT_EQ(all.keys, (std::vector<long>{10, 20, 30}));
+  EXPECT_FALSE(all.truncated);
+  // Budget exactly the population: conservatively truncated (the scan
+  // cannot know it finished), and the follow-up page is empty.
+  const auto exact = set.range_scan_limit(0, 1024, 3);
+  EXPECT_EQ(exact.keys, (std::vector<long>{10, 20, 30}));
+  EXPECT_TRUE(exact.truncated);
+  const auto after = set.range_scan_limit(exact.resume_key, 1024, 3);
+  EXPECT_TRUE(after.keys.empty());
+  EXPECT_FALSE(after.truncated);
+  // A page ending exactly at hi - 1 is complete by construction.
+  const auto to_edge = set.range_scan_limit(0, 31, 3);
+  EXPECT_EQ(to_edge.keys, (std::vector<long>{10, 20, 30}));
+  EXPECT_FALSE(to_edge.truncated);
+}
+
+TEST(ShardedSet, RangeScanLimitAtTheKeyDomainMaximum) {
+  // The resume arithmetic must not overflow when a full page ends on
+  // the largest representable key.
+  sharded_set<nm_tree<long>> set;  // whole long domain
+  const long max = std::numeric_limits<long>::max();
+  ASSERT_TRUE(set.insert(max - 2));
+  ASSERT_TRUE(set.insert(max - 1));
+  const auto page = set.range_scan_limit(max - 2, max, 2);
+  EXPECT_EQ(page.keys, (std::vector<long>{max - 2, max - 1}));
+  EXPECT_FALSE(page.truncated);  // last key == hi - 1: complete
+}
+
+TEST(ShardedSet, RangeScanLimitFallsBackForTreesWithoutBoundedScan) {
+  // EFRB has no bounded concurrent scan: the quiescent fallback must
+  // still page correctly (in key order, budget respected).
+  sharded_set<efrb_tree<long>> set(4, 0, 1024);
+  for (long k : {3L, 300L, 600L, 900L}) ASSERT_TRUE(set.insert(k));
+  const auto page = set.range_scan_limit(0, 1024, 3);
+  EXPECT_EQ(page.keys, (std::vector<long>{3, 300, 600}));
+  ASSERT_TRUE(page.truncated);
+  const auto rest = set.range_scan_limit(page.resume_key, 1024, 3);
+  EXPECT_EQ(rest.keys, (std::vector<long>{900}));
+  EXPECT_FALSE(rest.truncated);
+}
+
 TEST(ShardedSet, RangeScanClosedAtSplitterBoundary) {
   sharded_set<nm_tree<long>> set(4, 0, 1024);
   const long b1 = set.router().splitter(1);

@@ -34,6 +34,9 @@ SCALARS = (str, int, float, bool, type(None))
 STUDY_REQUIRED = {
     "scan": {"study", "algorithm", "writers", "scans", "mkeys_per_sec",
              "keys_per_scan", "sorted", "stable_complete"},
+    "server": {"study", "mix", "connections", "pipeline", "event_threads",
+               "shards", "ops", "mops_per_sec", "p50_ns", "p99_ns",
+               "p999_ns"},
 }
 
 

@@ -39,6 +39,15 @@ A third check is *within-report* (no baseline needed):
       present for the scan's whole duration appeared). Any zero fails;
       writers == 0 rows must also report an integral keys_per_scan.
 
+A fourth check gates the TCP front-end when --server points at a fresh
+`bench_server --json` report:
+
+  server — per (mix, connections, pipeline) cell, the p99/p50 tail
+      amplification is compared against bench/baseline_server.json with
+      band --server-slack (absolute nanoseconds are machine-dependent;
+      the ratio is not). The percentile ladder must also be ordered and
+      every cell non-empty.
+
 Exit status 0 iff every check passes.
 """
 
@@ -232,6 +241,64 @@ def check_scan(current):
     return failures
 
 
+def server_key(row):
+    return (row["mix"], int(row["connections"]), int(row["pipeline"]))
+
+
+def check_server(server_path, baseline_path, slack):
+    """Gate on the TCP front-end's tail latency (bench_server --json).
+
+    Absolute nanoseconds are machine-dependent, so each row's p99 is
+    first normalized by the same report's p50 — the tail *amplification*
+    — and that ratio is compared per (mix, connections, pipeline) cell
+    against the committed bench/baseline_server.json with a generous
+    band (tails are noisy on shared runners). Within-report sanity is
+    absolute: the percentile ladder must be ordered and every cell must
+    have completed work."""
+    failures = []
+    if not server_path:
+        print("  [skip] server: no --server report supplied")
+        return failures
+    try:
+        current = rows_by_study(load_report(server_path), "server")
+        baseline = rows_by_study(load_report(baseline_path), "server")
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return [f"server: {e}"]
+    if not current:
+        return [f"server: no study=server rows in {server_path}"]
+    cur = {server_key(r): r for r in current}
+    base = {server_key(r): r for r in baseline}
+    for key, row in sorted(cur.items()):
+        mix, conns, pipe = key
+        ops = int(row["ops"])
+        p50, p99, p999 = (int(row["p50_ns"]), int(row["p99_ns"]),
+                          int(row["p999_ns"]))
+        if ops <= 0 or p50 <= 0 or not p50 <= p99 <= p999:
+            failures.append(
+                f"server: {mix}/conns={conns}/pipe={pipe} has a broken "
+                f"row: ops={ops} p50={p50} p99={p99} p999={p999}")
+            continue
+        base_row = base.get(key)
+        if base_row is None:
+            print(f"  [skip] server {mix:>10} conns={conns} pipe={pipe}: "
+                  f"no baseline cell")
+            continue
+        base_ratio = float(base_row["p99_ns"]) / float(base_row["p50_ns"])
+        cur_ratio = p99 / p50
+        limit = base_ratio * (1.0 + slack)
+        status = "FAIL" if cur_ratio > limit else "ok"
+        print(f"  [{status}] server {mix:>10} conns={conns} pipe={pipe:<3} "
+              f"p99/p50 {base_ratio:6.2f} -> {cur_ratio:6.2f} "
+              f"(limit {limit:.2f}, p99 {p99} ns)")
+        if cur_ratio > limit:
+            failures.append(
+                f"server: {mix}/conns={conns}/pipe={pipe} tail "
+                f"amplification p99/p50 = {cur_ratio:.2f} exceeds baseline "
+                f"{base_ratio:.2f} by more than {100 * slack:.0f}% — the "
+                f"front-end's tail regressed")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="fresh bench_micro_ops --json output")
@@ -243,6 +310,14 @@ def main():
     ap.add_argument("--restart-slack", type=float, default=0.30,
                     help="allowed from_anchor vs from_root throughput "
                          "shortfall in the restart_policy study")
+    ap.add_argument("--server", default=None,
+                    help="fresh bench_server --json output (optional; "
+                         "enables the server tail-latency gate)")
+    ap.add_argument("--server-baseline",
+                    default="bench/baseline_server.json")
+    ap.add_argument("--server-slack", type=float, default=1.50,
+                    help="allowed growth of the server p99/p50 tail "
+                         "amplification vs its baseline")
     args = ap.parse_args()
 
     try:
@@ -257,6 +332,8 @@ def main():
     failures += check_micro(current, baseline, args.max_regression)
     failures += check_restart_policy(current, args.restart_slack)
     failures += check_scan(current)
+    failures += check_server(args.server, args.server_baseline,
+                             args.server_slack)
 
     if failures:
         print(f"\nFAIL: {len(failures)} perf-gate violation(s):",
