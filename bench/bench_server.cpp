@@ -1,12 +1,25 @@
 // Network front-end evaluation: a multi-connection load-test client
-// driving an in-process server::basic_server over loopback TCP. Each
-// cell of the (mix, connections, pipeline) grid starts a fresh server,
-// hammers it from `connections` client threads each keeping `pipeline`
-// requests in flight, and reports client-observed throughput plus the
-// server-side per-request latency ladder (p50/p99/p999) recorded by
-// obs::latency_observer on the execution path.
+// driving a server::basic_server over loopback TCP. Each cell of the
+// (mix, connections, pipeline) grid hammers the server from
+// `connections` client threads each keeping `pipeline` requests in
+// flight, and reports client-observed throughput, the uncontended ping
+// RTT floor (min over a short burst, measured before the load starts),
+// plus the server-side per-request latency ladder (p50/p99/p999)
+// recorded by obs::latency_observer on the execution path.
 //
-// Two mixes bracket the design space:
+// Two server placements:
+//
+//   in-process (default): each cell starts a fresh set + server, so
+//   cells are independent and the server-side latency observer is
+//   readable after quiesce.
+//   --connect host:port : drive an already-running lfbst_serve instead
+//   (the CI telemetry smoke uses this to put real load behind the
+//   Prometheus endpoint). The key space is pre-populated over the wire
+//   with batch inserts; server-side latency columns read 0 because the
+//   observer lives in the other process — scrape its /metrics for the
+//   window quantiles instead.
+//
+// Two mixes bracket the design space (--mix selects one, default both):
 //
 //   membership : the read-dominated session-table scenario (90% get,
 //                5% insert, 5% erase) — the live-membership demo this
@@ -23,6 +36,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,37 +73,94 @@ constexpr mix_spec kMixes[] = {
 struct cell_result {
   std::uint64_t ops = 0;
   double mops_per_sec = 0;
+  std::uint64_t rtt_us = 0;  // min ping RTT before the load started
   std::uint64_t p50_ns = 0;
   std::uint64_t p99_ns = 0;
   std::uint64_t p999_ns = 0;
   std::uint64_t coalesced_groups = 0;
 };
 
-/// One grid cell: fresh set + server, `connections` threads each
-/// keeping a `pipeline`-deep window of point requests in flight for
-/// `duration`. Throughput is client-counted completed responses;
-/// latencies come from the server's observer after the loops quiesce.
+/// Where a cell's server lives: in-process (host empty) or an external
+/// lfbst_serve reached over --connect host:port.
+struct endpoint {
+  std::string host;  // empty = start an in-process server per cell
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool external() const noexcept { return !host.empty(); }
+};
+
+/// Pre-populates half the key space through the wire with batch
+/// inserts — the external-server counterpart of filling the in-process
+/// set directly. Idempotent across cells (inserting a present key is a
+/// cheap no-op).
+bool prepopulate_external(const endpoint& ep, std::int64_t key_range,
+                          std::uint64_t seed) {
+  server::client cli;
+  if (!cli.connect(ep.host, ep.port)) return false;
+  pcg32 rng(seed);
+  constexpr std::size_t chunk = 512;
+  std::vector<std::int64_t> keys;
+  std::vector<bool> results;
+  keys.reserve(chunk);
+  for (std::int64_t remaining = key_range / 2; remaining > 0;) {
+    keys.clear();
+    const std::size_t n =
+        remaining < static_cast<std::int64_t>(chunk)
+            ? static_cast<std::size_t>(remaining)
+            : chunk;
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(static_cast<std::int64_t>(
+          rng.next64() % static_cast<std::uint64_t>(key_range)));
+    }
+    if (!cli.batch(server::opcode::insert, keys, results)) return false;
+    remaining -= static_cast<std::int64_t>(n);
+  }
+  return true;
+}
+
+/// One grid cell: `connections` threads each keeping a `pipeline`-deep
+/// window of point requests in flight for `duration` against either a
+/// fresh in-process server or the --connect endpoint. Throughput is
+/// client-counted completed responses; latencies come from the
+/// in-process server's observer after the loops quiesce (0 in external
+/// mode).
 cell_result run_cell(const mix_spec& mix, unsigned connections,
                      unsigned pipeline, unsigned event_threads,
                      std::size_t shards, std::int64_t key_range,
-                     std::chrono::milliseconds duration,
-                     std::uint64_t seed) {
-  set_type set(shards, 0, key_range);
-  // Pre-populate half the key space so gets actually hit.
-  pcg32 seed_rng(seed);
-  for (std::int64_t filled = 0; filled < key_range / 2;) {
-    if (set.insert(static_cast<std::int64_t>(
-            seed_rng.next64() % static_cast<std::uint64_t>(key_range)))) {
-      ++filled;
+                     std::chrono::milliseconds duration, std::uint64_t seed,
+                     const endpoint& external) {
+  set_type* set = nullptr;
+  server::basic_server<set_type>* srv = nullptr;
+  endpoint ep = external;
+  if (!external.external()) {
+    set = new set_type(shards, 0, key_range);
+    // Pre-populate half the key space so gets actually hit.
+    pcg32 seed_rng(seed);
+    for (std::int64_t filled = 0; filled < key_range / 2;) {
+      if (set->insert(static_cast<std::int64_t>(
+              seed_rng.next64() %
+              static_cast<std::uint64_t>(key_range)))) {
+        ++filled;
+      }
     }
+    server::server_config cfg;
+    cfg.event_threads = event_threads;
+    srv = new server::basic_server<set_type>(*set, cfg);
+    if (!srv->start()) {
+      std::fprintf(stderr, "bench_server: server failed to start\n");
+      std::exit(1);
+    }
+    ep.host = "127.0.0.1";
+    ep.port = srv->port();
   }
 
-  server::server_config cfg;
-  cfg.event_threads = event_threads;
-  server::basic_server<set_type> srv(set, cfg);
-  if (!srv.start()) {
-    std::fprintf(stderr, "bench_server: server failed to start\n");
-    std::exit(1);
+  cell_result r;
+  {
+    // The RTT floor: min over a quiet burst, before the load starts.
+    server::client probe;
+    if (probe.connect(ep.host, ep.port)) {
+      (void)probe.ping_rtt_min(16, r.rtt_us);
+    }
   }
 
   std::atomic<bool> stop{false};
@@ -99,7 +170,7 @@ cell_result run_cell(const mix_spec& mix, unsigned connections,
   for (unsigned c = 0; c < connections; ++c) {
     workers.emplace_back([&, c] {
       server::client cli;
-      if (!cli.connect("127.0.0.1", srv.port())) return;
+      if (!cli.connect(ep.host, ep.port)) return;
       pcg32 rng = pcg32::for_thread(seed, c);
       std::uint64_t local = 0;
       std::vector<server::request> window(pipeline);
@@ -133,17 +204,20 @@ cell_result run_cell(const mix_spec& mix, unsigned connections,
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  srv.stop();
-  srv.join();
 
-  cell_result r;
   r.ops = completed.load();
   r.mops_per_sec = static_cast<double>(r.ops) / secs / 1e6;
-  const obs::histogram lat = srv.latency().merged_all();
-  r.p50_ns = lat.value_at_percentile(50);
-  r.p99_ns = lat.value_at_percentile(99);
-  r.p999_ns = lat.value_at_percentile(99.9);
-  r.coalesced_groups = srv.stats().coalesced_groups.load();
+  if (srv != nullptr) {
+    srv->stop();
+    srv->join();
+    const obs::histogram lat = srv->latency().merged_all();
+    r.p50_ns = lat.value_at_percentile(50);
+    r.p99_ns = lat.value_at_percentile(99);
+    r.p999_ns = lat.value_at_percentile(99.9);
+    r.coalesced_groups = srv->stats().coalesced_groups.load();
+    delete srv;
+    delete set;
+  }
   return r;
 }
 
@@ -162,35 +236,73 @@ int main(int argc, char** argv) {
   const auto connections = flags.get_int_list("connections", {1, 4});
   const auto pipelines = flags.get_int_list("pipeline", {1, 16});
   const auto duration = std::chrono::milliseconds(millis);
+  const std::string only_mix = flags.get("mix", "");
+
+  // --connect host:port drives an external lfbst_serve instead of
+  // per-cell in-process servers (CI's telemetry smoke load generator).
+  endpoint external;
+  const std::string connect = flags.get("connect", "");
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == connect.size()) {
+      std::fprintf(stderr,
+                   "bench_server: --connect wants host:port, got '%s'\n",
+                   connect.c_str());
+      return 1;
+    }
+    external.host = connect.substr(0, colon);
+    external.port = static_cast<std::uint16_t>(
+        std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+    if (!prepopulate_external(external, key_range, seed)) {
+      std::fprintf(stderr,
+                   "bench_server: cannot reach/populate %s:%u\n",
+                   external.host.c_str(),
+                   static_cast<unsigned>(external.port));
+      return 1;
+    }
+  }
 
   harness::text_table tbl({"study", "mix", "connections", "pipeline",
                            "event_threads", "shards", "ops", "mops_per_sec",
-                           "p50_ns", "p99_ns", "p999_ns",
+                           "rtt_us", "p50_ns", "p99_ns", "p999_ns",
                            "coalesced_groups"});
 
   if (!csv_only) {
-    std::printf("=== TCP front-end over sharded NM-BST (%u event threads, "
-                "%zu shards, %lld keys) ===\n",
-                event_threads, shards, static_cast<long long>(key_range));
+    if (external.external()) {
+      std::printf("=== TCP front-end: external server %s:%u (%lld keys) "
+                  "===\n",
+                  external.host.c_str(),
+                  static_cast<unsigned>(external.port),
+                  static_cast<long long>(key_range));
+    } else {
+      std::printf("=== TCP front-end over sharded NM-BST (%u event "
+                  "threads, %zu shards, %lld keys) ===\n",
+                  event_threads, shards,
+                  static_cast<long long>(key_range));
+    }
   }
   for (const mix_spec& mix : kMixes) {
+    if (!only_mix.empty() && only_mix != mix.name) continue;
     for (const std::int64_t conns : connections) {
       for (const std::int64_t pipe : pipelines) {
         const cell_result r = run_cell(
             mix, static_cast<unsigned>(conns), static_cast<unsigned>(pipe),
-            event_threads, shards, key_range, duration, seed);
+            event_threads, shards, key_range, duration, seed, external);
         tbl.add_row({"server", mix.name, std::to_string(conns),
                      std::to_string(pipe), std::to_string(event_threads),
                      std::to_string(shards), std::to_string(r.ops),
                      harness::format("%.4f", r.mops_per_sec),
-                     std::to_string(r.p50_ns), std::to_string(r.p99_ns),
-                     std::to_string(r.p999_ns),
+                     std::to_string(r.rtt_us), std::to_string(r.p50_ns),
+                     std::to_string(r.p99_ns), std::to_string(r.p999_ns),
                      std::to_string(r.coalesced_groups)});
         if (!csv_only) {
           std::printf("  %-10s conns=%-3lld pipeline=%-3lld %8.3f Mops/s  "
-                      "p50=%6llu ns  p99=%7llu ns  p999=%8llu ns\n",
+                      "rtt=%4llu us  p50=%6llu ns  p99=%7llu ns  "
+                      "p999=%8llu ns\n",
                       mix.name, static_cast<long long>(conns),
                       static_cast<long long>(pipe), r.mops_per_sec,
+                      static_cast<unsigned long long>(r.rtt_us),
                       static_cast<unsigned long long>(r.p50_ns),
                       static_cast<unsigned long long>(r.p99_ns),
                       static_cast<unsigned long long>(r.p999_ns));
@@ -211,6 +323,7 @@ int main(int argc, char** argv) {
     report.config.set("shards", static_cast<std::uint64_t>(shards));
     report.config.set("event_threads",
                       static_cast<std::uint64_t>(event_threads));
+    report.config.set("external", external.external());
     report.results = obs::rows_from_table(tbl.header(), tbl.rows());
     if (!report.write_file(path)) return 1;
     if (!csv_only) std::printf("\nJSON report: %s\n", path.c_str());

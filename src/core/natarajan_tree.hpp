@@ -155,6 +155,7 @@ class nm_tree {
   /// lock-free in general. Executes zero atomic RMWs (paper §3.2.2).
   [[nodiscard]] bool contains(const Key& key) const {
     stats_.on_op_begin(stats::op_kind::search);
+    note_key(stats::op_kind::search, key);
     bool found;
     {
       [[maybe_unused]] auto guard = reclaimer_.pin();
@@ -171,6 +172,7 @@ class nm_tree {
   /// For maps, the mapped value is default-constructed.
   bool insert(const Key& key) {
     stats_.on_op_begin(stats::op_kind::insert);
+    note_key(stats::op_kind::insert, key);
     const bool inserted =
         insert_impl(key, payload_t{}, /*assign_if_present=*/false);
     stats_.on_op_end(stats::op_kind::insert, inserted);
@@ -190,6 +192,7 @@ class nm_tree {
     requires is_map
   {
     stats_.on_op_begin(stats::op_kind::insert);
+    note_key(stats::op_kind::insert, key);
     const bool inserted =
         insert_impl(key, value, /*assign_if_present=*/false);
     stats_.on_op_end(stats::op_kind::insert, inserted);
@@ -205,6 +208,7 @@ class nm_tree {
     requires is_map
   {
     stats_.on_op_begin(stats::op_kind::insert);
+    note_key(stats::op_kind::insert, key);
     const bool inserted = insert_impl(key, value, /*assign_if_present=*/true);
     stats_.on_op_end(stats::op_kind::insert, inserted);
     return inserted;
@@ -216,6 +220,7 @@ class nm_tree {
     requires is_map
   {
     stats_.on_op_begin(stats::op_kind::search);
+    note_key(stats::op_kind::search, key);
     std::optional<payload_t> result;
     {
       [[maybe_unused]] auto guard = reclaimer_.pin();
@@ -244,6 +249,7 @@ class nm_tree {
   /// ancestor CAS), zero allocations (Table 1).
   bool erase(const Key& key) {
     stats_.on_op_begin(stats::op_kind::erase);
+    note_key(stats::op_kind::erase, key);
     const bool erased = erase_impl(key);
     stats_.on_op_end(stats::op_kind::erase, erased);
     return erased;
@@ -1311,6 +1317,17 @@ class nm_tree {
   }
 
   bool sless(const skey& a, const skey& b) const { return less_(a, b); }
+
+  // Feeds the sampled key-hotness hook (obs::key_heatmap via
+  // obs::recording::on_op_key) when the Stats policy has one and the
+  // key maps onto the heatmap's int64 domain; compiles to nothing for
+  // stats::none/counting and non-numeric keys.
+  void note_key(stats::op_kind kind, const Key& key) const noexcept {
+    if constexpr (requires(std::int64_t k) { stats_.on_op_key(kind, k); } &&
+                  std::is_convertible_v<Key, std::int64_t>) {
+      stats_.on_op_key(kind, static_cast<std::int64_t>(key));
+    }
+  }
 
   // --- members ----------------------------------------------------------
 

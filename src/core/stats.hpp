@@ -133,6 +133,7 @@ struct none {
   static void on_excision(std::uint64_t) noexcept {}
   static void on_op_begin(op_kind) noexcept {}
   static void on_op_end(op_kind, bool) noexcept {}
+  static void on_op_key(op_kind, std::int64_t) noexcept {}
   static void on_seek(std::uint64_t) noexcept {}
   static void on_scan_op(std::uint64_t) noexcept {}
   static void on_scan_restart() noexcept {}
@@ -179,6 +180,7 @@ struct counting {
   static void on_excision(std::uint64_t) noexcept {}
   static void on_op_begin(op_kind) noexcept {}
   static void on_op_end(op_kind, bool) noexcept {}
+  static void on_op_key(op_kind, std::int64_t) noexcept {}
   static void on_seek(std::uint64_t) noexcept {}
   static void on_scan_op(std::uint64_t keys_visited) noexcept {
     op_record& r = local();

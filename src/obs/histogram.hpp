@@ -9,12 +9,24 @@
 // linear sub-buckets, bounding the relative quantization error by
 // 1/subbucket_count (3.125% with the default 32 sub-buckets).
 //
-// Thread-safety: none. One histogram per thread, merged at quiescence —
-// merge() is bucket-wise addition, hence associative and commutative
-// (pinned by tests/obs/histogram_test.cpp).
+// Thread-safety: single writer, racy-monotone readers. Every cell is a
+// relaxed atomic with exactly one writing thread (the owner records;
+// merge()/copy targets are reader-owned temporaries), so a concurrent
+// reader — the live telemetry sampler in obs/telemetry.hpp — is
+// TSan-clean and observes some valid monotone partial state: each
+// bucket it reads holds a count that was true at some point during the
+// read. Cross-field totals (count vs sum vs buckets) may be mutually
+// skewed by in-flight records; quantiles computed from such a snapshot
+// are still meaningful because value_at_percentile walks the buckets it
+// actually read. Exact totals require quiescence, as before.
+//
+// merge() is bucket-wise addition, hence associative and commutative;
+// delta_since() is its inverse for window rates — both pinned by
+// tests/obs/histogram_test.cpp.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -33,25 +45,37 @@ class histogram {
       2 * subbucket_count +
       (40 - (subbucket_bits + 1)) * subbucket_count;  // 64 + 34*32 = 1152
 
-  void record(std::uint64_t value, std::uint64_t count = 1) noexcept {
-    if (value > max_trackable) value = max_trackable;
-    buckets_[bucket_index(value)] += count;
-    count_ += count;
-    sum_ += value * count;
-    if (count_ == count || value < min_) min_ = value;
-    if (value > max_) max_ = value;
+  histogram() = default;
+
+  // Copyable so per-thread instances can be merged into temporaries and
+  // the sampler can keep previous-window snapshots. The copy reads the
+  // source relaxed cell-by-cell (racy-monotone, see header comment).
+  histogram(const histogram& other) noexcept { assign_from(other); }
+  histogram& operator=(const histogram& other) noexcept {
+    if (this != &other) assign_from(other);
+    return *this;
   }
 
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
-  [[nodiscard]] std::uint64_t min() const noexcept {
-    return count_ == 0 ? 0 : min_;
+  void record(std::uint64_t value, std::uint64_t count = 1) noexcept {
+    if (value > max_trackable) value = max_trackable;
+    bump(buckets_[bucket_index(value)], count);
+    const std::uint64_t prior = ld(count_);
+    st(count_, prior + count);
+    st(sum_, ld(sum_) + value * count);
+    if (prior == 0 || value < ld(min_)) st(min_, value);
+    if (value > ld(max_)) st(max_, value);
   }
-  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return ld(count_); }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return ld(sum_); }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return ld(count_) == 0 ? 0 : ld(min_);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return ld(max_); }
   [[nodiscard]] double mean() const noexcept {
-    return count_ == 0 ? 0.0
-                       : static_cast<double>(sum_) /
-                             static_cast<double>(count_);
+    const std::uint64_t n = ld(count_);
+    return n == 0 ? 0.0
+                  : static_cast<double>(ld(sum_)) / static_cast<double>(n);
   }
 
   /// Smallest recorded-value upper bound v such that at least
@@ -60,39 +84,89 @@ class histogram {
   /// above. percentile is in [0, 100]; 0 returns min(), 100 max().
   [[nodiscard]] std::uint64_t value_at_percentile(
       double percentile) const noexcept {
-    if (count_ == 0) return 0;
+    const std::uint64_t total = ld(count_);
+    if (total == 0) return 0;
     if (percentile <= 0.0) return min();
-    double target_d = (percentile / 100.0) * static_cast<double>(count_);
+    double target_d = (percentile / 100.0) * static_cast<double>(total);
     auto target = static_cast<std::uint64_t>(target_d);
     if (static_cast<double>(target) < target_d) ++target;
     if (target == 0) target = 1;
-    if (target > count_) target = count_;
+    if (target > total) target = total;
     std::uint64_t cumulative = 0;
+    const std::uint64_t cap = ld(max_);
     for (std::size_t i = 0; i < bucket_count_; ++i) {
-      cumulative += buckets_[i];
+      cumulative += ld(buckets_[i]);
       if (cumulative >= target) {
         const std::uint64_t v = highest_equivalent(i);
-        return v > max_ ? max_ : v;
+        return v > cap ? cap : v;
       }
     }
-    return max_;
+    return cap;
   }
 
   /// Bucket-wise addition. Associative and commutative; merging an empty
   /// histogram is the identity.
   void merge(const histogram& other) noexcept {
     for (std::size_t i = 0; i < bucket_count_; ++i) {
-      buckets_[i] += other.buckets_[i];
+      bump(buckets_[i], ld(other.buckets_[i]));
     }
-    if (other.count_ > 0) {
-      if (count_ == 0 || other.min_ < min_) min_ = other.min_;
-      if (other.max_ > max_) max_ = other.max_;
+    const std::uint64_t other_count = ld(other.count_);
+    if (other_count > 0) {
+      if (ld(count_) == 0 || ld(other.min_) < ld(min_)) {
+        st(min_, ld(other.min_));
+      }
+      if (ld(other.max_) > ld(max_)) st(max_, ld(other.max_));
     }
-    count_ += other.count_;
-    sum_ += other.sum_;
+    st(count_, ld(count_) + other_count);
+    st(sum_, ld(sum_) + ld(other.sum_));
   }
 
-  void reset() noexcept { *this = histogram{}; }
+  /// Window algebra: the histogram of samples recorded in *this but not
+  /// yet in `earlier`, where `earlier` is a previous snapshot of the
+  /// same (possibly merged) recording stream. Bucket-wise saturating
+  /// subtraction; count is recomputed from the delta buckets so it is
+  /// always internally consistent even against a racy live snapshot.
+  /// min/max of the delta are bucket-quantized bounds (the exact sample
+  /// values are no longer known), so quantiles from a delta match a
+  /// histogram rebuilt from the window's samples at bucket resolution —
+  /// see DeltaQuantiles* in tests/obs/histogram_test.cpp.
+  [[nodiscard]] histogram delta_since(const histogram& earlier) const {
+    histogram d;
+    std::uint64_t n = 0;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < bucket_count_; ++i) {
+      const std::uint64_t now = ld(buckets_[i]);
+      const std::uint64_t was = ld(earlier.buckets_[i]);
+      const std::uint64_t diff = now > was ? now - was : 0;
+      if (diff == 0) continue;
+      st(d.buckets_[i], diff);
+      n += diff;
+      if (!any) {
+        lo = lowest_of(i);
+        any = true;
+      }
+      hi = highest_equivalent(i);
+    }
+    st(d.count_, n);
+    const std::uint64_t s1 = ld(sum_);
+    const std::uint64_t s0 = ld(earlier.sum_);
+    st(d.sum_, s1 > s0 ? s1 - s0 : 0);
+    if (any) {
+      st(d.min_, lo);
+      st(d.max_, hi > max_trackable ? max_trackable : hi);
+    }
+    return d;
+  }
+
+  void reset() noexcept {
+    for (std::size_t i = 0; i < bucket_count_; ++i) st(buckets_[i], 0);
+    st(count_, 0);
+    st(sum_, 0);
+    st(min_, 0);
+    st(max_, 0);
+  }
 
   /// Lowest/highest value mapping to the same bucket as `value` — the
   /// quantization interval (exposed for the exactness tests).
@@ -108,10 +182,35 @@ class histogram {
   }
 
   [[nodiscard]] std::uint64_t bucket_value(std::size_t idx) const noexcept {
-    return buckets_[idx];
+    return ld(buckets_[idx]);
   }
 
  private:
+  using cell = std::atomic<std::uint64_t>;
+
+  static std::uint64_t ld(const cell& c) noexcept {
+    return c.load(std::memory_order_relaxed);
+  }
+  static void st(cell& c, std::uint64_t v) noexcept {
+    c.store(v, std::memory_order_relaxed);
+  }
+  static void bump(cell& c, std::uint64_t n) noexcept {
+    // Load/store, not fetch_add: each cell has one writer, so the RMW
+    // (and its cross-core traffic) would buy nothing on the hot path.
+    c.store(c.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+  }
+
+  void assign_from(const histogram& other) noexcept {
+    for (std::size_t i = 0; i < bucket_count_; ++i) {
+      st(buckets_[i], ld(other.buckets_[i]));
+    }
+    st(count_, ld(other.count_));
+    st(sum_, ld(other.sum_));
+    st(min_, ld(other.min_));
+    st(max_, ld(other.max_));
+  }
+
   static std::size_t bucket_index(std::uint64_t v) noexcept {
     if (v < 2 * subbucket_count) return static_cast<std::size_t>(v);
     // msb position >= subbucket_bits + 1 here.
@@ -138,11 +237,11 @@ class histogram {
     return ((sub + 1) << shift) - 1;
   }
 
-  std::array<std::uint64_t, bucket_count_> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::array<cell, bucket_count_> buckets_{};
+  cell count_{0};
+  cell sum_{0};
+  cell min_{0};
+  cell max_{0};
 };
 
 }  // namespace lfbst::obs

@@ -24,9 +24,11 @@
 //                        tree itself.
 //
 // Aggregation (snapshot(), merged histograms) is designed for
-// quiescent or monotonically racy reads: counters are atomics, so a
-// concurrent snapshot is TSan-clean and observes some valid partial
-// sums; histograms must be read at quiescence.
+// quiescent or monotonically racy reads: counters and histogram cells
+// are atomics, so a concurrent snapshot is TSan-clean and observes
+// some valid partial sums. Exact totals still require quiescence; the
+// live telemetry sampler (obs/telemetry.hpp) deliberately consumes the
+// racy-monotone form.
 #pragma once
 
 #include <array>
@@ -39,6 +41,7 @@
 #include "common/cacheline.hpp"
 #include "common/thread_id.hpp"
 #include "core/stats.hpp"  // op_kind / help_kind vocabulary (no further deps)
+#include "obs/heatmap.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 
@@ -121,6 +124,27 @@ struct metrics_snapshot {
       values[c] += other.values[c];
     }
     return *this;
+  }
+
+  /// Counter-wise saturating subtraction — the window-delta inverse of
+  /// merge(), used by the telemetry sampler to turn two cumulative
+  /// snapshots into a per-window rate. Saturating because a live
+  /// snapshot pair may be mutually skewed by in-flight increments.
+  [[nodiscard]] metrics_snapshot delta_since(
+      const metrics_snapshot& earlier) const noexcept {
+    metrics_snapshot d;
+    for (std::size_t c = 0; c < counter_count; ++c) {
+      d.values[c] =
+          values[c] > earlier.values[c] ? values[c] - earlier.values[c] : 0;
+    }
+    return d;
+  }
+
+  /// Point ops (search + insert + erase) — the denominator for
+  /// per-shard load shares.
+  [[nodiscard]] std::uint64_t point_ops() const noexcept {
+    return (*this)[counter::ops_search] + (*this)[counter::ops_insert] +
+           (*this)[counter::ops_erase];
   }
 };
 
@@ -278,6 +302,16 @@ class recording {
     local().seek_depth.record(depth);
   }
 
+  /// Per-op key hook feeding the hotness heatmap. The tree calls this
+  /// (gated by `if constexpr (requires ...)` and an integral key) right
+  /// after on_op_begin; with no heatmap attached it is one relaxed load
+  /// and a branch.
+  void on_op_key(stats::op_kind /*kind*/, std::int64_t key) const noexcept {
+    if (key_heatmap* hm = heatmap_.load(std::memory_order_relaxed)) {
+      hm->record(key);
+    }
+  }
+
   void on_scan_op(std::uint64_t keys_visited) const noexcept {
     metrics_->add(counter::ops_scan);
     metrics_->add(counter::scan_keys_visited, keys_visited);
@@ -290,7 +324,8 @@ class recording {
 
   [[nodiscard]] metrics& counters() const noexcept { return *metrics_; }
 
-  /// Merged over all threads. Quiescence required.
+  /// Merged over all threads. Safe concurrently with writers
+  /// (racy-monotone, see obs/histogram.hpp); exact at quiescence.
   [[nodiscard]] histogram latency_histogram(stats::op_kind kind) const {
     histogram merged;
     for (unsigned t = 0; t < max_threads; ++t) {
@@ -300,7 +335,8 @@ class recording {
     return merged;
   }
 
-  /// Merged seek-path-length distribution. Quiescence required.
+  /// Merged seek-path-length distribution. Same read contract as
+  /// latency_histogram.
   [[nodiscard]] histogram seek_depth_histogram() const {
     histogram merged;
     for (unsigned t = 0; t < max_threads; ++t) {
@@ -316,6 +352,15 @@ class recording {
   }
   [[nodiscard]] trace_log* attached_trace() const noexcept {
     return trace_.load(std::memory_order_acquire);
+  }
+
+  /// Route sampled per-op keys into `hm` (nullptr detaches). The
+  /// heatmap must outlive the attachment.
+  void attach_heatmap(key_heatmap* hm) noexcept {
+    heatmap_.store(hm, std::memory_order_release);
+  }
+  [[nodiscard]] key_heatmap* attached_heatmap() const noexcept {
+    return heatmap_.load(std::memory_order_acquire);
   }
 
  private:
@@ -346,6 +391,7 @@ class recording {
   std::unique_ptr<metrics> metrics_;
   std::unique_ptr<padded<thread_state>[]> threads_;
   std::atomic<trace_log*> trace_{nullptr};
+  std::atomic<key_heatmap*> heatmap_{nullptr};
 };
 
 /// run_workload observer recording each operation's wall latency into

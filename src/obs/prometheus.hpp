@@ -1,0 +1,74 @@
+// lfbst: Prometheus / OpenMetrics text exposition writer.
+//
+// A tiny append-only builder for the text format scrapers and `curl`
+// read: `# HELP` / `# TYPE` headers per metric family followed by
+// `name{labels} value` samples. Used by the telemetry layer
+// (obs/telemetry.hpp) and the server's exposition endpoint
+// (server/stat_endpoint.hpp); the full name table lives in
+// docs/TELEMETRY.md and is pinned by tools/check_prometheus.py in CI.
+//
+// Only the slice of the format we emit is supported: counter and gauge
+// families, pre-rendered label strings, uint64 samples written exactly
+// and double samples via %.17g (round-trippable).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace lfbst::obs {
+
+class prometheus_writer {
+ public:
+  /// Starts a metric family: emits the HELP/TYPE header. `type` is
+  /// "counter" or "gauge". Call once per family, before its samples.
+  void family(const std::string& name, const std::string& help,
+              const char* type) {
+    out_ += "# HELP ";
+    out_ += name;
+    out_ += ' ';
+    out_ += help;
+    out_ += "\n# TYPE ";
+    out_ += name;
+    out_ += ' ';
+    out_ += type;
+    out_ += '\n';
+  }
+
+  /// One sample. `labels` is either empty or a pre-rendered
+  /// `key="value",...` list (no braces).
+  void sample(const std::string& name, const std::string& labels,
+              std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    sample_raw(name, labels, buf);
+  }
+
+  void sample(const std::string& name, const std::string& labels,
+              double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    sample_raw(name, labels, buf);
+  }
+
+  [[nodiscard]] const std::string& text() const noexcept { return out_; }
+
+ private:
+  void sample_raw(const std::string& name, const std::string& labels,
+                  const char* value) {
+    out_ += name;
+    if (!labels.empty()) {
+      out_ += '{';
+      out_ += labels;
+      out_ += '}';
+    }
+    out_ += ' ';
+    out_ += value;
+    out_ += '\n';
+  }
+
+  std::string out_;
+};
+
+}  // namespace lfbst::obs

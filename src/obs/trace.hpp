@@ -1,12 +1,22 @@
 // lfbst: lock-free binary event tracing.
 //
 // Every participating thread owns a fixed-size ring of 16-byte binary
-// events; emitting is a thread-local array store plus one relaxed
-// atomic bump, so tracing a contended run perturbs it as little as
-// possible. Rings overwrite their oldest events on overflow (the drop
-// count stays queryable), and are drained at quiescence into Chrome
-// `trace_event` JSON that loads directly in Perfetto (ui.perfetto.dev)
-// or chrome://tracing.
+// events; emitting is two relaxed atomic stores plus one release bump,
+// so tracing a contended run perturbs it as little as possible. Rings
+// overwrite their oldest events on overflow (the drop count stays
+// queryable), and are drained into Chrome `trace_event` JSON that loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Drains no longer require quiescence: every slot is stored as two
+// atomic words, and the reader re-checks the ring head after reading a
+// slot — an entry the writer has lapped during the read is discarded
+// instead of being reported torn. The one remaining soft spot is the
+// overwrite frontier (the single oldest retained slot, only while the
+// writer is actively wrapping through it), where a drain may pair one
+// event's timestamp with its successor's payload; both words are
+// individually atomic so this is benign for a flight-recorder dump and
+// impossible at quiescence. This is what lets obs/telemetry.hpp keep a
+// ring continuously armed and dump the last N milliseconds on demand.
 //
 // Two producers feed a trace_log:
 //   * the obs::recording stats policy (obs/metrics.hpp), attached to a
@@ -73,8 +83,10 @@ struct trace_event {
 static_assert(sizeof(trace_event) == 16, "events must stay 16 bytes");
 
 /// Per-thread rings of binary trace events. emit() is safe from any
-/// registered thread concurrently; draining (chrome_trace_json, clear)
-/// requires quiescence. dropped()/recorded() are safe any time.
+/// registered thread concurrently; draining (for_each_event,
+/// chrome_trace_json) is safe concurrently with writers — lapped
+/// entries are skipped, not torn (see header comment). recorded()/
+/// dropped() are safe any time; clear() requires quiescence.
 class trace_log {
  public:
   /// `capacity_per_thread` is rounded up to a power of two.
@@ -95,14 +107,18 @@ class trace_log {
   void emit(event_type type, std::uint32_t arg = 0,
             std::uint16_t aux = 0) noexcept {
     ring& r = rings_[this_thread_index()].value;
-    if (r.buf == nullptr) {
+    slot* buf = r.buf.load(std::memory_order_relaxed);
+    if (buf == nullptr) {
       // First event from this thread: allocate its ring. Only the owner
-      // thread ever writes the pointer; drains happen at quiescence.
-      r.buf.reset(new trace_event[capacity_]);
+      // thread ever stores the pointer; concurrent drains read it with
+      // acquire so the slot array is visible before any head bump.
+      buf = new slot[capacity_];
+      r.buf.store(buf, std::memory_order_release);
     }
     const std::uint64_t head = r.head.load(std::memory_order_relaxed);
-    r.buf[head & (capacity_ - 1)] =
-        trace_event{now_ns(), arg, static_cast<std::uint16_t>(type), aux};
+    slot& s = buf[head & (capacity_ - 1)];
+    s.ts.store(now_ns(), std::memory_order_relaxed);
+    s.packed.store(pack(type, arg, aux), std::memory_order_relaxed);
     r.head.store(head + 1, std::memory_order_release);
   }
 
@@ -127,16 +143,30 @@ class trace_log {
   }
 
   /// Visits every retained event as (thread_slot, trace_event), oldest
-  /// first per thread. Quiescence required.
+  /// first per thread. Safe concurrently with writers: entries the
+  /// owner thread overwrote while we were reading them are detected by
+  /// re-checking the head and skipped.
   template <typename F>
   void for_each_event(F&& fn) const {
     for (unsigned t = 0; t < max_threads; ++t) {
       const ring& r = rings_[t].value;
-      const std::uint64_t head = r.head.load(std::memory_order_acquire);
-      if (head == 0 || r.buf == nullptr) continue;
+      std::uint64_t head = r.head.load(std::memory_order_acquire);
+      const slot* buf = r.buf.load(std::memory_order_acquire);
+      if (head == 0 || buf == nullptr) continue;
       const std::uint64_t first = head > capacity_ ? head - capacity_ : 0;
       for (std::uint64_t i = first; i < head; ++i) {
-        fn(t, r.buf[i & (capacity_ - 1)]);
+        const slot& s = buf[i & (capacity_ - 1)];
+        trace_event ev;
+        ev.ts_ns = s.ts.load(std::memory_order_relaxed);
+        const std::uint64_t packed = s.packed.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const std::uint64_t now_head =
+            r.head.load(std::memory_order_relaxed);
+        if (now_head - i > capacity_) continue;  // lapped while reading
+        ev.type = static_cast<std::uint16_t>(packed >> 16 & 0xffffu);
+        ev.aux = static_cast<std::uint16_t>(packed & 0xffffu);
+        ev.arg = static_cast<std::uint32_t>(packed >> 32);
+        fn(t, ev);
       }
     }
   }
@@ -150,13 +180,17 @@ class trace_log {
   /// Drains every ring into Chrome trace_event JSON (the format Perfetto
   /// and chrome://tracing load). op_begin/op_end become duration ("B"/
   /// "E") events; everything else becomes an instant ("i") event with
-  /// its arg attached. Quiescence required.
-  [[nodiscard]] std::string chrome_trace_json() const {
+  /// its arg attached. Events older than `min_ts_ns` are filtered out —
+  /// the flight recorder's "last N milliseconds" cut. Safe concurrently
+  /// with writers (see for_each_event).
+  [[nodiscard]] std::string chrome_trace_json(
+      std::uint64_t min_ts_ns = 0) const {
     std::string out;
     out.reserve(4096);
     out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first_event = true;
     for_each_event([&](unsigned tid, const trace_event& ev) {
+      if (ev.ts_ns < min_ts_ns) return;
       if (!first_event) out += ',';
       first_event = false;
       const auto type = static_cast<event_type>(ev.type);
@@ -181,11 +215,35 @@ class trace_log {
     return out;
   }
 
+  [[nodiscard]] static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
  private:
-  struct ring {
-    std::unique_ptr<trace_event[]> buf;
-    std::atomic<std::uint64_t> head{0};
+  // Each event is two atomic words so concurrent drains never read a
+  // torn value: ts, and arg<<32 | type<<16 | aux.
+  struct slot {
+    std::atomic<std::uint64_t> ts{0};
+    std::atomic<std::uint64_t> packed{0};
   };
+
+  struct ring {
+    std::atomic<slot*> buf{nullptr};
+    std::atomic<std::uint64_t> head{0};
+
+    ~ring() { delete[] buf.load(std::memory_order_relaxed); }
+  };
+
+  static std::uint64_t pack(event_type type, std::uint32_t arg,
+                            std::uint16_t aux) noexcept {
+    return static_cast<std::uint64_t>(arg) << 32 |
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(type))
+               << 16 |
+           static_cast<std::uint64_t>(aux);
+  }
 
   static const char* op_kind_name(std::uint16_t kind) noexcept {
     switch (kind) {
@@ -194,13 +252,6 @@ class trace_log {
       case 2: return "erase";
     }
     return "op";
-  }
-
-  static std::uint64_t now_ns() noexcept {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
   }
 
   std::unique_ptr<padded<ring>[]> rings_;

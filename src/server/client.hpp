@@ -23,9 +23,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "server/protocol.hpp"
@@ -160,6 +162,51 @@ class client {
     req.id = next_id_++;
     response resp;
     return roundtrip(req, resp) && resp.status == status_code::ok;
+  }
+
+  /// One ping round trip, timed: wall microseconds from send to decoded
+  /// response. The empty-payload ping makes this the purest wire+server
+  /// RTT the protocol can measure — bench_server reports it per cell,
+  /// and the min over a small burst approximates the uncontended floor.
+  [[nodiscard]] bool ping_rtt(std::uint64_t& rtt_us) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!ping()) return false;
+    const auto t1 = std::chrono::steady_clock::now();
+    rtt_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+    return true;
+  }
+
+  /// Minimum ping RTT over `probes` round trips (0 behaves as 1) — the
+  /// steady-state floor, insulated from scheduler noise.
+  [[nodiscard]] bool ping_rtt_min(unsigned probes, std::uint64_t& rtt_us) {
+    std::uint64_t best = ~0ull;
+    if (probes == 0) probes = 1;
+    for (unsigned i = 0; i < probes; ++i) {
+      std::uint64_t one = 0;
+      if (!ping_rtt(one)) return false;
+      if (one < best) best = one;
+    }
+    rtt_us = best;
+    return true;
+  }
+
+  /// Requests the server's live-telemetry snapshot; set
+  /// `request_flight_dump` to also trigger a flight-recorder dump
+  /// server-side (stat_flag_flight_dump).
+  [[nodiscard]] bool stat(stat_result& out,
+                          bool request_flight_dump = false) {
+    request req;
+    req.op = opcode::stat;
+    req.id = next_id_++;
+    req.stat_flags = request_flight_dump ? stat_flag_flight_dump : 0;
+    response resp;
+    if (!roundtrip(req, resp) || resp.status != status_code::ok) {
+      return false;
+    }
+    out = std::move(resp.stat);
+    return true;
   }
 
   /// One batch frame; results[i] corresponds to keys[i] (input order).

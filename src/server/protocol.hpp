@@ -6,7 +6,7 @@
 // Frame layout (all integers little-endian):
 //
 //   u32 body_len          1 <= body_len <= max_frame_bytes
-//   u8  opcode            get/insert/erase/batch/range_scan/ping
+//   u8  opcode            get/insert/erase/batch/range_scan/ping/stat
 //   u64 request_id        echoed verbatim in the response
 //   ...opcode payload...
 //
@@ -18,6 +18,9 @@
 //   range_scan            i64 lo, i64 hi, u32 max_items  — half-open
 //                         [lo, hi); max_items 0 = server's default page
 //   ping                  (empty)
+//   stat                  u32 flags (stat_flag_* bits; unknown bits are
+//                         rejected so they stay available for future
+//                         versions)
 //
 // Response payloads (u8 status after the echoed opcode + id; payload
 // present only when status == ok):
@@ -32,6 +35,19 @@
 //                         huge subrange cannot head-of-line-block the
 //                         connection)
 //   ping                  (empty)
+//   stat                  u8 version (== stat_version; anything else is
+//                         bad_frame — a reader must not misparse a
+//                         future layout), u64 now_ns, u64 window_ns,
+//                         u64 windows_published, u64 window_ops,
+//                         u64 lat_p50_ns, u64 lat_p99_ns, u64 seek_p50,
+//                         u64 seek_p99, u8 flight_dumped,
+//                         u32 n_counters (<= max_stat_counters),
+//                         u64 counter[n_counters],
+//                         u32 n_shards (<= max_stat_shards),
+//                         u64 shard_ops[n_shards],
+//                         u64 shard_window_ops[n_shards]
+//                         — the live-telemetry snapshot; field semantics
+//                         in docs/TELEMETRY.md and docs/SERVER.md
 //
 // Decoding discipline: the decoder is incremental (feed it any prefix
 // of the stream; it answers need_more until a whole frame is present),
@@ -56,6 +72,7 @@ enum class opcode : std::uint8_t {
   batch = 4,
   range_scan = 5,
   ping = 6,
+  stat = 7,
 };
 
 enum class status_code : std::uint8_t {
@@ -77,9 +94,25 @@ inline constexpr std::uint32_t max_batch_keys = 1u << 16;
 /// max_items to this.
 inline constexpr std::uint32_t max_scan_items = 1u << 16;
 
+/// stat snapshot layout version this codec speaks. Bumped on any layout
+/// change; decoders reject other versions outright (strictness over
+/// forward compatibility — a stale client must fail loudly, not
+/// misparse).
+inline constexpr std::uint8_t stat_version = 1;
+
+/// stat request flag bits. Undefined bits are bad_frame.
+inline constexpr std::uint32_t stat_flag_flight_dump = 1u << 0;
+inline constexpr std::uint32_t stat_flags_known = stat_flag_flight_dump;
+
+/// Ceilings for the stat response's variable sections: enough for the
+/// obs counter set and any sane shard count to grow, small enough that
+/// a hostile frame cannot force large allocations.
+inline constexpr std::uint32_t max_stat_counters = 256;
+inline constexpr std::uint32_t max_stat_shards = 4096;
+
 [[nodiscard]] inline bool valid_opcode(std::uint8_t b) noexcept {
   return b >= static_cast<std::uint8_t>(opcode::get) &&
-         b <= static_cast<std::uint8_t>(opcode::ping);
+         b <= static_cast<std::uint8_t>(opcode::stat);
 }
 
 [[nodiscard]] inline const char* opcode_name(opcode op) noexcept {
@@ -90,6 +123,7 @@ inline constexpr std::uint32_t max_scan_items = 1u << 16;
     case opcode::batch: return "batch";
     case opcode::range_scan: return "range_scan";
     case opcode::ping: return "ping";
+    case opcode::stat: return "stat";
   }
   return "unknown";
 }
@@ -106,6 +140,29 @@ struct request {
   std::int64_t lo = 0;
   std::int64_t hi = 0;
   std::uint32_t max_items = 0;
+  std::uint32_t stat_flags = 0;  // stat: stat_flag_* bits
+};
+
+/// The stat opcode's payload: a versioned snapshot of the server's
+/// live telemetry (obs/telemetry.hpp windows + lifetime counters).
+/// counters[] is indexed by obs::counter order; shard_ops /
+/// shard_window_ops are parallel arrays over the server's shards
+/// (lifetime point ops, and point ops in the latest telemetry window).
+struct stat_result {
+  std::uint64_t now_ns = 0;             // server steady_clock at encode
+  std::uint64_t window_ns = 0;          // latest window's wall length
+  std::uint64_t windows_published = 0;  // sampler windows so far
+  std::uint64_t window_ops = 0;         // point ops in the latest window
+  std::uint64_t lat_p50_ns = 0;         // window latency quantiles
+  std::uint64_t lat_p99_ns = 0;
+  std::uint64_t seek_p50 = 0;  // window seek-depth quantiles
+  std::uint64_t seek_p99 = 0;
+  bool flight_dumped = false;  // a requested flight dump was queued
+  std::vector<std::uint64_t> counters;
+  std::vector<std::uint64_t> shard_ops;
+  std::vector<std::uint64_t> shard_window_ops;  // same length as shard_ops
+
+  friend bool operator==(const stat_result&, const stat_result&) = default;
 };
 
 /// One decoded response; payload members mirror the request shape.
@@ -118,6 +175,7 @@ struct response {
   bool truncated = false;
   std::int64_t resume_key = 0;
   std::vector<std::int64_t> keys;  // scan page, sorted
+  stat_result stat;                // stat: the telemetry snapshot
 };
 
 enum class decode_status : std::uint8_t {
@@ -250,6 +308,7 @@ inline void encode_request(std::vector<std::uint8_t>& out,
       wire::put_u32(out, req.max_items);
       break;
     case opcode::ping: break;
+    case opcode::stat: wire::put_u32(out, req.stat_flags); break;
   }
   detail::end_frame(out, frame);
 }
@@ -277,6 +336,25 @@ inline void encode_response(std::vector<std::uint8_t>& out,
         for (std::int64_t k : resp.keys) wire::put_i64(out, k);
         break;
       case opcode::ping: break;
+      case opcode::stat: {
+        const stat_result& s = resp.stat;
+        wire::put_u8(out, stat_version);
+        wire::put_u64(out, s.now_ns);
+        wire::put_u64(out, s.window_ns);
+        wire::put_u64(out, s.windows_published);
+        wire::put_u64(out, s.window_ops);
+        wire::put_u64(out, s.lat_p50_ns);
+        wire::put_u64(out, s.lat_p99_ns);
+        wire::put_u64(out, s.seek_p50);
+        wire::put_u64(out, s.seek_p99);
+        wire::put_u8(out, s.flight_dumped ? 1 : 0);
+        wire::put_u32(out, static_cast<std::uint32_t>(s.counters.size()));
+        for (std::uint64_t v : s.counters) wire::put_u64(out, v);
+        wire::put_u32(out, static_cast<std::uint32_t>(s.shard_ops.size()));
+        for (std::uint64_t v : s.shard_ops) wire::put_u64(out, v);
+        for (std::uint64_t v : s.shard_window_ops) wire::put_u64(out, v);
+        break;
+      }
     }
   }
   detail::end_frame(out, frame);
@@ -352,6 +430,14 @@ inline decode_status try_decode_request(const std::uint8_t* data,
       out.max_items = r.take_u32();
       break;
     case opcode::ping: break;
+    case opcode::stat:
+      out.stat_flags = r.take_u32();
+      // Unknown flag bits are rejected, not ignored: they stay free for
+      // future layout versions without silently changing behavior.
+      if (r.ok() && (out.stat_flags & ~stat_flags_known) != 0) {
+        return decode_status::bad_frame;
+      }
+      break;
   }
   if (!r.exhausted()) return decode_status::bad_frame;  // short or trailing
   return decode_status::ok;
@@ -420,6 +506,47 @@ inline decode_status try_decode_response(const std::uint8_t* data,
         break;
       }
       case opcode::ping: break;
+      case opcode::stat: {
+        stat_result& s = out.stat;
+        const std::uint8_t version = r.take_u8();
+        if (!r.ok() || version != stat_version) {
+          return decode_status::bad_frame;
+        }
+        s.now_ns = r.take_u64();
+        s.window_ns = r.take_u64();
+        s.windows_published = r.take_u64();
+        s.window_ops = r.take_u64();
+        s.lat_p50_ns = r.take_u64();
+        s.lat_p99_ns = r.take_u64();
+        s.seek_p50 = r.take_u64();
+        s.seek_p99 = r.take_u64();
+        const std::uint8_t dumped = r.take_u8();
+        if (!r.ok() || dumped > 1) return decode_status::bad_frame;
+        s.flight_dumped = dumped != 0;
+        const std::uint32_t n_counters = r.take_u32();
+        if (!r.ok() || n_counters > max_stat_counters ||
+            r.remaining() < n_counters * 8u) {
+          return decode_status::bad_frame;
+        }
+        s.counters.resize(n_counters);
+        for (std::uint32_t i = 0; i < n_counters; ++i) {
+          s.counters[i] = r.take_u64();
+        }
+        const std::uint32_t n_shards = r.take_u32();
+        if (!r.ok() || n_shards > max_stat_shards ||
+            r.remaining() != n_shards * 16u) {
+          return decode_status::bad_frame;
+        }
+        s.shard_ops.resize(n_shards);
+        for (std::uint32_t i = 0; i < n_shards; ++i) {
+          s.shard_ops[i] = r.take_u64();
+        }
+        s.shard_window_ops.resize(n_shards);
+        for (std::uint32_t i = 0; i < n_shards; ++i) {
+          s.shard_window_ops[i] = r.take_u64();
+        }
+        break;
+      }
     }
   }
   if (!r.exhausted()) return decode_status::bad_frame;

@@ -1,19 +1,33 @@
 // lfbst_serve: the server binary. An int64 membership set, sharded over
 // NM-BSTs with epoch reclamation and recording stats, behind the TCP
-// wire protocol. SIGTERM (and SIGINT) trigger a graceful drain:
-// everything already received is answered, late frames are NACKed with
-// status shutting_down, buffers are flushed, then the process exits and
+// wire protocol — plus the live-telemetry plane (docs/TELEMETRY.md):
+// a background sampler publishing windowed metric deltas, a key-range
+// hotness heatmap, a Prometheus exposition endpoint, the stat opcode,
+// and a continuously armed flight recorder whose last --flight-ms of
+// trace events dump to a Perfetto file on SIGUSR1 (or a stat request
+// with the dump flag).
+//
+// SIGTERM (and SIGINT) trigger a graceful drain: everything already
+// received is answered, late frames are NACKed with status
+// shutting_down, buffers are flushed, then the process exits and
 // prints its wire-level counters (and, with --json, an lfbst-bench-v1
 // document of server-side latency percentiles).
 //
-//   lfbst_serve --port=7171 --threads=2 --shards=8
+//   lfbst_serve --port=7171 --threads=2 --shards=8 --metrics-port=9187
+//   curl -s http://127.0.0.1:9187/metrics | head
+//   kill -USR1 $(pidof lfbst_serve)   # dump lfbst_flight.json
 //
 // Flags: --host (default 127.0.0.1), --port (default 7171; 0 picks an
 // ephemeral port, printed on stdout), --threads event loops, --shards
 // power-of-two shard count, --scan-page default range-scan page size,
 // --drain-ms drain deadline, --json[=path] latency report on exit.
+// Telemetry flags: --metrics-port (-1 = exposition disabled, 0 =
+// ephemeral, printed), --telemetry-ms sampling interval, --flight-file
+// dump path, --flight-ms dump window, --heatmap-lo/--heatmap-hi the
+// heatmap's key interval.
 #include <signal.h>  // NOLINT: sigaction needs the POSIX header
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -23,8 +37,12 @@
 #include "core/natarajan_tree.hpp"
 #include "harness/flags.hpp"
 #include "obs/export.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "server/server.hpp"
+#include "server/stat_endpoint.hpp"
 #include "shard/sharded_set.hpp"
 
 namespace {
@@ -32,6 +50,18 @@ namespace {
 using tree_type = lfbst::nm_tree<std::int64_t, std::less<std::int64_t>,
                                  lfbst::reclaim::epoch, lfbst::obs::recording>;
 using set_type = lfbst::shard::sharded_set<tree_type>;
+using sampler_type = lfbst::obs::sampler<set_type>;
+
+// SIGUSR1 → flight dump. request_flight_dump is one relaxed atomic
+// store, so the handler may call it directly (same pattern as
+// drain_on_sigterm's trampoline).
+std::atomic<sampler_type*> g_sampler{nullptr};
+
+void sigusr1_handler(int) {
+  if (sampler_type* s = g_sampler.load(std::memory_order_acquire)) {
+    s->request_flight_dump();
+  }
+}
 
 }  // namespace
 
@@ -49,7 +79,62 @@ int main(int argc, char** argv) {
   set_type set(static_cast<std::size_t>(flags.get_int("shards", 8)),
                std::numeric_limits<std::int64_t>::min(),
                std::numeric_limits<std::int64_t>::max());
+
+  // Telemetry plane: one shared heatmap + flight-recorder trace ring
+  // attached to every shard's recording stats, a background sampler
+  // ticking every --telemetry-ms, and (optionally) the exposition
+  // endpoint. All of it reads racy-monotone state, so it rides along
+  // without touching the data plane's hot path.
+  lfbst::obs::key_heatmap heatmap(
+      flags.get_int("heatmap-lo", 0),
+      flags.get_int("heatmap-hi", std::int64_t{1} << 20));
+  lfbst::obs::trace_log flight_log(
+      static_cast<std::size_t>(flags.get_int("flight-capacity", 1 << 14)));
+  set.for_each_shard_stats([&](lfbst::obs::recording& stats) {
+    stats.attach_heatmap(&heatmap);
+    stats.attach_trace(&flight_log);
+  });
+  lfbst::obs::set_global_trace_sink(&flight_log);
+
+  lfbst::obs::telemetry_options topts;
+  topts.interval_ms =
+      static_cast<std::uint64_t>(flags.get_int("telemetry-ms", 100));
+  topts.flight_path = flags.get("flight-file", "lfbst_flight.json");
+  topts.flight_window_ms =
+      static_cast<std::uint64_t>(flags.get_int("flight-ms", 2000));
+  sampler_type sampler(set, topts);
+  sampler.attach_flight_recorder(&flight_log);
+  sampler.attach_heatmap(&heatmap);
+
   lfbst::server::basic_server<set_type> server(set, cfg);
+  server.set_stat_handler([&](std::uint32_t request_flags,
+                              lfbst::server::stat_result& out) {
+    if ((request_flags & lfbst::server::stat_flag_flight_dump) != 0) {
+      sampler.request_flight_dump();
+      out.flight_dumped = true;
+    }
+    lfbst::obs::telemetry_window win;
+    if (sampler.latest(win)) {
+      out.window_ns = win.t1_ns - win.t0_ns;
+      out.window_ops = win.point_ops();
+      out.lat_p50_ns = win.lat_p50_ns;
+      out.lat_p99_ns = win.lat_p99_ns;
+      out.seek_p50 = win.seek_p50;
+      out.seek_p99 = win.seek_p99;
+      out.shard_window_ops.assign(win.shard_ops.begin(),
+                                  win.shard_ops.begin() + win.shard_count);
+    }
+    out.windows_published = sampler.windows_published();
+    lfbst::obs::metrics_snapshot total;
+    out.shard_ops.reserve(set.shard_count());
+    for (std::size_t i = 0; i < set.shard_count(); ++i) {
+      const lfbst::obs::metrics_snapshot snap = set.shard_counters(i);
+      out.shard_ops.push_back(snap.point_ops());
+      total.merge(snap);
+    }
+    out.shard_window_ops.resize(out.shard_ops.size(), 0);
+    out.counters.assign(total.values.begin(), total.values.end());
+  });
   if (!server.start()) {
     std::fprintf(stderr, "lfbst_serve: cannot listen on %s:%u\n",
                  cfg.host.c_str(), static_cast<unsigned>(cfg.port));
@@ -58,6 +143,35 @@ int main(int argc, char** argv) {
   std::printf("lfbst_serve: listening on %s:%u (%u event threads)\n",
               cfg.host.c_str(), static_cast<unsigned>(server.port()),
               cfg.event_threads);
+
+  sampler.start();
+  g_sampler.store(&sampler, std::memory_order_release);
+  {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = sigusr1_handler;
+    (void)sigaction(SIGUSR1, &sa, nullptr);
+  }
+
+  lfbst::server::metrics_endpoint exposition([&] {
+    lfbst::obs::prometheus_writer w;
+    sampler.render_prometheus(w);
+    lfbst::server::render_prometheus(w, server.stats());
+    return w.text();
+  });
+  const std::int64_t metrics_port = flags.get_int("metrics-port", -1);
+  if (metrics_port >= 0) {
+    if (!exposition.start(cfg.host,
+                          static_cast<std::uint16_t>(metrics_port))) {
+      std::fprintf(stderr, "lfbst_serve: cannot expose metrics on %s:%lld\n",
+                   cfg.host.c_str(), static_cast<long long>(metrics_port));
+      server.stop();
+      server.join();
+      return 1;
+    }
+    std::printf("lfbst_serve: metrics on http://%s:%u/metrics\n",
+                cfg.host.c_str(), static_cast<unsigned>(exposition.port()));
+  }
   std::fflush(stdout);
 
   // SIGTERM drains the server directly from the handler (begin_drain is
@@ -71,12 +185,18 @@ int main(int argc, char** argv) {
   (void)sigaction(SIGINT, &sa, nullptr);
   server.join();
 
+  exposition.stop();
+  g_sampler.store(nullptr, std::memory_order_release);
+  sampler.stop();
+  lfbst::obs::set_global_trace_sink(nullptr);
+
   const auto& st = server.stats();
   std::fprintf(
       stderr,
       "lfbst_serve: conns=%llu/%llu frames=%llu responses=%llu "
       "bytes=%llu/%llu proto_errors=%llu nack_drain=%llu "
-      "coalesced=%llu/%llu backpressure=%llu\n",
+      "coalesced=%llu/%llu backpressure=%llu stat=%llu "
+      "windows=%llu flight_dumps=%llu\n",
       static_cast<unsigned long long>(st.connections_accepted.load()),
       static_cast<unsigned long long>(st.connections_closed.load()),
       static_cast<unsigned long long>(st.frames_in.load()),
@@ -87,7 +207,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.rejected_shutting_down.load()),
       static_cast<unsigned long long>(st.coalesced_groups.load()),
       static_cast<unsigned long long>(st.coalesced_ops.load()),
-      static_cast<unsigned long long>(st.backpressure_pauses.load()));
+      static_cast<unsigned long long>(st.backpressure_pauses.load()),
+      static_cast<unsigned long long>(st.stat_requests.load()),
+      static_cast<unsigned long long>(sampler.windows_published()),
+      static_cast<unsigned long long>(sampler.flight_dumps()));
 
   if (flags.has("json")) {
     lfbst::obs::bench_report report("lfbst_serve");

@@ -61,6 +61,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -71,6 +72,7 @@
 
 #include "core/stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "server/protocol.hpp"
 
 namespace lfbst::server {
@@ -105,7 +107,44 @@ struct server_stats {
   std::atomic<std::uint64_t> coalesced_groups{0};
   std::atomic<std::uint64_t> coalesced_ops{0};
   std::atomic<std::uint64_t> backpressure_pauses{0};
+  std::atomic<std::uint64_t> stat_requests{0};
 };
+
+/// Renders the wire-level counters as Prometheus families
+/// (lfbst_server_* name table in docs/TELEMETRY.md); composed with the
+/// telemetry sampler's families by the exposition endpoint.
+inline void render_prometheus(obs::prometheus_writer& w,
+                              const server_stats& s) {
+  const auto emit = [&w](const char* name, const char* help,
+                         const std::atomic<std::uint64_t>& v) {
+    w.family(name, help, "counter");
+    w.sample(name, "", v.load(std::memory_order_relaxed));
+  };
+  emit("lfbst_server_connections_accepted_total", "Accepted connections.",
+       s.connections_accepted);
+  emit("lfbst_server_connections_closed_total", "Closed connections.",
+       s.connections_closed);
+  emit("lfbst_server_frames_in_total", "Request frames decoded.",
+       s.frames_in);
+  emit("lfbst_server_responses_out_total", "Response frames encoded.",
+       s.responses_out);
+  emit("lfbst_server_bytes_in_total", "Bytes read from sockets.",
+       s.bytes_in);
+  emit("lfbst_server_bytes_out_total", "Bytes written to sockets.",
+       s.bytes_out);
+  emit("lfbst_server_protocol_errors_total",
+       "Connections dropped on bad frames.", s.protocol_errors);
+  emit("lfbst_server_rejected_shutting_down_total",
+       "Requests NACKed during drain.", s.rejected_shutting_down);
+  emit("lfbst_server_coalesced_groups_total",
+       "Pipelined runs coalesced into batch calls.", s.coalesced_groups);
+  emit("lfbst_server_coalesced_ops_total", "Ops inside coalesced runs.",
+       s.coalesced_ops);
+  emit("lfbst_server_backpressure_pauses_total",
+       "Reads paused on write-buffer cap.", s.backpressure_pauses);
+  emit("lfbst_server_stat_requests_total", "stat-opcode requests served.",
+       s.stat_requests);
+}
 
 /// TCP server over any set exposing the sharded_set surface:
 /// contains/insert/erase (+ the *_batch forms) and range_scan_limit.
@@ -197,6 +236,14 @@ class basic_server {
   }
 
   [[nodiscard]] const server_config& config() const noexcept { return cfg_; }
+
+  /// Fills a stat response's snapshot from the live telemetry (flags
+  /// are the request's stat_flag_* bits). Install before start(); with
+  /// no handler the stat opcode still answers, with a zeroed snapshot
+  /// (version and now_ns only), so the opcode's availability does not
+  /// depend on telemetry wiring.
+  using stat_handler = std::function<void(std::uint32_t, stat_result&)>;
+  void set_stat_handler(stat_handler h) { stat_handler_ = std::move(h); }
 
  private:
   struct pending_request {
@@ -702,6 +749,11 @@ class basic_server {
         break;
       }
       case opcode::ping: break;
+      case opcode::stat:
+        stats_.stat_requests.fetch_add(1, std::memory_order_relaxed);
+        resp.stat.now_ns = now_ns();
+        if (stat_handler_) stat_handler_(p.req.stat_flags, resp.stat);
+        break;
       default: break;
     }
     finish_response(conn, resp, kind, p.t0_ns, result);
@@ -803,6 +855,7 @@ class basic_server {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   bool started_ = false;
+  stat_handler stat_handler_;  // set before start(); event threads read
   std::atomic<unsigned> next_loop_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> drain_{false};

@@ -1,0 +1,217 @@
+// lfbst server: the Prometheus exposition endpoint — a minimal
+// HTTP/1.0 listener on its own port (separate from the binary
+// protocol) answering GET /metrics with the text a scraper or `curl`
+// expects. The render callback is composed by the embedder
+// (lfbst_serve: telemetry sampler families + server wire counters) and
+// must be thread-safe against the running server — the telemetry
+// layer's renderers are (obs/telemetry.hpp).
+//
+// Deliberately not a web server: one poll-driven thread, sequential
+// connections, 1 KiB request cap, Connection: close. A scrape every
+// few seconds is the design load; the binary protocol keeps owning the
+// data plane. http_get() is the matching client used by the tests and
+// bench_server's scrape-driven live columns.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace lfbst::server {
+
+class metrics_endpoint {
+ public:
+  using render_fn = std::function<std::string()>;
+
+  explicit metrics_endpoint(render_fn render)
+      : render_(std::move(render)) {}
+
+  metrics_endpoint(const metrics_endpoint&) = delete;
+  metrics_endpoint& operator=(const metrics_endpoint&) = delete;
+
+  ~metrics_endpoint() { stop(); }
+
+  /// Binds host:port (port 0 = ephemeral; see port()) and spawns the
+  /// serving thread. False on socket errors; the endpoint is then
+  /// inert.
+  [[nodiscard]] bool start(const std::string& host, std::uint16_t port) {
+    if (thread_.joinable()) return false;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return false;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) == 0) {
+      port_ = ntohs(addr.sin_port);
+    }
+    stop_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { run(); });
+    return true;
+  }
+
+  /// The bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t scrapes() const noexcept {
+    return scrapes_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void run() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (ready <= 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      serve_one(fd);
+      ::close(fd);
+    }
+  }
+
+  void serve_one(int fd) {
+    // Read until the blank line ending the request head; tiny cap, and
+    // a short poll deadline so one stuck client cannot wedge scrapes.
+    char req[1024];
+    std::size_t got = 0;
+    while (got < sizeof(req) - 1) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, /*timeout_ms=*/2000) <= 0) return;
+      const ssize_t n = ::recv(fd, req + got, sizeof(req) - 1 - got, 0);
+      if (n <= 0) return;
+      got += static_cast<std::size_t>(n);
+      req[got] = '\0';
+      if (std::strstr(req, "\r\n\r\n") != nullptr ||
+          std::strstr(req, "\n\n") != nullptr) {
+        break;
+      }
+    }
+    const bool is_get = std::strncmp(req, "GET ", 4) == 0;
+    const char* path = req + 4;
+    const bool is_metrics =
+        is_get && (std::strncmp(path, "/metrics", 8) == 0 ||
+                   std::strncmp(path, "/ ", 2) == 0);
+    std::string body;
+    const char* status = "200 OK";
+    const char* content_type = "text/plain; version=0.0.4";
+    if (is_metrics) {
+      body = render_();
+      scrapes_.fetch_add(1, std::memory_order_release);
+    } else {
+      status = is_get ? "404 Not Found" : "405 Method Not Allowed";
+      body = "not here; scrape /metrics\n";
+    }
+    char head[256];
+    const int head_len = std::snprintf(
+        head, sizeof(head),
+        "HTTP/1.0 %s\r\nContent-Type: %s\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        status, content_type, body.size());
+    send_all(fd, head, static_cast<std::size_t>(head_len));
+    send_all(fd, body.data(), body.size());
+  }
+
+  static void send_all(int fd, const char* data, std::size_t len) {
+    std::size_t sent = 0;
+    while (sent < len) {
+      const ssize_t n =
+          ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  render_fn render_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+};
+
+/// Blocking scrape client for tests and bench_server's live columns:
+/// GET `path`, return true and the response body on HTTP 200.
+inline bool http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, std::string& body_out,
+                     int timeout_ms = 5000) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return false;
+  }
+  std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                    "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n =
+        ::send(fd, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (raw.compare(0, 9, "HTTP/1.0 ") != 0 &&
+      raw.compare(0, 9, "HTTP/1.1 ") != 0) {
+    return false;
+  }
+  if (raw.compare(9, 3, "200") != 0) return false;
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) return false;
+  body_out = raw.substr(split + 4);
+  return true;
+}
+
+}  // namespace lfbst::server

@@ -295,8 +295,28 @@ class sharded_set {
     return merged;
   }
 
+  /// One shard's counter snapshot, unmerged — the per-shard view the
+  /// telemetry sampler turns into load-share/imbalance gauges
+  /// (obs/telemetry.hpp; ROADMAP item 3 consumes those).
+  [[nodiscard]] obs::metrics_snapshot shard_counters(std::size_t i) const
+    requires recording_stats_tree<Tree>
+  {
+    return shards_[i]->tree.stats().counters().snapshot();
+  }
+
+  /// Visits every shard's recording stats instance in shard order —
+  /// the attachment hook for cross-shard sinks (one trace_log /
+  /// key_heatmap shared by all shards).
+  template <typename F>
+  void for_each_shard_stats(F&& fn) const
+    requires recording_stats_tree<Tree>
+  {
+    for (const auto& s : shards_) fn(s->tree.stats());
+  }
+
   /// Bucket-wise merge of every shard's latency histogram for `kind`.
-  /// Quiescence required (histogram contract).
+  /// Safe concurrently with writers (racy-monotone, obs/histogram.hpp);
+  /// exact at quiescence.
   [[nodiscard]] obs::histogram merged_latency_histogram(
       stats::op_kind kind) const
     requires recording_stats_tree<Tree>

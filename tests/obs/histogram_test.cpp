@@ -175,6 +175,106 @@ TEST(Histogram, ResetClears) {
   EXPECT_EQ(h.value_at_percentile(99), 0u);
 }
 
+// --- delta_since: the telemetry window algebra ------------------------
+
+TEST(Histogram, DeltaOfSelfIsEmpty) {
+  histogram h;
+  for (std::uint64_t v = 1; v < 2'000; v += 7) h.record(v);
+  const histogram d = h.delta_since(h);
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.sum(), 0u);
+  EXPECT_EQ(d.value_at_percentile(99), 0u);
+  for (std::size_t i = 0; i < histogram::bucket_count_; ++i) {
+    ASSERT_EQ(d.bucket_value(i), 0u) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, DeltaIsNonNegativeAndMatchesRebuilt) {
+  // delta_since(snapshot) must equal, bucket for bucket, a histogram
+  // rebuilt from only the samples recorded after the snapshot.
+  pcg32 rng(21);
+  histogram h;
+  for (int i = 0; i < 3'000; ++i) h.record(rng.next64() % (1ull << 24));
+  const histogram earlier = h;  // the sampler's previous-window snapshot
+  histogram rebuilt;
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t v = rng.next64() % (1ull << 28);
+    h.record(v);
+    rebuilt.record(v);
+  }
+  const histogram d = h.delta_since(earlier);
+  EXPECT_EQ(d.count(), rebuilt.count());
+  EXPECT_EQ(d.sum(), rebuilt.sum());
+  for (std::size_t i = 0; i < histogram::bucket_count_; ++i) {
+    ASSERT_EQ(d.bucket_value(i), rebuilt.bucket_value(i)) << "bucket " << i;
+  }
+  // min/max of a delta are bucket-quantized (the exact samples are
+  // gone), so they bound the rebuilt values within one bucket.
+  EXPECT_EQ(d.min(), histogram::lowest_equivalent(rebuilt.min()));
+  EXPECT_EQ(d.max(), histogram::highest_equivalent_value(rebuilt.max()));
+}
+
+TEST(Histogram, DeltaQuantilesMatchRebuiltAtBucketResolution) {
+  pcg32 rng(33);
+  histogram h;
+  for (int i = 0; i < 5'000; ++i) h.record(rng.next64() % 1'000'000);
+  const histogram earlier = h;
+  histogram rebuilt;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t v = rng.next64() % 50'000'000;
+    h.record(v);
+    rebuilt.record(v);
+  }
+  const histogram d = h.delta_since(earlier);
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    // Both sides report a value inside the same quantization bucket;
+    // rebuilt additionally clamps to its exact max, the delta to the
+    // bucket bound, so compare at bucket resolution.
+    EXPECT_EQ(histogram::highest_equivalent_value(d.value_at_percentile(p)),
+              histogram::highest_equivalent_value(
+                  rebuilt.value_at_percentile(p)))
+        << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeThenDeltaEqualsDeltaThenMerge) {
+  // Two recording streams (a, b), each snapshotted then extended. The
+  // sampler merges first and takes one delta; it must see exactly the
+  // merge of the per-stream deltas.
+  pcg32 rng(55);
+  histogram a, b;
+  for (int i = 0; i < 1'000; ++i) {
+    a.record(rng.next64() % 10'000);
+    b.record(rng.next64() % 1'000'000);
+  }
+  const histogram a0 = a, b0 = b;
+  for (int i = 0; i < 1'500; ++i) {
+    a.record(rng.next64() % (1ull << 22));
+    b.record(rng.next64() % 300);
+  }
+
+  histogram merged_now = a, merged_was = a0;
+  merged_now.merge(b);
+  merged_was.merge(b0);
+  const histogram merge_then_delta = merged_now.delta_since(merged_was);
+
+  histogram delta_then_merge = a.delta_since(a0);
+  delta_then_merge.merge(b.delta_since(b0));
+
+  EXPECT_EQ(merge_then_delta.count(), delta_then_merge.count());
+  EXPECT_EQ(merge_then_delta.sum(), delta_then_merge.sum());
+  for (std::size_t i = 0; i < histogram::bucket_count_; ++i) {
+    ASSERT_EQ(merge_then_delta.bucket_value(i),
+              delta_then_merge.bucket_value(i))
+        << "bucket " << i;
+  }
+  for (double p : {50.0, 99.0}) {
+    EXPECT_EQ(merge_then_delta.value_at_percentile(p),
+              delta_then_merge.value_at_percentile(p))
+        << "p=" << p;
+  }
+}
+
 TEST(Histogram, WeightedRecord) {
   histogram h;
   h.record(10, 99);

@@ -71,6 +71,7 @@ void expect_request_eq(const request& a, const request& b) {
       EXPECT_EQ(a.max_items, b.max_items);
       break;
     case opcode::ping: break;
+    case opcode::stat: EXPECT_EQ(a.stat_flags, b.stat_flags); break;
   }
 }
 
@@ -90,7 +91,25 @@ void expect_response_eq(const response& a, const response& b) {
       EXPECT_EQ(a.keys, b.keys);
       break;
     case opcode::ping: break;
+    case opcode::stat: EXPECT_EQ(a.stat, b.stat); break;
   }
+}
+
+stat_result sample_stat() {
+  stat_result s;
+  s.now_ns = 0x1111111111111111ULL;
+  s.window_ns = 100'000'000;
+  s.windows_published = 42;
+  s.window_ops = 9001;
+  s.lat_p50_ns = 800;
+  s.lat_p99_ns = 12'000;
+  s.seek_p50 = 14;
+  s.seek_p99 = 31;
+  s.flight_dumped = true;
+  s.counters = {1, 2, 3, 0, UINT64_MAX};
+  s.shard_ops = {100, 200, 300};
+  s.shard_window_ops = {10, 20, 30};
+  return s;
 }
 
 // --- round trips -----------------------------------------------------
@@ -158,9 +177,45 @@ TEST(Codec, RoundTripRangeScanRequestAndPing) {
   }
 }
 
+TEST(Codec, RoundTripStatRequestBothFlagSettings) {
+  for (const std::uint32_t flags : {0u, stat_flag_flight_dump}) {
+    request req;
+    req.op = opcode::stat;
+    req.id = 0xFEEDFACE;
+    req.stat_flags = flags;
+    const auto bytes = encode(req);
+    request back;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_req(bytes, back, consumed), decode_status::ok);
+    EXPECT_EQ(consumed, bytes.size());
+    expect_request_eq(req, back);
+  }
+}
+
+TEST(Codec, RoundTripStatResponsePayload) {
+  response resp;
+  resp.op = opcode::stat;
+  resp.id = 404;
+  resp.status = status_code::ok;
+  resp.stat = sample_stat();
+  const auto bytes = encode(resp);
+  response back;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_resp(bytes, back, consumed), decode_status::ok);
+  EXPECT_EQ(consumed, bytes.size());
+  expect_response_eq(resp, back);
+
+  // Empty vectors are representable too (a server with no windows yet).
+  resp.stat = stat_result{};
+  const auto empty_bytes = encode(resp);
+  ASSERT_EQ(decode_resp(empty_bytes, back, consumed), decode_status::ok);
+  expect_response_eq(resp, back);
+}
+
 TEST(Codec, RoundTripResponsesAllOpcodesAllStatuses) {
   for (const opcode op : {opcode::get, opcode::insert, opcode::erase,
-                          opcode::batch, opcode::range_scan, opcode::ping}) {
+                          opcode::batch, opcode::range_scan, opcode::ping,
+                          opcode::stat}) {
     for (const status_code st :
          {status_code::ok, status_code::malformed, status_code::too_large,
           status_code::shutting_down}) {
@@ -173,6 +228,7 @@ TEST(Codec, RoundTripResponsesAllOpcodesAllStatuses) {
       resp.truncated = true;
       resp.resume_key = -42;
       resp.keys = {-3, 5, 7};
+      resp.stat = sample_stat();
       const auto bytes = encode(resp);
       response back;
       std::size_t consumed = 0;
@@ -328,11 +384,88 @@ TEST(Codec, RejectsResponseWithUnknownStatus) {
   EXPECT_EQ(decode_resp(bytes, back, consumed), decode_status::bad_frame);
 }
 
+TEST(Codec, RejectsStatRequestWithUnknownFlagBits) {
+  request req;
+  req.op = opcode::stat;
+  req.id = 12;
+  req.stat_flags = stat_flag_flight_dump;
+  auto bytes = encode(req);
+  request back;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_req(bytes, back, consumed), decode_status::ok);
+  // flags u32 sits after len(4) + op(1) + id(8); set a reserved bit.
+  bytes[4 + 1 + 8] |= 0x02;
+  EXPECT_EQ(decode_req(bytes, back, consumed), decode_status::bad_frame);
+  auto high = encode(req);
+  high[4 + 1 + 8 + 3] = 0x80;  // top byte of the flags word
+  EXPECT_EQ(decode_req(high, back, consumed), decode_status::bad_frame);
+}
+
+TEST(Codec, RejectsStatResponseWithWrongVersion) {
+  response resp;
+  resp.op = opcode::stat;
+  resp.id = 13;
+  resp.status = status_code::ok;
+  resp.stat = sample_stat();
+  response back;
+  std::size_t consumed = 0;
+  // version byte sits after len(4) + op(1) + id(8) + status(1).
+  for (const std::uint8_t v : {std::uint8_t{0}, std::uint8_t{2},
+                               std::uint8_t{99}}) {
+    auto bytes = encode(resp);
+    bytes[4 + 1 + 8 + 1] = v;
+    EXPECT_EQ(decode_resp(bytes, back, consumed), decode_status::bad_frame)
+        << "version " << static_cast<int>(v);
+  }
+}
+
+TEST(Codec, RejectsStatResponseWithNonCanonicalBool) {
+  response resp;
+  resp.op = opcode::stat;
+  resp.id = 14;
+  resp.status = status_code::ok;
+  resp.stat = sample_stat();
+  auto bytes = encode(resp);
+  // flight_dumped follows version(1) and the eight u64 gauges.
+  const std::size_t dumped_at = 4 + 1 + 8 + 1 + 1 + 8 * 8;
+  ASSERT_EQ(bytes[dumped_at], 1u);  // sample_stat sets it
+  bytes[dumped_at] = 2;
+  response back;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_resp(bytes, back, consumed), decode_status::bad_frame);
+}
+
+TEST(Codec, RejectsStatResponseCountsDisagreeingWithBody) {
+  response resp;
+  resp.op = opcode::stat;
+  resp.id = 15;
+  resp.status = status_code::ok;
+  resp.stat = sample_stat();
+  response back;
+  std::size_t consumed = 0;
+
+  // n_counters claims more entries than the body carries (261 > the
+  // max_stat_counters cap of 256, so the count check fires first).
+  auto bytes = encode(resp);
+  const std::size_t counters_at = 4 + 1 + 8 + 1 + 1 + 8 * 8 + 1;
+  ASSERT_EQ(bytes[counters_at], resp.stat.counters.size());
+  bytes[counters_at + 1] = 0x01;  // little-endian u32: +256
+  EXPECT_EQ(decode_resp(bytes, back, consumed), decode_status::bad_frame);
+
+  // Shard arrays are a count followed by two same-length u64 runs;
+  // chop one trailing element so remaining() != n_shards * 16.
+  auto chopped = encode(resp);
+  ASSERT_GE(chopped[0], 8u);  // body_len low byte survives the subtract
+  chopped.resize(chopped.size() - 8);
+  chopped[0] -= 8;
+  EXPECT_EQ(decode_resp(chopped, back, consumed), decode_status::bad_frame);
+}
+
 // --- structure-aware fuzzing ----------------------------------------
 
 request random_request(pcg32& rng) {
   request req;
-  req.op = static_cast<opcode>(1 + rng.bounded(6));
+  req.op = static_cast<opcode>(1 + rng.bounded(7));
   req.id = rng.next64();
   req.key = static_cast<std::int64_t>(rng.next64());
   if (req.op == opcode::batch) {
@@ -345,12 +478,13 @@ request random_request(pcg32& rng) {
     req.hi = static_cast<std::int64_t>(rng.next64());
     req.max_items = rng.bounded(max_scan_items + 1);
   }
+  if (req.op == opcode::stat) req.stat_flags = rng.bounded(2);
   return req;
 }
 
 response random_response(pcg32& rng) {
   response resp;
-  resp.op = static_cast<opcode>(1 + rng.bounded(6));
+  resp.op = static_cast<opcode>(1 + rng.bounded(7));
   resp.id = rng.next64();
   resp.status = static_cast<status_code>(rng.bounded(4));
   resp.result = rng.bounded(2) != 0;
@@ -360,6 +494,26 @@ response random_response(pcg32& rng) {
   resp.resume_key = static_cast<std::int64_t>(rng.next64());
   resp.keys.resize(rng.bounded(33));
   for (auto& k : resp.keys) k = static_cast<std::int64_t>(rng.next64());
+  if (resp.op == opcode::stat) {
+    resp.stat.now_ns = rng.next64();
+    resp.stat.window_ns = rng.next64();
+    resp.stat.windows_published = rng.next64();
+    resp.stat.window_ops = rng.next64();
+    resp.stat.lat_p50_ns = rng.next64();
+    resp.stat.lat_p99_ns = rng.next64();
+    resp.stat.seek_p50 = rng.next64();
+    resp.stat.seek_p99 = rng.next64();
+    resp.stat.flight_dumped = rng.bounded(2) != 0;
+    resp.stat.counters.resize(rng.bounded(17));
+    for (auto& c : resp.stat.counters) c = rng.next64();
+    // The wire writes one shard count followed by both arrays: they must
+    // be the same length for the frame to be well-formed.
+    const std::uint32_t shards = rng.bounded(9);
+    resp.stat.shard_ops.resize(shards);
+    resp.stat.shard_window_ops.resize(shards);
+    for (auto& s : resp.stat.shard_ops) s = rng.next64();
+    for (auto& s : resp.stat.shard_window_ops) s = rng.next64();
+  }
   return resp;
 }
 
