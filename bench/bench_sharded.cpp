@@ -14,6 +14,14 @@
 //   scan    : cross-shard ordered scans racing writers, self-checking
 //             (sorted + stable-key completeness columns the perf gate
 //             enforces).
+//   rebalance : static router vs the adaptive rebalancer under uniform,
+//             hotspot and Zipf key streams — throughput plus the
+//             max-shard-share imbalance gauge sampled at the start and
+//             end of the run (check_rebalance gates: adaptive must beat
+//             static on skew and drive the share toward 1/shards).
+//   numa    : shard-slot placement policy none vs interleave at the top
+//             grid cell (informational on single-node machines; the
+//             cross-socket sweep when the runner has multiple nodes).
 //
 // Defaults are laptop-sized; scale with flags:
 //   bench_sharded --millis 2000 --threads 1,2,4,8 --shards 1,2,4,8,16
@@ -27,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include <optional>
+
 #include "common/barrier.hpp"
 #include "common/rng.hpp"
 #include "harness/algorithms.hpp"
@@ -35,7 +45,11 @@
 #include "harness/statistics.hpp"
 #include "harness/table.hpp"
 #include "harness/workload.hpp"
+#include "harness/zipf.hpp"
 #include "obs/export.hpp"
+#include "obs/heatmap.hpp"
+#include "shard/numa.hpp"
+#include "shard/rebalancer.hpp"
 
 namespace {
 
@@ -96,6 +110,99 @@ double run_batch_soup(Set& set, std::int64_t key_range, unsigned threads,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return static_cast<double>(elements.load()) / secs / 1e6;
+}
+
+// One rebalance-study run: a 50/25/25 soup whose key stream is
+// `workload` (uniform | hotspot90 | zipf), with the max-shard-share
+// imbalance gauge sampled over the first and last quarter of the run.
+// The rebalancer (when any) is already armed and started by the caller.
+struct rebalance_result {
+  double mops = 0.0;
+  double share_start = 0.0;
+  double share_end = 0.0;
+};
+
+template <typename Set>
+rebalance_result run_rebalance_case(Set& set, std::int64_t key_range,
+                                    const std::string& workload,
+                                    unsigned threads,
+                                    std::chrono::milliseconds duration,
+                                    std::uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  spin_barrier barrier(threads + 1);
+  const auto hot_range =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(key_range / 8, 1));
+  std::vector<std::thread> workers;
+  for (unsigned tid = 0; tid < threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(seed, tid);
+      const zipf_generator zipf(static_cast<std::uint64_t>(key_range), 0.99);
+      std::uint64_t local = 0;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        long k;
+        if (workload == "zipf") {
+          // Unscrambled ranks: the hot keys cluster at the low end of
+          // the domain, melting the first shard — the adversarial case.
+          k = static_cast<long>(zipf(rng));
+        } else if (workload == "hotspot90" && rng.bounded(10) < 9) {
+          k = static_cast<long>(rng.bounded(hot_range));
+        } else {
+          k = static_cast<long>(rng.next64() %
+                                static_cast<std::uint64_t>(key_range));
+        }
+        const auto roll = rng.bounded(4);
+        if (roll < 2) {
+          (void)set.contains(k);
+        } else if (roll == 2) {
+          (void)set.insert(k);
+        } else {
+          (void)set.erase(k);
+        }
+        ++local;
+      }
+      total_ops.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  auto snapshot = [&] {
+    std::vector<std::uint64_t> v(set.shard_count());
+    for (std::size_t i = 0; i < set.shard_count(); ++i) {
+      v[i] = set.shard_counters(i).point_ops();
+    }
+    return v;
+  };
+  auto max_share = [](const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b) {
+    std::uint64_t total = 0;
+    std::uint64_t mx = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::uint64_t d = b[i] - a[i];
+      total += d;
+      mx = std::max(mx, d);
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(mx) / static_cast<double>(total);
+  };
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  const auto w0 = snapshot();
+  std::this_thread::sleep_for(duration / 4);
+  const auto w1 = snapshot();
+  std::this_thread::sleep_for(duration / 2);
+  const auto w2 = snapshot();
+  std::this_thread::sleep_for(duration / 4);
+  const auto w3 = snapshot();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  rebalance_result r;
+  r.mops = static_cast<double>(total_ops.load()) / secs / 1e6;
+  r.share_start = max_share(w0, w1);
+  r.share_end = max_share(w2, w3);
+  return r;
 }
 
 }  // namespace
@@ -290,6 +397,110 @@ int main(int argc, char** argv) {
            std::to_string(merged.values[i])});
     }
   }
+  // --- rebalance study -------------------------------------------------
+  // Static router vs the adaptive rebalancer under uniform, hotspot and
+  // Zipf key streams. Besides throughput, each row samples the
+  // max-shard-share imbalance gauge over the first and last quarter of
+  // the run: adaptive rows must drive it toward 1/shards on skewed
+  // streams (check_rebalance gates this together with the throughput
+  // win over the matching static row).
+  text_table rebalance_tbl({"study", "mode", "workload", "shards", "threads",
+                            "mops_per_sec", "migrations", "keys_migrated",
+                            "share_start", "share_end"});
+  {
+    using rb_tree =
+        nm_tree<long, std::less<long>, reclaim::epoch, obs::recording>;
+    using rb_set = shard::sharded_set<rb_tree>;
+    const std::size_t rb_shards =
+        static_cast<std::size_t>(shard_counts.back());
+    const unsigned rb_threads = static_cast<unsigned>(threads.back());
+    if (!csv_only) {
+      std::printf("\n=== Adaptive rebalancing (shards=%zu, threads=%u) ===\n",
+                  rb_shards, rb_threads);
+    }
+    for (const char* workload : {"uniform", "hotspot90", "zipf"}) {
+      for (const bool adaptive : {false, true}) {
+        rb_set set(rb_set::router_type(rb_shards, 0,
+                                       static_cast<long>(key_range)));
+        obs::key_heatmap heatmap(0, key_range);
+        set.for_each_shard_stats(
+            [&](obs::recording& stats) { stats.attach_heatmap(&heatmap); });
+        prepopulate_half(set, static_cast<std::uint64_t>(key_range), seed);
+        heatmap.reset();  // the prepopulate fill is not workload signal
+        std::optional<shard::rebalancer<rb_set>> rebalancer;
+        if (adaptive) {
+          shard::rebalancer_options ropts;
+          ropts.interval_ms = std::max<std::uint64_t>(
+              5, static_cast<std::uint64_t>(millis) / 20);
+          ropts.min_window_ops = 512;
+          ropts.heatmap = &heatmap;
+          rebalancer.emplace(set, ropts);
+          rebalancer->start();
+        }
+        const rebalance_result r = run_rebalance_case(
+            set, key_range, workload, rb_threads, duration, seed);
+        if (rebalancer) rebalancer->stop();
+        rebalance_tbl.add_row(
+            {"rebalance", adaptive ? "adaptive" : "static", workload,
+             std::to_string(rb_shards), std::to_string(rb_threads),
+             format("%.4f", r.mops), std::to_string(set.migration_count()),
+             std::to_string(set.keys_migrated()),
+             format("%.4f", r.share_start), format("%.4f", r.share_end)});
+        if (!csv_only) {
+          std::printf("  %-9s %-9s  %8.3f Mops/s  migrations=%llu "
+                      "keys=%llu  share %.3f -> %.3f\n",
+                      workload, adaptive ? "adaptive" : "static", r.mops,
+                      static_cast<unsigned long long>(set.migration_count()),
+                      static_cast<unsigned long long>(set.keys_migrated()),
+                      r.share_start, r.share_end);
+        }
+      }
+    }
+  }
+
+  // --- numa study ------------------------------------------------------
+  // Shard-slot placement policy at the top grid cell. On a single-node
+  // machine both rows run the same code path (placement degrades to a
+  // no-op), so the rows are informational there; on a multi-socket
+  // runner the nodes column reports the detected topology.
+  text_table numa_tbl(
+      {"study", "mode", "nodes", "shards", "threads", "mops_per_sec"});
+  {
+    const std::size_t nn = shard::numa::topology::cached().node_count();
+    const std::int64_t na_shards = shard_counts.back();
+    const std::int64_t na_threads = threads.back();
+    cfg.threads = static_cast<unsigned>(na_threads);
+    if (!csv_only) {
+      std::printf("\n=== NUMA placement (nodes=%zu, shards=%lld, "
+                  "threads=%lld) ===\n",
+                  nn, static_cast<long long>(na_shards),
+                  static_cast<long long>(na_threads));
+    }
+    for (const bool interleave : {false, true}) {
+      using na_set = shard::sharded_set<nm_tree<long>>;
+      shard::numa::policy placement;
+      placement.mode = interleave ? shard::numa::placement::interleave
+                                  : shard::numa::placement::none;
+      const run_stats stats = aggregate_runs(
+          [&] {
+            na_set set(na_set::router_type(
+                           static_cast<std::size_t>(na_shards), 0,
+                           static_cast<long>(key_range)),
+                       placement);
+            return run_workload(set, cfg).mops_per_second();
+          },
+          runs);
+      numa_tbl.add_row({"numa", interleave ? "interleave" : "none",
+                        std::to_string(nn), std::to_string(na_shards),
+                        std::to_string(na_threads),
+                        format("%.4f", stats.mean)});
+      if (!csv_only) {
+        std::printf("  placement=%-10s  %8.3f Mops/s\n",
+                    interleave ? "interleave" : "none", stats.mean);
+      }
+    }
+  }
+
   if (!csv_only) {
     std::printf("\n=== Merged per-shard counters (recording run) ===\n");
     metrics_tbl.print();
@@ -306,6 +517,12 @@ int main(int argc, char** argv) {
     report.config.set("seed", seed);
     report.config.set("key_range", key_range);
     report.config.set("extended", extended);
+    // The rebalance gate reads this: on a single-core runner the
+    // balanced configuration cannot out-run the static one (threads
+    // timeslice one core), so only the balance-outcome columns gate.
+    report.config.set(
+        "hardware_threads",
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
     report.results = obs::rows_from_table(sweep.header(), sweep.rows());
     const obs::json::value batch_rows =
         obs::rows_from_table(batch_tbl.header(), batch_tbl.rows());
@@ -316,6 +533,12 @@ int main(int argc, char** argv) {
     const obs::json::value scan_rows =
         obs::rows_from_table(scan_tbl.header(), scan_tbl.rows());
     for (const auto& row : scan_rows.items()) report.add_result(row);
+    const obs::json::value rebalance_rows =
+        obs::rows_from_table(rebalance_tbl.header(), rebalance_tbl.rows());
+    for (const auto& row : rebalance_rows.items()) report.add_result(row);
+    const obs::json::value numa_rows =
+        obs::rows_from_table(numa_tbl.header(), numa_tbl.rows());
+    for (const auto& row : numa_rows.items()) report.add_result(row);
     if (!report.write_file(path)) return 1;
     if (!csv_only) std::printf("\nJSON report: %s\n", path.c_str());
   }

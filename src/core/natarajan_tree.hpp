@@ -130,6 +130,7 @@ class nm_tree {
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
   using restart_policy = Restart;
+  using atomics_policy = Atomics;
 
   static constexpr const char* algorithm_name = "NM-BST";
 

@@ -140,6 +140,13 @@ class recorder {
     return result;
   }
 
+  /// The instance under test — for scripts that drive non-history
+  /// control-plane calls (e.g. sharded_set::migrate_splitter) racing
+  /// the recorded operations. Control-plane calls still hit schedule
+  /// points through the tree's atomics policy; they just don't append
+  /// history entries, because they must not change membership at all.
+  [[nodiscard]] Tree& tree() noexcept { return tree_; }
+
  private:
   bool record(lincheck::op_kind kind, int key) {
     LFBST_ASSERT(key >= 0 && key < 64, "dsched scenario keys live in [0,64)");

@@ -282,6 +282,9 @@ class sampler {
       if (i < telemetry_max_shards) shard_total[i] = snap.point_ops();
       total.merge(snap);
     }
+    if constexpr (requires { set_->add_layer_counters(total); }) {
+      set_->add_layer_counters(total);  // migrations etc. (shard layer)
+    }
 
     for (std::size_t c = 0; c < counter_count; ++c) {
       const std::string name =
@@ -401,6 +404,9 @@ class sampler {
       if (i < telemetry_max_shards) prev_shard_ops_[i] = snap.point_ops();
       prev_total_.merge(snap);
     }
+    if constexpr (requires { set_->add_layer_counters(prev_total_); }) {
+      set_->add_layer_counters(prev_total_);
+    }
     prev_lat_ = merged_latency();
     prev_seek_ = set_->merged_seek_depth_histogram();
     (void)shards;
@@ -421,6 +427,9 @@ class sampler {
       const metrics_snapshot snap = set_->shard_counters(i);
       if (i < telemetry_max_shards) shard_now[i] = snap.point_ops();
       total.merge(snap);
+    }
+    if constexpr (requires { set_->add_layer_counters(total); }) {
+      set_->add_layer_counters(total);  // window deltas include layer ops
     }
     const histogram lat = merged_latency();
     const histogram seek = set_->merged_seek_depth_histogram();

@@ -25,6 +25,10 @@
 // ephemeral, printed), --telemetry-ms sampling interval, --flight-file
 // dump path, --flight-ms dump window, --heatmap-lo/--heatmap-hi the
 // heatmap's key interval.
+// Rebalancing flags (docs/SHARDING.md): --rebalance arms the adaptive
+// rebalancer (heatmap-guided online subrange migrations),
+// --rebalance-ms its decision interval, --rebalance-threshold the
+// imbalance trigger ratio, --numa=1 NUMA-interleaved shard placement.
 #include <signal.h>  // NOLINT: sigaction needs the POSIX header
 
 #include <atomic>
@@ -32,6 +36,7 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "core/natarajan_tree.hpp"
@@ -43,6 +48,8 @@
 #include "obs/trace.hpp"
 #include "server/server.hpp"
 #include "server/stat_endpoint.hpp"
+#include "shard/numa.hpp"
+#include "shard/rebalancer.hpp"
 #include "shard/sharded_set.hpp"
 
 namespace {
@@ -76,9 +83,16 @@ int main(int argc, char** argv) {
   cfg.drain_deadline_ms =
       static_cast<std::uint64_t>(flags.get_int("drain-ms", 5000));
 
-  set_type set(static_cast<std::size_t>(flags.get_int("shards", 8)),
-               std::numeric_limits<std::int64_t>::min(),
-               std::numeric_limits<std::int64_t>::max());
+  lfbst::shard::numa::policy placement;
+  if (flags.get_int("numa", 0) != 0) {
+    placement.mode = lfbst::shard::numa::placement::interleave;
+  }
+  set_type set(
+      set_type::router_type(
+          static_cast<std::size_t>(flags.get_int("shards", 8)),
+          std::numeric_limits<std::int64_t>::min(),
+          std::numeric_limits<std::int64_t>::max()),
+      placement);
 
   // Telemetry plane: one shared heatmap + flight-recorder trace ring
   // attached to every shard's recording stats, a background sampler
@@ -133,8 +147,24 @@ int main(int argc, char** argv) {
       total.merge(snap);
     }
     out.shard_window_ops.resize(out.shard_ops.size(), 0);
+    set.add_layer_counters(total);  // migrations & co. ride the wire too
     out.counters.assign(total.values.begin(), total.values.end());
   });
+  // The adaptive rebalancer (constructed before the event threads
+  // exist: arming the migration-aware op paths must happen-before any
+  // operation). It feeds on the same heatmap the telemetry plane
+  // samples, so hot-key mass picks the split points.
+  std::optional<lfbst::shard::rebalancer<set_type>> rebalancer;
+  if (flags.get_int("rebalance", 0) != 0) {
+    lfbst::shard::rebalancer_options ropts;
+    ropts.interval_ms =
+        static_cast<std::uint64_t>(flags.get_int("rebalance-ms", 100));
+    ropts.trigger_ratio = static_cast<double>(flags.get_int(
+                              "rebalance-threshold-pct", 150)) /
+                          100.0;
+    ropts.heatmap = &heatmap;
+    rebalancer.emplace(set, ropts);
+  }
   if (!server.start()) {
     std::fprintf(stderr, "lfbst_serve: cannot listen on %s:%u\n",
                  cfg.host.c_str(), static_cast<unsigned>(cfg.port));
@@ -145,6 +175,11 @@ int main(int argc, char** argv) {
               cfg.event_threads);
 
   sampler.start();
+  if (rebalancer) {
+    rebalancer->start();
+    std::printf("lfbst_serve: adaptive rebalancer on (interval %lld ms)\n",
+                static_cast<long long>(flags.get_int("rebalance-ms", 100)));
+  }
   g_sampler.store(&sampler, std::memory_order_release);
   {
     struct sigaction sa;
@@ -186,6 +221,7 @@ int main(int argc, char** argv) {
   server.join();
 
   exposition.stop();
+  if (rebalancer) rebalancer->stop();
   g_sampler.store(nullptr, std::memory_order_release);
   sampler.stop();
   lfbst::obs::set_global_trace_sink(nullptr);
@@ -196,7 +232,7 @@ int main(int argc, char** argv) {
       "lfbst_serve: conns=%llu/%llu frames=%llu responses=%llu "
       "bytes=%llu/%llu proto_errors=%llu nack_drain=%llu "
       "coalesced=%llu/%llu backpressure=%llu stat=%llu "
-      "windows=%llu flight_dumps=%llu\n",
+      "windows=%llu flight_dumps=%llu migrations=%llu/%llu\n",
       static_cast<unsigned long long>(st.connections_accepted.load()),
       static_cast<unsigned long long>(st.connections_closed.load()),
       static_cast<unsigned long long>(st.frames_in.load()),
@@ -210,7 +246,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.backpressure_pauses.load()),
       static_cast<unsigned long long>(st.stat_requests.load()),
       static_cast<unsigned long long>(sampler.windows_published()),
-      static_cast<unsigned long long>(sampler.flight_dumps()));
+      static_cast<unsigned long long>(sampler.flight_dumps()),
+      static_cast<unsigned long long>(set.migration_count()),
+      static_cast<unsigned long long>(set.keys_migrated()));
 
   if (flags.has("json")) {
     lfbst::obs::bench_report report("lfbst_serve");

@@ -1,0 +1,185 @@
+// lfbst shard: NUMA-aware placement for the sharded front-end.
+//
+// A sharded_set's whole point is that each shard's tree, reclaimer and
+// node pools are touched mostly by the threads working that key range.
+// On a multi-socket machine that locality is wasted if a shard's slot
+// header lands on one node while its worker threads run on another:
+// every root seek then crosses the interconnect. This header supplies
+// the three primitives the shard layer needs to keep a shard's memory
+// and threads on one node, behind a small runtime `policy` knob:
+//
+//   * topology       — NUMA nodes and their CPUs, read once from
+//                      /sys/devices/system/node (no libnuma dependency;
+//                      raw syscalls only, so the toolchain needs nothing
+//                      beyond the kernel headers).
+//   * alloc_for_node — page-aligned allocation whose pages are bound to
+//                      a node with an mbind(MPOL_PREFERRED) syscall, so
+//                      first touch lands where the shard lives no matter
+//                      which thread constructs it.
+//   * pin_current_thread_to_node — sched_setaffinity over the node's
+//                      CPU list, for rebalance workers and bench/load
+//                      threads that want to sit next to their shards.
+//
+// Everything degrades to a no-op when the machine has one node (or the
+// platform is not Linux): policy::active() turns false, allocations fall
+// back to the ordinary heap and pinning returns false. Callers never
+// need their own #ifdefs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace lfbst::shard::numa {
+
+/// Placement modes for sharded_set's slots and helper threads.
+enum class placement : unsigned char {
+  none,        // ordinary heap, no binding, no pinning
+  interleave,  // contiguous blocks of shards per node, round the nodes
+};
+
+/// The machine's NUMA shape: one CPU list per node, detected once.
+struct topology {
+  std::vector<std::vector<int>> node_cpus;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return node_cpus.empty() ? 1 : node_cpus.size();
+  }
+
+  /// Reads /sys/devices/system/node/node<i>/cpulist until the files run
+  /// out. A machine without the sysfs tree (or a non-Linux platform)
+  /// reports a single node with an unknown CPU list.
+  static topology detect() {
+    topology t;
+#if defined(__linux__)
+    for (unsigned node = 0; node < 1024; ++node) {
+      char path[64];
+      std::snprintf(path, sizeof(path),
+                    "/sys/devices/system/node/node%u/cpulist", node);
+      std::FILE* f = std::fopen(path, "re");
+      if (f == nullptr) break;
+      char line[4096];
+      std::vector<int> cpus;
+      if (std::fgets(line, sizeof(line), f) != nullptr) {
+        cpus = parse_cpulist(line);
+      }
+      std::fclose(f);
+      t.node_cpus.push_back(std::move(cpus));
+    }
+#endif
+    return t;
+  }
+
+  /// Process-wide cached topology (detection reads sysfs once).
+  static const topology& cached() {
+    static const topology t = detect();
+    return t;
+  }
+
+ private:
+  /// "0-3,8,10-11" -> {0,1,2,3,8,10,11}.
+  static std::vector<int> parse_cpulist(const char* s) {
+    std::vector<int> cpus;
+    const char* p = s;
+    while (*p != '\0' && *p != '\n') {
+      char* end = nullptr;
+      const long a = std::strtol(p, &end, 10);
+      if (end == p) break;
+      long b = a;
+      p = end;
+      if (*p == '-') {
+        ++p;
+        b = std::strtol(p, &end, 10);
+        if (end == p) break;
+        p = end;
+      }
+      for (long c = a; c <= b; ++c) cpus.push_back(static_cast<int>(c));
+      if (*p == ',') ++p;
+    }
+    return cpus;
+  }
+};
+
+/// Runtime placement policy handed to sharded_set (and the rebalancer /
+/// bench workers). Inert by default and on single-node machines.
+struct policy {
+  placement mode = placement::none;
+
+  [[nodiscard]] bool active() const noexcept {
+    return mode != placement::none && topology::cached().node_count() > 1;
+  }
+
+  /// Node owning shard i of shard_count: contiguous blocks of shards
+  /// per node, so neighboring shards (and thus migrations, which only
+  /// ever move a boundary subrange to an adjacent shard) mostly stay
+  /// on one node. -1 = unplaced.
+  [[nodiscard]] int node_for_shard(std::size_t shard,
+                                   std::size_t shard_count) const noexcept {
+    if (!active() || shard_count == 0) return -1;
+    const std::size_t nodes = topology::cached().node_count();
+    return static_cast<int>(shard * nodes / shard_count);
+  }
+};
+
+/// Page-aligned allocation of at least `bytes`, with its pages bound to
+/// `node` via mbind(MPOL_PREFERRED) before first touch. Returns nullptr
+/// when binding is unavailable — callers fall back to the plain heap.
+/// Release with free_for_node.
+inline void* alloc_for_node(std::size_t bytes, int node) {
+#if defined(__linux__)
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0 || node < 0 || node >= 64) return nullptr;
+  const std::size_t psize = static_cast<std::size_t>(page);
+  const std::size_t rounded = (bytes + psize - 1) / psize * psize;
+  void* p = std::aligned_alloc(psize, rounded);
+  if (p == nullptr) return nullptr;
+  // MPOL_PREFERRED (=1): allocate on `node` at first touch, fall back
+  // to other nodes under memory pressure instead of failing.
+  constexpr int mpol_preferred = 1;
+  unsigned long nodemask = 1ul << node;  // NOLINT: kernel ABI type
+  (void)::syscall(SYS_mbind, p, rounded, mpol_preferred, &nodemask,
+                  sizeof(nodemask) * 8, 0);
+  // A failed mbind (old kernel, cpuset restrictions) still leaves a
+  // valid first-touch allocation; keep it rather than failing over.
+  return p;
+#else
+  (void)bytes;
+  (void)node;
+  return nullptr;
+#endif
+}
+
+inline void free_for_node(void* p) noexcept { std::free(p); }
+
+/// Pins the calling thread to `node`'s CPUs. False when the node is
+/// unknown, has no detected CPUs, or the platform cannot pin.
+inline bool pin_current_thread_to_node(int node) noexcept {
+#if defined(__linux__)
+  const topology& t = topology::cached();
+  if (node < 0 || static_cast<std::size_t>(node) >= t.node_cpus.size()) {
+    return false;
+  }
+  const std::vector<int>& cpus = t.node_cpus[static_cast<std::size_t>(node)];
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return ::sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace lfbst::shard::numa

@@ -10,15 +10,17 @@
 // own reclaimer domain, its own node pools, its own obs metrics
 // registry — so contention divides by S while every single-key
 // operation stays exactly as linearizable as the underlying tree: a
-// key maps to one shard for the sharded set's whole lifetime, and the
-// shard *is* the linearization authority for that key.
+// key maps to one logical shard at every linearization point, and that
+// shard *is* the linearization authority for the key.
 //
 // Composition: the inner tree is a template parameter, so the front-end
 // wraps NM-BST, EFRB, HJ (or any ConcurrentSet with an integral
 // key_type) with whatever Reclaimer/Stats/Tagging/Atomics policies the
 // tree was built with — including dsched::sched_atomics, which lets the
 // deterministic scheduler explore interleavings *through* the shard
-// layer (tests/shard/sharded_dsched_test.cpp).
+// layer (tests/shard/sharded_dsched_test.cpp). The shard layer's own
+// atomics reuse the tree's policy (tree_atomics below), so migrations
+// are schedulable too.
 //
 // Batched operations (insert_batch / erase_batch / contains_batch)
 // take a vector of keys, group them by shard with one stable counting
@@ -42,27 +44,57 @@
 // fall back to their quiescent for_each_slow, restoring the old
 // visited-shards-must-be-quiescent precondition for them only.
 //
+// Online subrange migration (docs/SHARDING.md has the full protocol):
+// once arm_rebalancing() is called, migrate_splitter(boundary, key)
+// moves one router boundary while readers and writers keep running.
+// The partition is versioned — ops load an immutable router snapshot
+// through one atomic pointer — and a seqlock-published migration
+// record opens a brief dual-routing window for the moving subrange:
+// covered writers take a striped per-key lock and consult both the
+// donor and the recipient tree, covered reads stay lock-free by
+// reading donor-then-recipient in the order that matches the drain's
+// insert-before-erase move. Two generation-parity quiescence waits
+// (an asymmetric op gate: striped counters on the op side, one
+// generation flip + drain wait on the migration side) fence the window
+// so that every operation either sees a stable partition or sees the
+// record; no operation ever blocks on the gate itself. The drain moves
+// keys with the concurrent bounded range_scan, one striped lock per
+// key, so a key is in exactly one logical shard at every linearization
+// point throughout.
+//
 // Metrics: when the inner tree records per-instance metrics
 // (obs::recording), merged_counters() / merged_latency_histogram() /
 // merged_seek_depth_histogram() fold the S registries with the obs
 // merge algebra (counter-wise and bucket-wise addition), so the sharded
 // instance reports one attribution exactly like a single tree does.
+// The shard layer's own counters (migrations, keys_migrated,
+// dual_route_window_ns) fold in through add_layer_counters().
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/atomics_policy.hpp"
 #include "common/cacheline.hpp"
+#include "common/thread_id.hpp"
 #include "core/concurrent_set.hpp"
 #include "core/stats.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "shard/numa.hpp"
 #include "shard/router.hpp"
 
 namespace lfbst::shard {
@@ -73,15 +105,57 @@ template <typename Tree>
 concept recording_stats_tree =
     std::is_same_v<typename Tree::stats_policy, obs::recording>;
 
-template <typename Tree, typename Router = range_router<typename Tree::key_type>>
+/// Trees with a concurrent bounded ordered scan — the drain primitive
+/// online migration is built from.
+template <typename Tree>
+concept migratable_tree = requires(const Tree& t, typename Tree::key_type k) {
+  {
+    t.range_scan(k, k, std::size_t{1})
+  } -> std::convertible_to<std::vector<typename Tree::key_type>>;
+};
+
+namespace detail {
+
+/// The inner tree's atomics policy when it exports one (so the shard
+/// layer's spin loops become dsched schedule points under
+/// sched_atomics compositions); atomics::native otherwise.
+template <typename Tree>
+struct tree_atomics {
+  using type = atomics::native;
+};
+
+template <typename Tree>
+  requires requires { typename Tree::atomics_policy; }
+struct tree_atomics<Tree> {
+  using type = typename Tree::atomics_policy;
+};
+
+}  // namespace detail
+
+template <typename Tree,
+          typename Router = range_router<typename Tree::key_type>>
 class sharded_set {
  public:
   using key_type = typename Tree::key_type;
   using tree_type = Tree;
   using router_type = Router;
+  using atomics_policy = typename detail::tree_atomics<Tree>::type;
 
   static constexpr const char* algorithm_name = "Sharded";
   static constexpr std::size_t default_shard_count = 8;
+
+  /// A live migration's shape: the subrange [lo, hi) currently being
+  /// moved from shard `src` into adjacent shard `dst`.
+  struct migration {
+    key_type lo{};
+    key_type hi{};
+    std::size_t src = 0;
+    std::size_t dst = 0;
+
+    [[nodiscard]] bool covers(const key_type& k) const noexcept {
+      return !(k < lo) && k < hi;
+    }
+  };
 
   /// Default: 8 shards split evenly over the key type's whole domain.
   sharded_set() : sharded_set(Router(default_shard_count)) {}
@@ -90,11 +164,15 @@ class sharded_set {
   sharded_set(std::size_t shard_count, key_type lo, key_type hi)
       : sharded_set(Router(shard_count, lo, hi)) {}
 
-  explicit sharded_set(Router router) : router_(std::move(router)) {
-    shards_.reserve(router_.shard_count());
-    for (std::size_t i = 0; i < router_.shard_count(); ++i) {
-      shards_.push_back(std::make_unique<slot>());
+  explicit sharded_set(Router router, numa::policy placement = {})
+      : numa_(placement) {
+    const std::size_t count = router.shard_count();
+    shards_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      shards_.push_back(make_slot(numa_.node_for_shard(i, count)));
     }
+    routers_.push_back(std::make_unique<Router>(std::move(router)));
+    router_.store(routers_.back().get(), std::memory_order_seq_cst);
   }
 
   sharded_set(const sharded_set&) = delete;
@@ -103,40 +181,70 @@ class sharded_set {
   // --- single-key operations: route once, delegate ------------------
 
   [[nodiscard]] bool contains(const key_type& key) const {
-    return shards_[router_.shard_of(key)]->tree.contains(key);
+    if (!armed()) {
+      return shards_[current_router().shard_of(key)]->tree.contains(key);
+    }
+    op_gate_guard gate(*this);
+    migration rec;
+    const bool dual = read_migration(rec);
+    return contains_routed(dual ? &rec : nullptr,
+                           current_router().shard_of(key), key);
   }
 
   bool insert(const key_type& key) {
-    return shards_[router_.shard_of(key)]->tree.insert(key);
+    if (!armed()) {
+      return shards_[current_router().shard_of(key)]->tree.insert(key);
+    }
+    op_gate_guard gate(*this);
+    migration rec;
+    const bool dual = read_migration(rec);
+    return insert_routed(dual ? &rec : nullptr,
+                         current_router().shard_of(key), key);
   }
 
   bool erase(const key_type& key) {
-    return shards_[router_.shard_of(key)]->tree.erase(key);
+    if (!armed()) {
+      return shards_[current_router().shard_of(key)]->tree.erase(key);
+    }
+    op_gate_guard gate(*this);
+    migration rec;
+    const bool dual = read_migration(rec);
+    return erase_routed(dual ? &rec : nullptr,
+                        current_router().shard_of(key), key);
   }
 
   // --- batched operations -------------------------------------------
-  // One stable counting sort groups the keys by shard; each group runs
-  // back-to-back so router and per-shard cache traffic amortize over
-  // the group. results[i] is what op(keys[i]) would have returned;
-  // same-shard elements apply in input order.
+  // One stable counting sort groups the keys by shard id; each group
+  // runs back-to-back so router and per-shard cache traffic amortize
+  // over the group. results[i] is what op(keys[i]) would have returned;
+  // same-shard elements apply in input order. The whole batch runs
+  // under one gate entry and one migration-record snapshot: the gate
+  // blocks a migration's quiescence waits while the batch is inside,
+  // so the snapshot stays valid for every element.
 
   [[nodiscard]] std::vector<bool> contains_batch(
       const std::vector<key_type>& keys) const {
-    return batch_apply(*this, keys, [](const Tree& t, const key_type& k) {
-      return t.contains(k);
-    });
+    return batch_apply(*this, keys,
+                       [](const sharded_set& self, const migration* rec,
+                          std::size_t s, const key_type& k) {
+                         return self.contains_routed(rec, s, k);
+                       });
   }
 
   std::vector<bool> insert_batch(const std::vector<key_type>& keys) {
-    return batch_apply(*this, keys, [](Tree& t, const key_type& k) {
-      return t.insert(k);
-    });
+    return batch_apply(*this, keys,
+                       [](sharded_set& self, const migration* rec,
+                          std::size_t s, const key_type& k) {
+                         return self.insert_routed(rec, s, k);
+                       });
   }
 
   std::vector<bool> erase_batch(const std::vector<key_type>& keys) {
-    return batch_apply(*this, keys, [](Tree& t, const key_type& k) {
-      return t.erase(k);
-    });
+    return batch_apply(*this, keys,
+                       [](sharded_set& self, const migration* rec,
+                          std::size_t s, const key_type& k) {
+                         return self.erase_routed(rec, s, k);
+                       });
   }
 
   // --- cross-shard ordered scan --------------------------------------
@@ -146,7 +254,10 @@ class sharded_set {
   /// (== key order). Runs concurrently with writers when the inner
   /// tree has a concurrent scan; each key behaves like an individual
   /// contains() linearized inside the call, so every key present for
-  /// the whole call appears and every key absent throughout does not.
+  /// the whole call appears and every key absent throughout does not —
+  /// including across a concurrent subrange migration (scan_impl
+  /// widens the shard window to the migration's donor/recipient and
+  /// deduplicates keys caught mid-move).
   /// Note [lo, hi) cannot name the key domain's maximum value — use
   /// range_scan_closed to reach it.
   [[nodiscard]] std::vector<key_type> range_scan(const key_type& lo,
@@ -154,11 +265,7 @@ class sharded_set {
     std::vector<key_type> out;
     if (!(lo < hi)) return out;
     // lo < hi makes hi - 1 safe: it cannot underflow past lo.
-    const std::size_t first = router_.shard_of(lo);
-    const std::size_t last = router_.shard_of(static_cast<key_type>(hi - 1));
-    for (std::size_t s = first; s <= last; ++s) {
-      scan_shard(shards_[s]->tree, lo, hi, /*closed=*/false, out);
-    }
+    scan_impl(lo, hi, /*closed=*/false, out);
     return out;
   }
 
@@ -170,11 +277,7 @@ class sharded_set {
       const key_type& lo, const key_type& hi) const {
     std::vector<key_type> out;
     if (hi < lo) return out;
-    const std::size_t first = router_.shard_of(lo);
-    const std::size_t last = router_.shard_of(hi);
-    for (std::size_t s = first; s <= last; ++s) {
-      scan_shard(shards_[s]->tree, lo, hi, /*closed=*/true, out);
-    }
+    scan_impl(lo, hi, /*closed=*/true, out);
     return out;
   }
 
@@ -195,7 +298,8 @@ class sharded_set {
   /// [lo, hi), sorted, same conservative-interval contract. One scan of
   /// a huge subrange costs O(max_items) instead of O(range) — the form
   /// the network server pages responses with so a big scan cannot
-  /// head-of-line-block a connection.
+  /// head-of-line-block a connection. During a migration the page costs
+  /// O(max_items) per visited shard before trimming.
   [[nodiscard]] scan_page range_scan_limit(const key_type& lo,
                                            const key_type& hi,
                                            std::size_t max_items) const {
@@ -206,27 +310,186 @@ class sharded_set {
       page.resume_key = lo;
       return page;
     }
-    const std::size_t first = router_.shard_of(lo);
-    const std::size_t last = router_.shard_of(static_cast<key_type>(hi - 1));
-    for (std::size_t s = first; s <= last; ++s) {
-      const std::size_t remaining = max_items - page.keys.size();
-      const std::size_t before = page.keys.size();
-      scan_shard_limit(shards_[s]->tree, lo, hi, remaining, page.keys);
-      if (page.keys.size() - before == remaining) {
+    std::optional<op_gate_guard> gate;
+    migration rec;
+    bool dual = false;
+    if (armed()) {
+      gate.emplace(*this);
+      dual = read_migration(rec) && rec.lo < hi && lo < rec.hi;
+    }
+    const Router& r = current_router();
+    std::size_t first = r.shard_of(lo);
+    std::size_t last = r.shard_of(static_cast<key_type>(hi - 1));
+    if (!dual) {
+      bool filled = false;
+      for (std::size_t s = first; s <= last && !filled; ++s) {
+        const std::size_t remaining = max_items - page.keys.size();
+        const std::size_t before = page.keys.size();
+        scan_shard_limit(shards_[s]->tree, lo, hi, remaining, page.keys);
+        filled = page.keys.size() - before == remaining;
+      }
+      if (gate.has_value()) {
+        // Same late-record repair as scan_impl: a record published
+        // after our entry read cannot have started its drain (its
+        // quiesce blocks on this gate entry), but dual-path inserts of
+        // new covered keys already land in the recipient, so the
+        // stitch can be out of splitter order. Sort before the resume
+        // arithmetic below relies on back() being the maximum.
+        migration late;
+        if (read_migration(late) && late.lo < hi && lo < late.hi) {
+          std::sort(page.keys.begin(), page.keys.end());
+          page.keys.erase(
+              std::unique(page.keys.begin(), page.keys.end()),
+              page.keys.end());
+        }
+      }
+      if (filled && !page.keys.empty()) {
         // Budget filled. The page holds the smallest `max_items` keys
         // seen; whether more remain is unknown without scanning on, so
-        // report truncated and resume just above the last emitted key —
-        // unless that key is hi - 1, where [resume, hi) would be empty
-        // by construction (this also keeps resume_key + 1 from
+        // report truncated and resume just above the last emitted key
+        // — unless that key is hi - 1, where [resume, hi) would be
+        // empty by construction (this also keeps resume_key + 1 from
         // overflowing at the key domain's maximum).
         const key_type last_key = page.keys.back();
-        if (!(last_key < static_cast<key_type>(hi - 1))) return page;
+        if (last_key < static_cast<key_type>(hi - 1)) {
+          page.truncated = true;
+          page.resume_key = static_cast<key_type>(last_key + 1);
+        }
+      }
+      return page;
+    }
+    // Migration in flight and overlapping [lo, hi): give every visited
+    // shard the full budget (a moving key may surface in donor or
+    // recipient), widen to the migration's shards, merge, trim.
+    first = std::min(first, std::min(rec.src, rec.dst));
+    last = std::max(last, std::max(rec.src, rec.dst));
+    for (std::size_t s = first; s <= last; ++s) {
+      scan_shard_limit(shards_[s]->tree, lo, hi, max_items, page.keys);
+    }
+    if (rec.dst < rec.src) {
+      scan_shard_limit(shards_[rec.dst]->tree, lo, hi, max_items, page.keys);
+    }
+    std::sort(page.keys.begin(), page.keys.end());
+    page.keys.erase(std::unique(page.keys.begin(), page.keys.end()),
+                    page.keys.end());
+    if (page.keys.size() >= max_items) {
+      page.keys.resize(max_items);
+      const key_type last_key = page.keys.back();
+      if (last_key < static_cast<key_type>(hi - 1)) {
         page.truncated = true;
         page.resume_key = static_cast<key_type>(last_key + 1);
-        return page;
       }
     }
     return page;
+  }
+
+  // --- online subrange migration -------------------------------------
+
+  /// Enables the migration-aware operation paths. Must happen-before
+  /// any concurrent operation (arm, then spawn the op threads): the
+  /// flag itself is read without synchronization on the hot path, so
+  /// arming under load is not supported. Once armed, every operation
+  /// pays one gate round-trip (two uncontended striped fetch_adds).
+  void arm_rebalancing() noexcept {
+    armed_.store(true, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] bool rebalancing_armed() const noexcept { return armed(); }
+
+  /// Moves router boundary `boundary` (1 <= boundary < shard_count) to
+  /// `new_splitter` while readers and writers keep running, migrating
+  /// the keys of the subrange that changed hands between the two
+  /// adjacent shards. The splitter is quantized to the router's bucket
+  /// grid; a request that quantizes onto an existing boundary (or out
+  /// of the boundary's legal interval) is a no-op. Returns the number
+  /// of keys migrated. Requires arm_rebalancing() beforehand. Safe to
+  /// call from any thread; concurrent migrations serialize.
+  std::size_t migrate_splitter(std::size_t boundary, key_type new_splitter)
+    requires migratable_tree<Tree>
+  {
+    LFBST_ASSERT(armed(), "arm_rebalancing() before migrate_splitter()");
+    std::lock_guard<std::mutex> serialize(migrate_mutex_);
+    const Router& cur = current_router();
+    const std::size_t count = cur.shard_count();
+    LFBST_ASSERT(boundary >= 1 && boundary < count,
+                 "migrate_splitter boundary out of range");
+    const key_type q = cur.quantize_down(new_splitter);
+    const key_type old_splitter = cur.splitter(boundary);
+    if (q == old_splitter) return 0;
+    if (!(cur.splitter(boundary - 1) < q)) return 0;
+    if (boundary + 1 < count && !(q < cur.splitter(boundary + 1))) return 0;
+
+    // The subrange changing hands and its direction. Lowering the
+    // splitter grows shard `boundary` downward (donor is the left
+    // neighbor); raising it shrinks shard `boundary` (donor).
+    migration m;
+    if (q < old_splitter) {
+      m = migration{q, old_splitter, boundary - 1, boundary};
+    } else {
+      m = migration{old_splitter, q, boundary, boundary - 1};
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // 1. Publish the record. 2. Quiesce: every operation still running
+    // after this entered the gate after the record was visible, so it
+    // routes the subrange through the dual path. Only now is it safe to
+    // change where the router sends covered keys.
+    publish_migration(m);
+    quiesce_gate();
+    // 3. Flip the partition. Old router versions stay alive in
+    // routers_ until the post-drain quiesce proves no reader holds one.
+    auto next = std::make_unique<Router>(cur.with_splitter(boundary, q));
+    const Router* next_raw = next.get();
+    routers_.push_back(std::move(next));
+    router_.store(next_raw, std::memory_order_seq_cst);
+    // 4. Drain: move the subrange's keys donor -> recipient, one
+    // striped per-key lock at a time, insert-before-erase so lock-free
+    // readers never miss a moving key.
+    const std::size_t moved = drain(m);
+    // 5. Quiesce again: operations that predate the router flip (and
+    // could still route covered keys to the donor solo) are gone, and
+    // no reader can still hold a retired router version. 6. Close the
+    // dual-routing window and retire old routers.
+    quiesce_gate();
+    clear_migration();
+    if (routers_.size() > 1) {
+      std::unique_ptr<Router> live = std::move(routers_.back());
+      routers_.clear();
+      routers_.push_back(std::move(live));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    keys_migrated_.fetch_add(moved, std::memory_order_relaxed);
+    dual_route_window_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        std::memory_order_relaxed);
+    return moved;
+  }
+
+  /// Shard-layer counters (monotone, racy-read-safe).
+  [[nodiscard]] std::uint64_t migration_count() const noexcept {
+    return migrations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t keys_migrated() const noexcept {
+    return keys_migrated_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dual_route_window_ns() const noexcept {
+    return dual_route_window_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds the shard layer's own counters into `snap` — the hook
+  /// merged_counters, the telemetry sampler and the server's stat
+  /// handler use so migration activity flows through every exposition
+  /// surface (JSON, Prometheus, the stat opcode) like tree counters.
+  void add_layer_counters(obs::metrics_snapshot& snap) const noexcept {
+    snap.values[static_cast<std::size_t>(obs::counter::migrations)] +=
+        migration_count();
+    snap.values[static_cast<std::size_t>(obs::counter::keys_migrated)] +=
+        keys_migrated();
+    snap.values[static_cast<std::size_t>(
+        obs::counter::dual_route_window_ns)] += dual_route_window_ns();
   }
 
   // --- quiescent observers -------------------------------------------
@@ -246,10 +509,12 @@ class sharded_set {
   }
 
   /// Every shard's own structural validator, plus the shard layer's
-  /// placement invariant: each key lives in the shard the router maps
-  /// it to. Empty string when healthy.
+  /// placement invariant: each key lives in the shard the live router
+  /// maps it to. Empty string when healthy. Quiescent (no concurrent
+  /// writers or migrations).
   [[nodiscard]] std::string validate() const {
     std::string err;
+    const Router& r = current_router();
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       const std::string inner = shards_[i]->tree.validate();
       if (!inner.empty()) {
@@ -257,7 +522,7 @@ class sharded_set {
       }
       std::size_t misplaced = 0;
       shards_[i]->tree.for_each_slow([&](const key_type& k) {
-        if (router_.shard_of(k) != i) ++misplaced;
+        if (r.shard_of(k) != i) ++misplaced;
       });
       if (misplaced != 0) {
         err += "shard " + std::to_string(i) + ": " +
@@ -272,19 +537,29 @@ class sharded_set {
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
-  [[nodiscard]] const Router& router() const noexcept { return router_; }
+  /// The live router version. The reference stays valid until the next
+  /// migration completes; ops inside the gate may rely on it, external
+  /// callers should treat it as a point-in-time snapshot.
+  [[nodiscard]] const Router& router() const noexcept {
+    return current_router();
+  }
   [[nodiscard]] Tree& shard(std::size_t i) noexcept {
     return shards_[i]->tree;
   }
   [[nodiscard]] const Tree& shard(std::size_t i) const noexcept {
     return shards_[i]->tree;
   }
+  /// The NUMA node shard i's slot was placed on (-1: unplaced).
+  [[nodiscard]] int shard_numa_node(std::size_t i) const noexcept {
+    return numa_.node_for_shard(i, shards_.size());
+  }
 
   // --- merged metrics (obs::recording inner trees only) ---------------
   // The S per-shard registries fold with the obs merge algebra into the
   // same shapes a single instrumented tree reports.
 
-  /// Counter-wise sum of every shard's metrics snapshot.
+  /// Counter-wise sum of every shard's metrics snapshot, plus the shard
+  /// layer's own counters.
   [[nodiscard]] obs::metrics_snapshot merged_counters() const
     requires recording_stats_tree<Tree>
   {
@@ -292,12 +567,13 @@ class sharded_set {
     for (const auto& s : shards_) {
       merged.merge(s->tree.stats().counters().snapshot());
     }
+    add_layer_counters(merged);
     return merged;
   }
 
   /// One shard's counter snapshot, unmerged — the per-shard view the
-  /// telemetry sampler turns into load-share/imbalance gauges
-  /// (obs/telemetry.hpp; ROADMAP item 3 consumes those).
+  /// telemetry sampler turns into load-share/imbalance gauges and the
+  /// rebalancer turns into migration decisions.
   [[nodiscard]] obs::metrics_snapshot shard_counters(std::size_t i) const
     requires recording_stats_tree<Tree>
   {
@@ -348,6 +624,306 @@ class sharded_set {
     Tree tree;
   };
 
+  using slot_ptr = std::unique_ptr<slot, void (*)(slot*)>;
+
+  /// Slot storage: NUMA-bound pages when the placement policy names a
+  /// node (numa.hpp), the ordinary heap otherwise or on fallback.
+  static slot_ptr make_slot(int node) {
+    if (node >= 0) {
+      if (void* raw = numa::alloc_for_node(sizeof(slot), node)) {
+        slot* s = new (raw) slot;
+        return slot_ptr(s, [](slot* p) {
+          p->~slot();
+          numa::free_for_node(p);
+        });
+      }
+    }
+    return slot_ptr(new slot, [](slot* p) { delete p; });
+  }
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const Router& current_router() const noexcept {
+    return *router_.load(std::memory_order_seq_cst);
+  }
+
+  // --- the op gate ----------------------------------------------------
+  // Asymmetric generation-parity quiescence. Operations enter by
+  // incrementing one striped counter under the current generation's
+  // parity and re-checking the generation (retry on a flip); the
+  // migration worker flips the generation and waits for the old
+  // parity's counters to drain. seq_cst on the entry path and the flip
+  // gives the key ordering property: an operation that enters after a
+  // flip also sees every store the worker published before the flip
+  // (the migration record, the new router pointer).
+
+  static constexpr std::size_t gate_stripe_count = 16;
+
+  struct alignas(cacheline_size) gate_stripe {
+    std::atomic<std::uint32_t> entries[2] = {};
+  };
+
+  class op_gate_guard {
+   public:
+    explicit op_gate_guard(const sharded_set& set) {
+      gate_stripe& stripe =
+          set.gates_[this_thread_index() % gate_stripe_count];
+      for (;;) {
+        atomics_policy::shared_step();
+        const std::uint64_t g = set.gate_gen_.load(std::memory_order_seq_cst);
+        std::atomic<std::uint32_t>& slot = stripe.entries[g & 1];
+        slot.fetch_add(1, std::memory_order_seq_cst);
+        if (set.gate_gen_.load(std::memory_order_seq_cst) == g) {
+          slot_ = &slot;
+          return;
+        }
+        // Raced a generation flip: the quiescer may already have read
+        // this parity as drained. Undo and re-enter under the new
+        // generation.
+        slot.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
+    ~op_gate_guard() { slot_->fetch_sub(1, std::memory_order_release); }
+
+    op_gate_guard(const op_gate_guard&) = delete;
+    op_gate_guard& operator=(const op_gate_guard&) = delete;
+
+   private:
+    std::atomic<std::uint32_t>* slot_ = nullptr;
+  };
+
+  /// Worker side: flip the generation, wait until every operation that
+  /// entered under the old one has left. Serialized by migrate_mutex_
+  /// (consecutive quiesces must alternate parities in order).
+  void quiesce_gate() {
+    const std::uint64_t g = gate_gen_.fetch_add(1, std::memory_order_seq_cst);
+    for (const gate_stripe& stripe : gates_) {
+      while (stripe.entries[g & 1].load(std::memory_order_acquire) != 0) {
+        atomics_policy::shared_step();
+      }
+    }
+  }
+
+  // --- the migration record (seqlock-published) -----------------------
+
+  void publish_migration(const migration& m) {
+    mig_seq_.fetch_add(1, std::memory_order_seq_cst);  // odd: writing
+    rec_lo_.store(m.lo, std::memory_order_relaxed);
+    rec_hi_.store(m.hi, std::memory_order_relaxed);
+    rec_src_.store(static_cast<std::uint32_t>(m.src),
+                   std::memory_order_relaxed);
+    rec_dst_.store(static_cast<std::uint32_t>(m.dst),
+                   std::memory_order_relaxed);
+    mig_active_.store(true, std::memory_order_relaxed);
+    mig_seq_.fetch_add(1, std::memory_order_seq_cst);  // even: stable
+  }
+
+  void clear_migration() {
+    mig_seq_.fetch_add(1, std::memory_order_seq_cst);
+    mig_active_.store(false, std::memory_order_relaxed);
+    mig_seq_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Consistent snapshot of the record; false when no migration is in
+  /// flight. Lock-free seqlock read (fields are relaxed atomics, the
+  /// sequence word validates them).
+  [[nodiscard]] bool read_migration(migration& out) const {
+    for (;;) {
+      const std::uint64_t s0 = mig_seq_.load(std::memory_order_seq_cst);
+      if ((s0 & 1) == 0) {
+        const bool active = mig_active_.load(std::memory_order_relaxed);
+        out.lo = rec_lo_.load(std::memory_order_relaxed);
+        out.hi = rec_hi_.load(std::memory_order_relaxed);
+        out.src = rec_src_.load(std::memory_order_relaxed);
+        out.dst = rec_dst_.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (mig_seq_.load(std::memory_order_relaxed) == s0) return active;
+      }
+      atomics_policy::shared_step();
+    }
+  }
+
+  // --- striped per-key locks for the dual-routing window --------------
+  // Held only for keys covered by a live migration record: by mutating
+  // operations and by the drain's per-key move, never by reads. TTAS
+  // with a schedule point in the spin so dsched can explore the window.
+
+  static constexpr std::size_t key_lock_count = 64;
+
+  struct alignas(cacheline_size) key_lock {
+    std::atomic<bool> locked{false};
+
+    void lock() noexcept {
+      for (;;) {
+        atomics_policy::shared_step();
+        if (!locked.exchange(true, std::memory_order_acquire)) return;
+        while (locked.load(std::memory_order_relaxed)) {
+          atomics_policy::shared_step();
+        }
+      }
+    }
+    void unlock() noexcept { locked.store(false, std::memory_order_release); }
+  };
+
+  [[nodiscard]] static std::size_t key_lock_index(
+      const key_type& k) noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(std::hash<key_type>{}(k));
+    h *= 0x9E3779B97F4A7C15ull;  // Fibonacci mix: spread poor hashes
+    return static_cast<std::size_t>(h >> 58);
+  }
+
+  class key_lock_guard {
+   public:
+    key_lock_guard(sharded_set& set, const key_type& key)
+        : lock_(set.key_locks_[key_lock_index(key)]) {
+      lock_.lock();
+    }
+    ~key_lock_guard() { lock_.unlock(); }
+
+    key_lock_guard(const key_lock_guard&) = delete;
+    key_lock_guard& operator=(const key_lock_guard&) = delete;
+
+   private:
+    key_lock& lock_;
+  };
+
+  // --- routed operation bodies ---------------------------------------
+  // `rec` is the caller's migration-record snapshot (nullptr: none).
+  // Covered keys take the dual path; everything else routes to shard
+  // `s` exactly as before. The caller must hold the op gate whenever
+  // rec could be non-null.
+
+  [[nodiscard]] bool contains_routed(const migration* rec, std::size_t s,
+                                     const key_type& k) const {
+    if (rec != nullptr && rec->covers(k)) {
+      // Lock-free dual read, donor before recipient — the mirror image
+      // of the drain's insert-into-recipient-before-erase-from-donor
+      // order, so a key caught mid-move is seen in at least one tree:
+      // if the donor read ran after the erase, the recipient insert
+      // (which preceded that erase) is visible to the recipient read.
+      if (shards_[rec->src]->tree.contains(k)) return true;
+      return shards_[rec->dst]->tree.contains(k);
+    }
+    return shards_[s]->tree.contains(k);
+  }
+
+  bool insert_routed(const migration* rec, std::size_t s,
+                     const key_type& k) {
+    if (rec != nullptr && rec->covers(k)) {
+      key_lock_guard guard(*this, k);
+      // Single-copy invariant: a covered key lives in exactly one of
+      // donor/recipient outside the lock. New inserts always land in
+      // the recipient so the donor's subrange only ever shrinks.
+      if (shards_[rec->src]->tree.contains(k)) return false;
+      return shards_[rec->dst]->tree.insert(k);
+    }
+    return shards_[s]->tree.insert(k);
+  }
+
+  bool erase_routed(const migration* rec, std::size_t s, const key_type& k) {
+    if (rec != nullptr && rec->covers(k)) {
+      key_lock_guard guard(*this, k);
+      if (shards_[rec->src]->tree.erase(k)) return true;
+      return shards_[rec->dst]->tree.erase(k);
+    }
+    return shards_[s]->tree.erase(k);
+  }
+
+  /// The drain: page the donor's covered subrange with the concurrent
+  /// bounded scan and move each key under its stripe lock. Dual-path
+  /// inserts only ever target the recipient, so the donor subrange is
+  /// drained monotonically and the loop terminates.
+  std::size_t drain(const migration& m)
+    requires migratable_tree<Tree>
+  {
+    Tree& src = shards_[m.src]->tree;
+    Tree& dst = shards_[m.dst]->tree;
+    std::size_t moved = 0;
+    for (;;) {
+      const std::vector<key_type> page =
+          src.range_scan(m.lo, m.hi, drain_page_size);
+      if (page.empty()) return moved;
+      for (const key_type& k : page) {
+        key_lock_guard guard(*this, k);
+        if (src.contains(k)) {
+          // Insert before erase: the lock-free dual read (donor first)
+          // relies on the key never being absent from both trees.
+          dst.insert(k);
+          src.erase(k);
+          ++moved;
+        }
+      }
+    }
+  }
+
+  static constexpr std::size_t drain_page_size = 4096;
+
+  // --- scan machinery -------------------------------------------------
+
+  /// Shared body of range_scan / range_scan_closed. `hi` is the upper
+  /// bound in the caller's convention (exclusive unless closed). While
+  /// a migration overlaps the interval, the visited shard window widens
+  /// to the donor/recipient pair, the recipient is re-read when keys
+  /// move toward lower shard ids (an ascending stitch reads it too
+  /// early), and duplicates from keys caught mid-move are collapsed.
+  /// The gate makes this sufficient: the drain only runs between the
+  /// two quiescence waits, and any scan running then entered after the
+  /// record was published, so it takes the widened path. A scan that
+  /// entered *before* the record cannot race the drain (the first
+  /// quiesce waits for it) but can race dual-path inserts of new
+  /// covered keys into the recipient — the late-record repair at the
+  /// bottom restores ordering for that case.
+  void scan_impl(const key_type& lo, const key_type& hi, bool closed,
+                 std::vector<key_type>& out) const {
+    const key_type hi_incl = closed ? hi : static_cast<key_type>(hi - 1);
+    std::optional<op_gate_guard> gate;
+    migration rec;
+    bool dual = false;
+    if (armed()) {
+      gate.emplace(*this);
+      dual = read_migration(rec) && !(hi_incl < rec.lo) && lo < rec.hi;
+    }
+    const Router& r = current_router();
+    std::size_t first = r.shard_of(lo);
+    std::size_t last = r.shard_of(hi_incl);
+    if (dual) {
+      first = std::min(first, std::min(rec.src, rec.dst));
+      last = std::max(last, std::max(rec.src, rec.dst));
+    }
+    for (std::size_t s = first; s <= last; ++s) {
+      scan_shard(shards_[s]->tree, lo, hi, closed, out);
+    }
+    if (dual) {
+      if (rec.dst < rec.src) {
+        // A key moving to a lower shard id can escape both walks: the
+        // recipient was read before the insert and the donor after the
+        // erase. Re-reading the recipient after the donor walk closes
+        // the gap (the insert preceded that erase, so it is visible
+        // now); sort/unique below collapses double sightings.
+        scan_shard(shards_[rec.dst]->tree, lo, hi, closed, out);
+      }
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+    } else if (gate.has_value()) {
+      // Entered with no record, but one may have been published since:
+      // its first quiescence wait is blocked on this scan, so the
+      // drain cannot have started — no key moved and no key is
+      // double-present — but dual-path inserts of *new* covered keys
+      // already target the recipient, out of splitter order relative
+      // to this stitch. Those inserts are concurrent with the whole
+      // scan (seeing or missing them is fine); only ordering needs
+      // repair. The record, if any, is still live here (the quiesce
+      // cannot pass until we release the gate).
+      migration late;
+      if (read_migration(late) && !(hi_incl < late.lo) && lo < late.hi) {
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+      }
+    }
+  }
+
   /// Per-shard scan dispatch: the inner tree's concurrent ordered scan
   /// when it has one, else its quiescent walk (which keeps EFRB/HJ
   /// compositions compiling, at the price of their old quiescence
@@ -394,7 +970,8 @@ class sharded_set {
   }
 
   /// Shared batch engine; `Self` deduces const for contains_batch and
-  /// non-const for the mutating batches.
+  /// non-const for the mutating batches. One gate entry and one record
+  /// snapshot cover the whole batch (see the batched-operations note).
   template <typename Self, typename Op>
   static std::vector<bool> batch_apply(Self& self,
                                        const std::vector<key_type>& keys,
@@ -404,11 +981,20 @@ class sharded_set {
     std::vector<bool> results(n);
     if (n == 0) return results;
 
+    std::optional<op_gate_guard> gate;
+    migration rec;
+    bool dual = false;
+    if (self.armed()) {
+      gate.emplace(self);
+      dual = self.read_migration(rec);
+    }
+    const Router& r = self.current_router();
+
     // Stable counting sort of key indices by shard id.
     std::vector<std::uint32_t> shard_ids(n);
     std::vector<std::size_t> group_start(nshards + 1, 0);
     for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t s = self.router_.shard_of(keys[i]);
+      const std::size_t s = r.shard_of(keys[i]);
       shard_ids[i] = static_cast<std::uint32_t>(s);
       ++group_start[s + 1];
     }
@@ -425,18 +1011,38 @@ class sharded_set {
     }
 
     // Execute per shard group; results land at the original positions.
+    const migration* rec_ptr = dual ? &rec : nullptr;
     for (std::size_t s = 0; s < nshards; ++s) {
-      auto& tree = self.shards_[s]->tree;
       for (std::size_t j = group_start[s]; j < group_start[s + 1]; ++j) {
         const std::uint32_t i = order[j];
-        results[i] = op(tree, keys[i]);
+        results[i] = op(self, rec_ptr, s, keys[i]);
       }
     }
     return results;
   }
 
-  Router router_;
-  std::vector<std::unique_ptr<slot>> shards_;
+  numa::policy numa_;
+  std::vector<slot_ptr> shards_;
+  // Router versioning: ops read `router_` (the live version); retired
+  // versions stay in `routers_` until the post-drain quiesce proves no
+  // reader can still hold one. Guarded by migrate_mutex_ for writers.
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::atomic<const Router*> router_{nullptr};
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> gate_gen_{0};
+  mutable std::array<gate_stripe, gate_stripe_count> gates_{};
+  // Migration record seqlock: odd mig_seq_ = fields changing.
+  mutable std::atomic<std::uint64_t> mig_seq_{0};
+  std::atomic<bool> mig_active_{false};
+  std::atomic<key_type> rec_lo_{};
+  std::atomic<key_type> rec_hi_{};
+  std::atomic<std::uint32_t> rec_src_{0};
+  std::atomic<std::uint32_t> rec_dst_{0};
+  std::array<key_lock, key_lock_count> key_locks_{};
+  std::mutex migrate_mutex_;
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> keys_migrated_{0};
+  std::atomic<std::uint64_t> dual_route_window_ns_{0};
 };
 
 }  // namespace lfbst::shard

@@ -1,0 +1,138 @@
+// Long-churn soak of the adaptive resharding machinery: Zipf-skewed
+// writers hammer a hot shard while the background rebalancer migrates
+// continuously, with full-range scans auditing the stable keys the
+// whole time. The churn window defaults to a couple of seconds so the
+// PR gate stays fast; the nightly rebalance-stress job raises it to
+// minutes through LFBST_REBALANCE_STRESS_MS (and repeats under TSAN).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "core/natarajan_tree.hpp"
+#include "harness/zipf.hpp"
+#include "obs/heatmap.hpp"
+#include "shard/rebalancer.hpp"
+#include "shard/sharded_set.hpp"
+
+namespace lfbst {
+namespace {
+
+std::uint64_t churn_ms() {
+  const char* raw = std::getenv("LFBST_REBALANCE_STRESS_MS");
+  if (raw == nullptr) return 2000;
+  const long v = std::strtol(raw, nullptr, 10);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 2000;
+}
+
+TEST(MigrationStress, LongChurnHotShardUnderAdaptiveRebalancing) {
+  using recorded_tree =
+      nm_tree<long, std::less<long>, reclaim::epoch, obs::recording>;
+  using set_type = shard::sharded_set<recorded_tree>;
+  constexpr long kRange = 1 << 16;
+  set_type set(8, 0, kRange);
+  obs::key_heatmap heatmap(0, kRange);
+  set.for_each_shard_stats(
+      [&](obs::recording& stats) { stats.attach_heatmap(&heatmap); });
+
+  // Stable evens are never touched by the churn; every audit scan must
+  // see all of them, migrations or not.
+  for (long k = 0; k < kRange; k += 2) ASSERT_TRUE(set.insert(k));
+  const std::size_t stable = static_cast<std::size_t>(kRange) / 2;
+  heatmap.reset();
+
+  shard::rebalancer_options opts;
+  opts.interval_ms = 10;
+  opts.min_window_ops = 512;
+  opts.heatmap = &heatmap;
+  shard::rebalancer<set_type> reb(set, opts);
+  reb.start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  constexpr unsigned kWriters = 3;
+  spin_barrier barrier(kWriters + 2);
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < kWriters; ++tid) {
+    threads.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(31337, tid);
+      // Unscrambled Zipf ranks cluster at the low keys: a standing hot
+      // shard the rebalancer keeps splitting. Odd keys only, so the
+      // stable evens stay untouched.
+      const harness::zipf_generator zipf(kRange / 2, 0.99);
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long k = 2 * static_cast<long>(zipf(rng)) + 1;
+        switch (rng.bounded(3)) {
+          case 0:
+            (void)set.insert(k);
+            break;
+          case 1:
+            (void)set.erase(k);
+            break;
+          default:
+            (void)set.contains(k);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    barrier.arrive_and_wait();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<long> got = set.range_scan_closed(0, kRange - 1);
+      std::size_t evens = 0;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (i > 0 && got[i - 1] >= got[i]) failures.fetch_add(1);
+        if ((got[i] & 1) == 0) ++evens;
+      }
+      if (evens != stable) failures.fetch_add(1);
+    }
+  });
+  // Paged scans ride along: the resume protocol must survive splitter
+  // flips between pages.
+  threads.emplace_back([&] {
+    barrier.arrive_and_wait();
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::size_t evens = 0;
+      long lo = 0;
+      long last = -1;
+      for (;;) {
+        const auto page = set.range_scan_limit(lo, kRange, 1024);
+        for (long k : page.keys) {
+          if (k <= last) failures.fetch_add(1);
+          last = k;
+          if ((k & 1) == 0) ++evens;
+        }
+        if (!page.truncated) break;
+        lo = page.resume_key;
+      }
+      if (evens != stable) failures.fetch_add(1);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(churn_ms()));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  reb.stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(set.migration_count(), 1u);
+  EXPECT_EQ(set.validate(), "");
+  for (std::size_t s = 0; s < set.shard_count(); ++s) {
+    for (long k : set.shard(s).range_scan_closed(0, kRange - 1)) {
+      ASSERT_EQ(set.router().shard_of(k), s)
+          << "key " << k << " stranded in shard " << s;
+    }
+  }
+  for (long k = 0; k < kRange; k += 2) {
+    ASSERT_TRUE(set.contains(k)) << "stable key " << k << " lost";
+  }
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -37,6 +37,10 @@ STUDY_REQUIRED = {
     "server": {"study", "mix", "connections", "pipeline", "event_threads",
                "shards", "ops", "mops_per_sec", "p50_ns", "p99_ns",
                "p999_ns"},
+    "rebalance": {"study", "mode", "workload", "shards", "threads",
+                  "mops_per_sec", "migrations", "keys_migrated",
+                  "share_start", "share_end"},
+    "numa": {"study", "mode", "nodes", "shards", "threads", "mops_per_sec"},
 }
 
 
