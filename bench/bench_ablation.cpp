@@ -24,7 +24,7 @@
 #include "common/barrier.hpp"
 #include "common/rng.hpp"
 #include "core/natarajan_tree.hpp"
-#include "extensions/kary_tree.hpp"
+#include "multiway/kary_tree.hpp"
 #include "reclaim/hazard_reclaimer.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"

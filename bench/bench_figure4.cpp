@@ -119,7 +119,8 @@ int main(int argc, char** argv) {
         series.push_back(std::move(s));
       };
       if (extended) {
-        // Paper roster + the §1 related-work DVY tree + coarse floor.
+        // Paper roster + the §1 related-work DVY tree, the cache-
+        // conscious multiway tree (docs/MULTIWAY.md) and coarse floor.
         for_each_algorithm<long>(measure_one);
       } else {
         for_each_paper_algorithm<long>(measure_one);

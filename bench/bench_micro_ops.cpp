@@ -25,7 +25,14 @@
 //       study "scan"    — ordered-scan throughput with and without
 //                         concurrent writers, per reclaimer. Rows are
 //                         self-checking (sorted, stable-complete); the
-//                         gate fails on any violated scan invariant.
+//                         gate fails on any violated scan invariant;
+//       study "kary_zipf" — read-heavy Zipfian throughput, the multiway
+//                         tree vs the NM-BST at the tuned fanout
+//                         (docs/MULTIWAY.md). The gate's check_kary
+//                         requires the multiway tree to hold its win on
+//                         runners with >= 4 hardware threads (the
+//                         report's config carries hardware_threads so
+//                         the check can self-skip on small runners).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -36,9 +43,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/barrier.hpp"
 #include "common/rng.hpp"
 #include "harness/flags.hpp"
 #include "harness/table.hpp"
+#include "harness/zipf.hpp"
 #include "lfbst/lfbst.hpp"
 #include "obs/export.hpp"
 
@@ -356,6 +365,66 @@ scan_sample measure_scan(unsigned writer_threads, int scans,
   return s;
 }
 
+// Read-heavy Zipfian throughput: the multiway tree's target regime —
+// hot descents fit a couple of cache lines per level, so the shallower
+// tree wins on exactly the traffic a skewed read-mostly workload
+// generates. Fixed duration, pre-drawn key stream (the Zipf inverse
+// transform would otherwise dominate), 80% contains / 20% writes.
+template <typename Tree>
+double measure_zipf_read_mops(std::uint64_t key_range, double theta,
+                              unsigned thread_count, std::uint64_t millis,
+                              std::uint64_t seed) {
+  Tree tree;
+  pcg32 fill(seed);
+  std::uint64_t filled = 0;
+  while (filled < key_range / 2) {
+    if (tree.insert(static_cast<long>(fill.next64() % key_range))) ++filled;
+  }
+  const harness::zipf_generator zipf(key_range, theta);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  spin_barrier barrier(thread_count + 1);
+  std::vector<std::thread> workers;
+  for (unsigned tid = 0; tid < thread_count; ++tid) {
+    workers.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(seed, tid);
+      constexpr std::size_t kStream = 1u << 16;
+      std::vector<long> keys(kStream);
+      for (auto& k : keys) {
+        k = static_cast<long>(zipf.scramble(zipf(rng)));
+      }
+      std::uint64_t n = 0;
+      std::size_t i = 0;
+      std::uint64_t hits = 0;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long key = keys[i];
+        i = (i + 1 == kStream) ? 0 : i + 1;
+        const auto roll = rng.bounded(10);
+        if (roll == 0) {
+          (void)tree.insert(key);
+        } else if (roll == 1) {
+          (void)tree.erase(key);
+        } else {
+          hits += tree.contains(key) ? 1 : 0;
+        }
+        ++n;
+      }
+      benchmark::DoNotOptimize(hits);
+      total_ops.fetch_add(n);
+    });
+  }
+  barrier.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(total_ops.load()) / secs / 1e6;
+}
+
 int run_json_mode(const lfbst::bench::flags& flags) {
   const std::string path = flags.get("json", "micro_ops.json");
   const auto ops = static_cast<std::uint64_t>(flags.get_int("ops", 200'000));
@@ -383,6 +452,23 @@ int run_json_mode(const lfbst::bench::flags& flags) {
   micro_rows.template operator()<shard::sharded_set<nm_tree<long>>>(
       "Sharded/NM-BST");
   micro_rows.template operator()<std_set_adapter>("std::set");
+  // The multiway tree at the tuned fanout, across its full reclaimer ×
+  // restart grid — the policy-parity claim (docs/MULTIWAY.md) made
+  // measurable: every combination is a working, benched configuration.
+  micro_rows.template operator()<kary_tree<long>>("KST");
+  micro_rows.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::epoch>>("KST-epoch");
+  micro_rows.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::hazard>>("KST-hazard");
+  micro_rows.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::leaky, stats::none,
+                atomics::native, restart::from_root>>("KST-root");
+  micro_rows.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::epoch, stats::none,
+                atomics::native, restart::from_root>>("KST-epoch-root");
+  micro_rows.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::hazard, stats::none,
+                atomics::native, restart::from_root>>("KST-hazard-root");
 
   harness::text_table atomics({"study", "algorithm", "allocs_per_insert",
                                "atomics_per_insert", "allocs_per_erase",
@@ -410,6 +496,12 @@ int run_json_mode(const lfbst::bench::flags& flags) {
       "EFRB-BST");
   atomics_row.template operator()<
       hj_tree<long, std::less<long>, reclaim::leaky, counting>>("HJ-BST");
+  // Multiway count pins (tests/multiway/kary_counts_test.cpp): REPLACE
+  // is 2 allocs / 3 CAS, SPROUT K+2 allocs / 3 CAS, COALESCE 2 allocs /
+  // 4 CAS — the measured averages mix these by structural frequency but
+  // are seeded and single-threaded, hence reproducible.
+  atomics_row.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::leaky, counting>>("KST");
 
   // Contended restart-policy ablation: same churn, both policies. The
   // perf gate checks from_anchor holds its own against from_root here
@@ -469,10 +561,52 @@ int run_json_mode(const lfbst::bench::flags& flags) {
   scan_row.template operator()<scan_epoch>("NM-BST/epoch", 2);
   scan_row.template operator()<scan_hazard>("NM-BST/hazard", 0);
   scan_row.template operator()<scan_hazard>("NM-BST/hazard", 2);
+  scan_row.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::epoch, obs::recording>>(
+      "KST/epoch", 0);
+  scan_row.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::epoch, obs::recording>>(
+      "KST/epoch", 2);
+  scan_row.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::hazard, obs::recording>>(
+      "KST/hazard", 0);
+  scan_row.template operator()<
+      kary_tree<long, 8, std::less<long>, reclaim::hazard, obs::recording>>(
+      "KST/hazard", 2);
+
+  // Read-heavy Zipf study: the multiway tree's headline claim, measured
+  // in the regime it targets (theta 0.99 hot-spot reads at the tuned
+  // fanout, tree big enough that depth matters). The NM row rides along
+  // so check_kary can compare within this report; the comparison only
+  // means anything with real parallelism, so the config carries the
+  // runner's hardware_threads for the gate's self-skip.
+  harness::text_table kary_zipf({"study", "algorithm", "threads", "theta",
+                                 "mops_per_sec"});
+  {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned zipf_threads = hw >= 4 ? 4 : (hw > 0 ? hw : 1);
+    constexpr std::uint64_t kZipfRange = 1u << 20;
+    constexpr double kTheta = 0.99;
+    const std::uint64_t zipf_millis = flags.get_int("zipf_millis", 300);
+    auto zipf_row = [&]<typename Tree>(const char* name) {
+      const double mops = measure_zipf_read_mops<Tree>(
+          kZipfRange, kTheta, zipf_threads, zipf_millis, seed);
+      kary_zipf.add_row({"kary_zipf", name, std::to_string(zipf_threads),
+                         harness::format("%.2f", kTheta),
+                         harness::format("%.3f", mops)});
+    };
+    zipf_row.template operator()<kary_tree<long>>("KST");
+    zipf_row.template operator()<nm_tree<long>>("NM-BST");
+    zipf_row.template operator()<efrb_tree<long>>("EFRB-BST");
+    zipf_row.template operator()<hj_tree<long>>("HJ-BST");
+  }
 
   obs::bench_report report("micro_ops");
   report.config.set("ops", ops);
   report.config.set("seed", seed);
+  report.config.set(
+      "hardware_threads",
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   report.results = obs::rows_from_table(micro.header(), micro.rows());
   const obs::json::value atomics_rows =
       obs::rows_from_table(atomics.header(), atomics.rows());
@@ -482,6 +616,9 @@ int run_json_mode(const lfbst::bench::flags& flags) {
   const obs::json::value scan_rows =
       obs::rows_from_table(scan.header(), scan.rows());
   for (const auto& row : scan_rows.items()) report.add_result(row);
+  const obs::json::value kary_zipf_rows =
+      obs::rows_from_table(kary_zipf.header(), kary_zipf.rows());
+  for (const auto& row : kary_zipf_rows.items()) report.add_result(row);
   if (!report.write_file(path)) return 1;
   std::printf("JSON report: %s\n", path.c_str());
   return 0;

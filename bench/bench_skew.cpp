@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
   for (const auto t100 : thetas) {
     rows.push_back({harness::format("%.2f", static_cast<double>(t100) / 100)});
   }
-  for_each_paper_algorithm<long>([&]<typename Tree>() {
+  auto measure_column = [&]<typename Tree>() {
     header.push_back(Tree::algorithm_name);
     for (std::size_t i = 0; i < thetas.size(); ++i) {
       const double theta = static_cast<double>(thetas[i]) / 100.0;
@@ -113,7 +113,11 @@ int main(int argc, char** argv) {
           "%.3f", zipf_throughput<Tree>(key_range, theta, thread_count,
                                         millis, seed)));
     }
-  });
+  };
+  for_each_paper_algorithm<long>(measure_column);
+  // The cache-conscious multiway contender, side by side with the
+  // paper's roster (tuned default fanout; docs/MULTIWAY.md).
+  measure_column.template operator()<kary_tree<long>>();
 
   text_table tbl(header);
   for (auto& r : rows) tbl.add_row(std::move(r));

@@ -14,7 +14,7 @@
 
 #include "common/barrier.hpp"
 #include "common/rng.hpp"
-#include "extensions/kary_tree.hpp"
+#include "multiway/kary_tree.hpp"
 #include "harness/flags.hpp"
 #include "lfbst/lfbst.hpp"
 

@@ -39,20 +39,31 @@ namespace lfbst {
 /// typically serves all node types of one tree (sized to the largest).
 class node_pool {
  public:
-  /// `block_size` is rounded up to 16 bytes for alignment; `slab_bytes`
-  /// is how much each thread grabs from the global arena at a time.
+  /// `block_size` is rounded up to `alignment` bytes (16 by default;
+  /// cache-line-aligned node types pass alignof(node)); `slab_bytes` is
+  /// how much each thread grabs from the global arena at a time. Slabs
+  /// are allocated at `alignment`, and the block size being a multiple
+  /// of it keeps every bump-allocated block aligned too.
   explicit node_pool(std::size_t block_size,
-                     std::size_t slab_bytes = 1u << 16)
-      : block_size_(round_up(block_size, 16)),
-        blocks_per_slab_(slab_bytes / round_up(block_size, 16)) {
+                     std::size_t slab_bytes = 1u << 16,
+                     std::size_t alignment = 16)
+      : block_size_(round_up(block_size, alignment < 16 ? 16 : alignment)),
+        alignment_(alignment < 16 ? 16 : alignment),
+        blocks_per_slab_(slab_bytes / round_up(block_size,
+                                               alignment < 16 ? 16
+                                                              : alignment)) {
     LFBST_ASSERT(blocks_per_slab_ > 0, "slab must fit at least one block");
+    LFBST_ASSERT((alignment_ & (alignment_ - 1)) == 0,
+                 "pool alignment must be a power of two");
   }
 
   node_pool(const node_pool&) = delete;
   node_pool& operator=(const node_pool&) = delete;
 
   ~node_pool() {
-    for (void* slab : slabs_) ::operator delete(slab, std::align_val_t{16});
+    for (void* slab : slabs_) {
+      ::operator delete(slab, std::align_val_t{alignment_});
+    }
   }
 
   /// Allocates one block. Fast path: pop the calling thread's free list
@@ -116,7 +127,7 @@ class node_pool {
   void refill(local_state& local) {
     auto* slab = static_cast<std::byte*>(
         ::operator new(blocks_per_slab_ * block_size_,
-                       std::align_val_t{16}));
+                       std::align_val_t{alignment_}));
     {
       std::lock_guard<spinlock> g(slabs_lock_);
       slabs_.push_back(slab);
@@ -131,6 +142,7 @@ class node_pool {
   }
 
   const std::size_t block_size_;
+  const std::size_t alignment_;
   const std::size_t blocks_per_slab_;
 
   mutable spinlock slabs_lock_;

@@ -1,714 +1,14 @@
-// lfbst: lock-free external k-ary search tree — the paper's §6 future
-// work ("we plan to use the ideas in this work to develop more efficient
-// lock-free algorithms for k-ary search trees"), in the lineage of
-// Brown & Helga's non-blocking k-ST (OPODIS 2011) that the paper cites
-// as [4].
+// lfbst: deprecated forwarding header.
 //
-// Shape: external k-ary tree. Leaves hold up to K-1 client keys in a
-// sorted inline array; internal nodes hold exactly K-1 routing keys and
-// K children. Fat leaves amortize one cache line over several keys, so
-// searches touch ~log_K(n) nodes instead of log_2(n) — the point of the
-// k-ary generalization.
-//
-// Operations (EFRB-style Info-record coordination, matching Brown &
-// Helga's use of the Ellen et al. protocol):
-//   search : traverse; linear-scan the leaf. No atomics.
-//   insert : leaf has spare capacity → REPLACE: flag the parent's update
-//            word with an Info record, CAS the child edge from the old
-//            leaf to a new leaf containing the key, unflag (3 CAS,
-//            2 allocations). Leaf full → SPROUT: the K keys (K-1 old +
-//            1 new) become an internal node with K one-key leaf
-//            children (3 CAS, K+2 allocations).
-//   delete : leaf keeps ≥1 key, or its parent is the root, or siblings
-//            are not all leaves → REPLACE with a smaller (possibly
-//            empty) leaf. Otherwise → COALESCE (the pruning step):
-//            DFLAG the grandparent, MARK the parent, swing the
-//            grandparent's edge from the parent to one new leaf holding
-//            the union of all the parent's children's keys minus the
-//            deleted one (4 CAS, 2 allocations). Coalescing bounds the
-//            garbage that the NM paper's related-work section criticizes
-//            in remove-less relaxed trees: an internal node whose leaf
-//            children jointly fit in one leaf is collapsed as soon as a
-//            delete touches it.
-//
-// Deviations from Brown & Helga, documented per DESIGN.md: (a) we
-// coalesce eagerly whenever the parent's children are all leaves whose
-// surviving keys fit in a single leaf (they prune only when exactly one
-// non-empty child remains); (b) helping uses the same two-record scheme
-// as our EFRB port rather than their four-state version records. Both
-// preserve lock-freedom and linearizability; neither changes the
-// operation count asymptotics.
+// kary_tree was promoted from an extension to a first-class tree and
+// now lives in src/multiway/ (docs/MULTIWAY.md). This shim keeps old
+// include paths compiling for one release; switch to
+// "multiway/kary_tree.hpp".
 #pragma once
 
-#include <array>
-#include <cstddef>
-#include <cstdint>
-#include <functional>
-#include <new>
-#include <string>
-#include <type_traits>
-#include <vector>
+#if defined(__GNUC__) || defined(__clang__)
+#pragma message( \
+    "extensions/kary_tree.hpp is deprecated; include multiway/kary_tree.hpp")
+#endif
 
-#include "alloc/node_pool.hpp"
-#include "common/assert.hpp"
-#include "common/tagged_word.hpp"
-#include "core/sentinel_key.hpp"
-#include "core/stats.hpp"
-#include "reclaim/epoch.hpp"
-#include "reclaim/leaky.hpp"
-
-namespace lfbst {
-
-template <typename Key, unsigned K = 4, typename Compare = std::less<Key>,
-          typename Reclaimer = reclaim::leaky, typename Stats = stats::none>
-class kary_tree {
-  static_assert(K >= 2, "a k-ary tree needs at least binary fanout");
-  static_assert(Reclaimer::reclaims_eagerly ||
-                    std::is_trivially_destructible_v<Key>,
-                "leaky reclamation requires trivially destructible keys");
-  static_assert(!Reclaimer::requires_validated_traversal,
-                "kary_tree's traversal does not validate per-node; use the "
-                "leaky or epoch reclaimer");
-
- public:
-  using key_type = Key;
-  using stats_policy = Stats;
-  using reclaimer_type = Reclaimer;
-
-  static constexpr const char* algorithm_name = "KST";
-  static constexpr unsigned fanout = K;
-  static constexpr unsigned leaf_capacity = K - 1;
-
-  kary_tree() : node_pool_(sizeof(node)), info_pool_(sizeof(info_record)) {
-    // Root: an internal sentinel routing every client key to child 0
-    // (all routing keys are ∞₁); children 1..K-1 are permanently empty
-    // leaves. A client leaf therefore always has a parent, and every
-    // coalescible parent (an internal node below the root) has a
-    // grandparent.
-    root_ = make_internal_sentinel();
-  }
-
-  kary_tree(const kary_tree&) = delete;
-  kary_tree& operator=(const kary_tree&) = delete;
-
-  ~kary_tree() {
-    destroy_reachable(root_);
-    reclaimer_.drain_all_unsafe();
-  }
-
-  [[nodiscard]] bool contains(const Key& key) const {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    search_result s = search(key);
-    return s.leaf->leaf_contains(key, less_);
-  }
-
-  bool insert(const Key& key) {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    for (;;) {
-      search_result s = search(key);
-      if (s.leaf->leaf_contains(key, less_)) return false;
-      if (update_state(s.pupdate) != state::clean) {
-        help(s.pupdate);
-        Stats::on_seek_restart();
-        continue;
-      }
-      node* replacement;
-      unsigned extra_allocs = 0;
-      if (s.leaf->key_count < leaf_capacity) {
-        // REPLACE: new leaf = old keys + key.
-        replacement = make_leaf_with(s.leaf, &key, nullptr);
-      } else {
-        // SPROUT: K keys become an internal node over K unit leaves.
-        replacement = sprout(s.leaf, key);
-        extra_allocs = K;
-      }
-      (void)extra_allocs;
-      info_record* op = make_info();
-      op->replace = {s.parent, s.leaf, replacement, s.child_index};
-
-      update_t expected = s.pupdate;
-      Stats::on_cas();
-      if (s.parent->update.compare_exchange(
-              expected, update_t(op, /*iflag=*/true, /*dflag=*/false))) {
-        help_replace(op);
-        if constexpr (Reclaimer::reclaims_eagerly) {
-          reclaimer_.retire(s.leaf, &node_deleter, &node_pool_);
-          retire_info_later(op);
-        }
-        return true;
-      }
-      destroy_replacement(replacement);
-      destroy_info(op);
-      help(expected);
-      Stats::on_seek_restart();
-    }
-  }
-
-  bool erase(const Key& key) {
-    [[maybe_unused]] auto guard = reclaimer_.pin();
-    for (;;) {
-      search_result s = search(key);
-      if (!s.leaf->leaf_contains(key, less_)) return false;
-
-      // Decide between REPLACE and COALESCE. Coalescing needs a
-      // grandparent and all of the parent's children to be leaves whose
-      // surviving keys fit in one leaf.
-      bool coalesce = false;
-      std::array<node*, K> siblings{};
-      if (s.grandparent != nullptr) {
-        coalesce = true;
-        unsigned total = 0;
-        for (unsigned i = 0; i < K; ++i) {
-          siblings[i] = s.parent->children[i].load().address();
-          if (siblings[i] == nullptr || !siblings[i]->is_leaf()) {
-            coalesce = false;
-            break;
-          }
-          total += siblings[i]->key_count;
-        }
-        // The union is sized assuming `key` is removed from it, so the
-        // leaf the search found must still be among the re-read
-        // children; a concurrent replace can have swapped it (making
-        // `key` absent and the union one too large). The stale-leaf
-        // replace path below then fails its flag CAS and retries.
-        if (coalesce && siblings[s.child_index] != s.leaf) coalesce = false;
-        if (coalesce && total - 1 > leaf_capacity) coalesce = false;
-      }
-
-      if (!coalesce) {
-        if (update_state(s.pupdate) != state::clean) {
-          help(s.pupdate);
-          Stats::on_seek_restart();
-          continue;
-        }
-        node* replacement = make_leaf_with(s.leaf, nullptr, &key);
-        info_record* op = make_info();
-        op->replace = {s.parent, s.leaf, replacement, s.child_index};
-        update_t expected = s.pupdate;
-        Stats::on_cas();
-        if (s.parent->update.compare_exchange(
-                expected, update_t(op, /*iflag=*/true, /*dflag=*/false))) {
-          help_replace(op);
-          const bool emptied = (replacement->key_count == 0);
-          if constexpr (Reclaimer::reclaims_eagerly) {
-            reclaimer_.retire(s.leaf, &node_deleter, &node_pool_);
-            retire_info_later(op);
-          }
-          if (emptied) collapse_upward(key);
-          return true;
-        }
-        destroy_node(replacement);
-        destroy_info(op);
-        help(expected);
-        Stats::on_seek_restart();
-        continue;
-      }
-
-      // COALESCE path (EFRB delete shape: DFLAG gp, MARK p, swing gp).
-      if (update_state(s.gpupdate) != state::clean) {
-        help(s.gpupdate);
-        Stats::on_seek_restart();
-        continue;
-      }
-      if (update_state(s.pupdate) != state::clean) {
-        help(s.pupdate);
-        Stats::on_seek_restart();
-        continue;
-      }
-      node* union_leaf = make_union_leaf(siblings, &key);
-      info_record* op = make_info();
-      op->coalesce = {s.grandparent, s.parent, union_leaf, s.pupdate,
-                      s.parent_index};
-      update_t expected = s.gpupdate;
-      Stats::on_cas();
-      if (s.grandparent->update.compare_exchange(
-              expected, update_t(op, /*iflag=*/false, /*dflag=*/true))) {
-        if (help_coalesce(op)) {
-          if constexpr (Reclaimer::reclaims_eagerly) {
-            // The winner retires the parent and all its leaf children.
-            reclaimer_.retire(s.parent, &node_deleter, &node_pool_);
-            for (node* sib : siblings) {
-              reclaimer_.retire(sib, &node_deleter, &node_pool_);
-            }
-            retire_info_later(op);
-          }
-          collapse_upward(key);  // cascade: gp may now be collapsible
-          return true;
-        }
-        if constexpr (Reclaimer::reclaims_eagerly) retire_info_later(op);
-        destroy_node(union_leaf);
-      } else {
-        destroy_node(union_leaf);
-        destroy_info(op);
-        help(expected);
-      }
-      Stats::on_seek_restart();
-    }
-  }
-
-  // --- quiescent observers ---------------------------------------------
-
-  [[nodiscard]] std::size_t size_slow() const {
-    std::size_t n = 0;
-    for_each_slow([&n](const Key&) { ++n; });
-    return n;
-  }
-
-  /// In-order walk over client keys.
-  template <typename F>
-  void for_each_slow(F&& fn) const {
-    walk(root_, fn);
-  }
-
-  [[nodiscard]] std::string validate() const {
-    std::string err;
-    if (root_->is_leaf()) err += "root must be the internal sentinel; ";
-    validate_node(root_, nullptr, nullptr, err);
-    return err;
-  }
-
-  [[nodiscard]] std::size_t height_slow() const {
-    std::size_t best = 0;
-    std::vector<std::pair<const node*, std::size_t>> stack{{root_, 1}};
-    while (!stack.empty()) {
-      auto [n, d] = stack.back();
-      stack.pop_back();
-      best = std::max(best, d);
-      if (!n->is_leaf()) {
-        for (unsigned i = 0; i < K; ++i) {
-          if (const node* c = n->children[i].load().address()) {
-            stack.push_back({c, d + 1});
-          }
-        }
-      }
-    }
-    return best;
-  }
-
-  [[nodiscard]] std::size_t reclaimer_pending() const {
-    return reclaimer_.pending();
-  }
-
- private:
-  using skey = sentinel_key<Key>;
-
-  enum class state { clean, iflag, dflag, mark };
-
-  struct node;
-  struct info_record;
-  using update_t = tagged_ptr<info_record>;
-
-  /// One node type for both kinds. Leaves: key_count client keys in
-  /// keys[0..key_count), children all null, internal_marker unset.
-  /// Internal nodes: key_count == K-1 routing keys (possibly sentinel
-  /// ranks), K non-null children, internal flag set.
-  struct node {
-    std::array<skey, K - 1> keys{};
-    std::uint8_t key_count = 0;
-    bool internal = false;
-    tagged_word<info_record> update;  // meaningful on internal nodes
-    std::array<tagged_word<node>, K> children;
-
-    [[nodiscard]] bool is_leaf() const noexcept { return !internal; }
-
-    template <typename Less>
-    [[nodiscard]] bool leaf_contains(const Key& key,
-                                     const Less& less) const {
-      for (unsigned i = 0; i < key_count; ++i) {
-        if (less.equal(key, keys[i])) return true;
-      }
-      return false;
-    }
-  };
-
-  struct replace_fields {
-    node* parent;
-    node* old_child;
-    node* new_child;
-    unsigned child_index;
-  };
-  struct coalesce_fields {
-    node* grandparent;
-    node* parent;
-    node* union_leaf;
-    update_t pupdate;
-    unsigned parent_index;  // index of parent in grandparent's children
-  };
-
-  struct info_record {
-    union {
-      replace_fields replace;
-      coalesce_fields coalesce;
-    };
-    info_record() : replace{} {}
-  };
-
-  struct search_result {
-    node* grandparent = nullptr;
-    node* parent = nullptr;
-    node* leaf = nullptr;
-    update_t gpupdate{};
-    update_t pupdate{};
-    unsigned parent_index = 0;  // parent's slot in grandparent
-    unsigned child_index = 0;   // leaf's slot in parent
-  };
-
-  static state update_state(update_t u) noexcept {
-    const bool f = u.flagged(), t = u.tagged();
-    if (f && t) return state::mark;
-    if (f) return state::iflag;
-    if (t) return state::dflag;
-    return state::clean;
-  }
-
-  /// Child slot for `key` at internal node `n`: the first routing key
-  /// strictly greater than `key` decides.
-  unsigned child_index_for(const node* n, const Key& key) const {
-    unsigned i = 0;
-    while (i < K - 1 && !less_(key, n->keys[i])) ++i;
-    return i;
-  }
-
-  // --- search ------------------------------------------------------------
-
-  search_result search(const Key& key) const {
-    search_result s;
-    node* current = root_;
-    unsigned index = 0;
-    while (current->internal) {
-      s.grandparent = s.parent;
-      s.gpupdate = s.pupdate;
-      s.parent_index = s.child_index;
-      s.parent = current;
-      s.pupdate = current->update.load();
-      index = child_index_for(current, key);
-      s.child_index = index;
-      current = current->children[index].load().address();
-    }
-    s.leaf = current;
-    return s;
-  }
-
-  // --- helping ------------------------------------------------------------
-
-  void help(update_t u) const {
-    Stats::on_help();
-    switch (update_state(u)) {
-      case state::iflag:
-        help_replace(u.address());
-        break;
-      case state::mark:
-        help_marked(u.address());
-        break;
-      case state::dflag:
-        help_coalesce(u.address());
-        break;
-      case state::clean:
-        break;
-    }
-  }
-
-  void help_replace(info_record* op) const {
-    // Swing the parent's recorded child slot, then unflag.
-    tagged_ptr<node> expected = tagged_ptr<node>::clean(op->replace.old_child);
-    Stats::on_cas();
-    op->replace.parent->children[op->replace.child_index].compare_exchange(
-        expected, tagged_ptr<node>::clean(op->replace.new_child));
-    update_t uexp(op, /*iflag=*/true, /*dflag=*/false);
-    Stats::on_cas();
-    op->replace.parent->update.compare_exchange(uexp,
-                                                update_t(op, false, false));
-  }
-
-  /// Returns true if the coalesce committed (parent marked), false if it
-  /// aborted because the parent could not be marked.
-  bool help_coalesce(info_record* op) const {
-    update_t expected = op->coalesce.pupdate;
-    Stats::on_cas();
-    const bool marked = op->coalesce.parent->update.compare_exchange(
-        expected, update_t(op, /*iflag=*/true, /*dflag=*/true));
-    if (marked || expected == update_t(op, true, true)) {
-      help_marked(op);
-      return true;
-    }
-    help(expected);
-    update_t gexp(op, /*iflag=*/false, /*dflag=*/true);
-    Stats::on_cas();
-    op->coalesce.grandparent->update.compare_exchange(
-        gexp, update_t(op, false, false));
-    return false;
-  }
-
-  void help_marked(info_record* op) const {
-    tagged_ptr<node> expected =
-        tagged_ptr<node>::clean(op->coalesce.parent);
-    Stats::on_cas();
-    op->coalesce.grandparent->children[op->coalesce.parent_index]
-        .compare_exchange(expected,
-                          tagged_ptr<node>::clean(op->coalesce.union_leaf));
-    update_t gexp(op, /*iflag=*/false, /*dflag=*/true);
-    Stats::on_cas();
-    op->coalesce.grandparent->update.compare_exchange(
-        gexp, update_t(op, false, false));
-  }
-
-  // --- node construction ---------------------------------------------------
-
-  node* alloc_node() const {
-    Stats::on_alloc();
-    return new (node_pool_.allocate(sizeof(node))) node{};
-  }
-
-  /// New leaf = `base`'s keys, plus `added` (if non-null), minus
-  /// `removed` (if non-null). Keeps the array sorted.
-  node* make_leaf_with(const node* base, const Key* added,
-                       const Key* removed) const {
-    node* n = alloc_node();
-    unsigned count = 0;
-    auto push = [&](const skey& k) { n->keys[count++] = k; };
-    bool added_done = (added == nullptr);
-    for (unsigned i = 0; i < base->key_count; ++i) {
-      const skey& k = base->keys[i];
-      if (removed != nullptr && less_.equal(*removed, k)) continue;
-      if (!added_done && less_(*added, k)) {
-        push(skey(*added));
-        added_done = true;
-      }
-      push(k);
-    }
-    if (!added_done) push(skey(*added));
-    n->key_count = static_cast<std::uint8_t>(count);
-    LFBST_ASSERT(count <= leaf_capacity, "leaf overflow in make_leaf_with");
-    return n;
-  }
-
-  /// SPROUT: distribute the full leaf's K-1 keys plus `key` over K
-  /// fresh one-key leaves under a new internal node whose routing keys
-  /// are the upper K-1 of the K sorted keys.
-  node* sprout(const node* full_leaf, const Key& key) const {
-    std::array<skey, K> all{};
-    unsigned count = 0;
-    bool placed = false;
-    for (unsigned i = 0; i < full_leaf->key_count; ++i) {
-      const skey& k = full_leaf->keys[i];
-      if (!placed && less_(key, k)) {
-        all[count++] = skey(key);
-        placed = true;
-      }
-      all[count++] = k;
-    }
-    if (!placed) all[count++] = skey(key);
-    LFBST_ASSERT(count == K, "sprout expects exactly K keys");
-
-    node* internal = alloc_node();
-    internal->internal = true;
-    internal->key_count = K - 1;
-    for (unsigned i = 0; i < K - 1; ++i) internal->keys[i] = all[i + 1];
-    for (unsigned i = 0; i < K; ++i) {
-      node* leaf = alloc_node();
-      leaf->keys[0] = all[i];
-      leaf->key_count = 1;
-      internal->children[i].store_relaxed(tagged_ptr<node>::clean(leaf));
-    }
-    return internal;
-  }
-
-  /// Union of all keys in the (frozen) sibling leaves, minus `removed`
-  /// when non-null (null = pure maintenance collapse).
-  node* make_union_leaf(const std::array<node*, K>& siblings,
-                        const Key* removed) const {
-    node* n = alloc_node();
-    unsigned count = 0;
-    // Children are ordered by the routing keys, so concatenation in
-    // slot order is already sorted.
-    for (node* sib : siblings) {
-      for (unsigned i = 0; i < sib->key_count; ++i) {
-        if (removed != nullptr && less_.equal(*removed, sib->keys[i])) {
-          continue;
-        }
-        n->keys[count++] = sib->keys[i];
-      }
-    }
-    n->key_count = static_cast<std::uint8_t>(count);
-    LFBST_ASSERT(count <= leaf_capacity, "union leaf overflow");
-    return n;
-  }
-
-  /// Best-effort maintenance: while the parent on `key`'s access path is
-  /// an internal node whose children are all leaves jointly holding at
-  /// most one leaf's worth of keys, collapse it into a single leaf. Runs
-  /// after erases that emptied a leaf so fully drained subtrees cascade
-  /// back to (sentinel root + one leaf) instead of leaving chains of
-  /// empty internal nodes. One failed CAS stops the pass — it is pure
-  /// maintenance, another operation's progress covers ours.
-  void collapse_upward(const Key& key) {
-    for (;;) {
-      search_result s = search(key);
-      if (s.grandparent == nullptr) return;
-      std::array<node*, K> siblings{};
-      unsigned total = 0;
-      for (unsigned i = 0; i < K; ++i) {
-        siblings[i] = s.parent->children[i].load().address();
-        if (siblings[i] == nullptr || !siblings[i]->is_leaf()) return;
-        total += siblings[i]->key_count;
-      }
-      if (total > leaf_capacity) return;
-      if (update_state(s.gpupdate) != state::clean ||
-          update_state(s.pupdate) != state::clean) {
-        return;
-      }
-      node* union_leaf = make_union_leaf(siblings, nullptr);
-      info_record* op = make_info();
-      op->coalesce = {s.grandparent, s.parent, union_leaf, s.pupdate,
-                      s.parent_index};
-      update_t expected = s.gpupdate;
-      Stats::on_cas();
-      if (!s.grandparent->update.compare_exchange(
-              expected, update_t(op, /*iflag=*/false, /*dflag=*/true))) {
-        destroy_node(union_leaf);
-        destroy_info(op);
-        return;
-      }
-      if (!help_coalesce(op)) {
-        if constexpr (Reclaimer::reclaims_eagerly) retire_info_later(op);
-        destroy_node(union_leaf);
-        return;
-      }
-      if constexpr (Reclaimer::reclaims_eagerly) {
-        reclaimer_.retire(s.parent, &node_deleter, &node_pool_);
-        for (node* sib : siblings) {
-          reclaimer_.retire(sib, &node_deleter, &node_pool_);
-        }
-        retire_info_later(op);
-      }
-      // Collapsed one level; the new union leaf's parent may now be
-      // collapsible too.
-    }
-  }
-
-  node* make_internal_sentinel() {
-    node* n = alloc_node();
-    n->internal = true;
-    n->key_count = K - 1;
-    for (unsigned i = 0; i < K - 1; ++i) n->keys[i] = skey::inf1();
-    for (unsigned i = 0; i < K; ++i) {
-      node* leaf = alloc_node();  // empty leaf
-      n->children[i].store_relaxed(tagged_ptr<node>::clean(leaf));
-    }
-    return n;
-  }
-
-  info_record* make_info() const {
-    Stats::on_alloc();
-    return new (info_pool_.allocate(sizeof(info_record))) info_record();
-  }
-
-  void destroy_node(node* n) const {
-    n->~node();
-    node_pool_.deallocate(n);
-  }
-  /// Destroys an unpublished replacement (a leaf, or a sprouted internal
-  /// node together with its fresh children).
-  void destroy_replacement(node* n) const {
-    if (n->internal) {
-      for (unsigned i = 0; i < K; ++i) {
-        destroy_node(n->children[i].load().address());
-      }
-    }
-    destroy_node(n);
-  }
-  void destroy_info(info_record* op) const {
-    op->~info_record();
-    info_pool_.deallocate(op);
-  }
-  static void node_deleter(void* obj, void* ctx) noexcept {
-    static_cast<node*>(obj)->~node();
-    static_cast<node_pool*>(ctx)->deallocate(obj);
-  }
-  static void info_deleter(void* obj, void* ctx) noexcept {
-    static_cast<info_record*>(obj)->~info_record();
-    static_cast<node_pool*>(ctx)->deallocate(obj);
-  }
-  void retire_info_later(info_record* op) const {
-    reclaimer_.retire(op, &info_deleter, &info_pool_);
-  }
-
-  // --- quiescent helpers -----------------------------------------------------
-
-  template <typename F>
-  void walk(const node* n, F& fn) const {
-    if (n->is_leaf()) {
-      for (unsigned i = 0; i < n->key_count; ++i) {
-        if (!n->keys[i].is_sentinel()) fn(n->keys[i].key);
-      }
-      return;
-    }
-    for (unsigned i = 0; i < K; ++i) {
-      walk(n->children[i].load(std::memory_order_relaxed).address(), fn);
-    }
-  }
-
-  void validate_node(const node* n, const skey* low, const skey* high,
-                     std::string& err) const {
-    if (n->is_leaf()) {
-      for (unsigned i = 0; i < n->key_count; ++i) {
-        if (i + 1 < n->key_count && !less_(n->keys[i], n->keys[i + 1])) {
-          err += "leaf keys not strictly sorted; ";
-        }
-        if (low != nullptr && less_(n->keys[i], *low)) {
-          err += "leaf key below bound; ";
-        }
-        if (high != nullptr && !less_(n->keys[i], *high)) {
-          err += "leaf key not below bound; ";
-        }
-      }
-      return;
-    }
-    if (n->key_count != K - 1) err += "internal node without K-1 routes; ";
-    if (update_state(n->update.load(std::memory_order_relaxed)) !=
-        state::clean) {
-      err += "reachable non-CLEAN update word at quiescence; ";
-    }
-    for (unsigned i = 0; i + 1 < K - 1; ++i) {
-      if (less_(n->keys[i + 1], n->keys[i])) {
-        err += "routing keys out of order; ";
-      }
-    }
-    for (unsigned i = 0; i < K; ++i) {
-      const node* child =
-          n->children[i].load(std::memory_order_relaxed).address();
-      if (child == nullptr) {
-        err += "internal node with missing child; ";
-        continue;
-      }
-      const skey* lo = (i == 0) ? low : &n->keys[i - 1];
-      const skey* hi = (i == K - 1) ? high : &n->keys[i];
-      validate_node(child, lo, hi, err);
-    }
-  }
-
-  void destroy_reachable(node* root) {
-    std::vector<node*> stack{root};
-    while (!stack.empty()) {
-      node* n = stack.back();
-      stack.pop_back();
-      if (n->internal) {
-        for (unsigned i = 0; i < K; ++i) {
-          if (node* c =
-                  n->children[i].load(std::memory_order_relaxed).address()) {
-            stack.push_back(c);
-          }
-        }
-      }
-      destroy_node(n);
-    }
-  }
-
-  [[no_unique_address]] sentinel_less<Key, Compare> less_{};
-  mutable node_pool node_pool_;
-  mutable node_pool info_pool_;
-  mutable Reclaimer reclaimer_{};
-  node* root_ = nullptr;
-};
-
-}  // namespace lfbst
+#include "multiway/kary_tree.hpp"

@@ -11,6 +11,7 @@
 #include "baselines/efrb_tree.hpp"
 #include "baselines/hj_tree.hpp"
 #include "core/natarajan_tree.hpp"
+#include "multiway/kary_tree.hpp"
 #include "shard/sharded_set.hpp"
 
 namespace lfbst::harness {
@@ -26,12 +27,14 @@ void for_each_paper_algorithm(F&& fn) {
 }
 
 /// The paper's roster plus the related-work DVY tree (described in the
-/// paper's §1 but not in its evaluation) and the coarse-lock sanity
-/// floor.
+/// paper's §1 but not in its evaluation), the cache-conscious multiway
+/// tree (docs/MULTIWAY.md, tuned default fanout for the key width), and
+/// the coarse-lock sanity floor.
 template <typename Key, typename F>
 void for_each_algorithm(F&& fn) {
   for_each_paper_algorithm<Key>(std::forward<F>(fn));
   fn.template operator()<dvy_tree<Key>>();
+  fn.template operator()<kary_tree<Key>>();
   fn.template operator()<coarse_tree<Key>>();
 }
 
@@ -45,6 +48,7 @@ void for_each_sharded_algorithm(F&& fn) {
   fn.template operator()<shard::sharded_set<nm_tree<Key>>>();
   fn.template operator()<shard::sharded_set<efrb_tree<Key>>>();
   fn.template operator()<shard::sharded_set<hj_tree<Key>>>();
+  fn.template operator()<shard::sharded_set<kary_tree<Key>>>();
 }
 
 }  // namespace lfbst::harness

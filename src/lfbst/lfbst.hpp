@@ -39,7 +39,7 @@
 #include "core/stats.hpp"
 #include "core/tag_policy.hpp"
 
-#include "extensions/kary_tree.hpp"
+#include "multiway/kary_tree.hpp"
 
 #include "shard/router.hpp"
 #include "shard/sharded_set.hpp"
@@ -59,6 +59,13 @@ static_assert(ConcurrentSet<bcco_tree<long>>);
 static_assert(ConcurrentSet<coarse_tree<long>>);
 static_assert(ConcurrentSet<dvy_tree<long>>);
 static_assert(ConcurrentSet<kary_tree<long, 4>>);
+static_assert(ConcurrentSet<kary_tree<long>>);  // tuned default fanout
+static_assert(ConcurrentSet<
+              kary_tree<long, 8, std::less<long>, reclaim::hazard>>);
+static_assert(ConcurrentSet<
+              kary_tree<long, 8, std::less<long>, reclaim::epoch, stats::none,
+                        atomics::native, restart::from_root>>);
+static_assert(ConcurrentSet<shard::sharded_set<kary_tree<long, 8>>>);
 static_assert(ConcurrentSet<nm_tree<long, std::less<long>, reclaim::hazard>>);
 static_assert(ConcurrentSet<
               nm_tree<long, std::less<long>, reclaim::leaky, stats::none,

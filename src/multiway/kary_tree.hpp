@@ -1,0 +1,1319 @@
+// lfbst: lock-free external k-ary search tree — the paper's §6 future
+// work ("we plan to use the ideas in this work to develop more efficient
+// lock-free algorithms for k-ary search trees"), in the lineage of
+// Brown & Helga's non-blocking k-ST (OPODIS 2011) that the paper cites
+// as [4]. Promoted from src/extensions/ to a first-class contender:
+// docs/MULTIWAY.md documents the node layout, the in-node search
+// kernels, and the policy-parity matrix against the NM tree.
+//
+// Shape: external k-ary tree. Leaves hold up to K-1 client keys in a
+// sorted inline array; internal nodes hold exactly K-1 routing keys and
+// K children. Fat leaves amortize one cache line over several keys, so
+// searches touch ~log_K(n) nodes instead of log_2(n) — the point of the
+// k-ary generalization, and the cache-miss argument ELB-Trees and
+// Spiegel & Reynolds' multiway search tree (PAPERS.md) both make.
+//
+// Cache-conscious layout: nodes are alignas(64) with the key array,
+// key count and kind flags packed into the leading cache line (for the
+// tuned default fanouts the whole routing scan reads exactly one line)
+// and the update word plus child pointers on the following line(s).
+// Keys are a *raw* `Key[K-1]` array — no sentinel wrapper — so the
+// in-node search lowers to the branch-free/SIMD reductions in
+// multiway/node_search.hpp. The root's "all routing keys are +infinity"
+// sentinel role moved into a `routes_infinite` flag: the root routes
+// every client key to child 0 and its key array is never read.
+//
+// Operations (EFRB-style Info-record coordination, matching Brown &
+// Helga's use of the Ellen et al. protocol):
+//   search : traverse; branch-free scan of the leaf. No atomics.
+//   insert : leaf has spare capacity → REPLACE: flag the parent's update
+//            word with an Info record, CAS the child edge from the old
+//            leaf to a new leaf containing the key, unflag (3 CAS,
+//            2 allocations). Leaf full → SPROUT: the K keys (K-1 old +
+//            1 new) become an internal node with K one-key leaf
+//            children (3 CAS, K+2 allocations).
+//   delete : leaf keeps ≥1 key, or its parent is the root, or siblings
+//            are not all leaves → REPLACE with a smaller (possibly
+//            empty) leaf. Otherwise → COALESCE (the pruning step):
+//            DFLAG the grandparent, MARK the parent, swing the
+//            grandparent's edge from the parent to one new leaf holding
+//            the union of all the parent's children's keys minus the
+//            deleted one (4 CAS, 2 allocations). Coalescing bounds the
+//            garbage that the NM paper's related-work section criticizes
+//            in remove-less relaxed trees: an internal node whose leaf
+//            children jointly fit in one leaf is collapsed as soon as a
+//            delete touches it.
+//
+// Policy axes (full parity with core/natarajan_tree.hpp):
+//   Reclaimer — leaky, epoch, or hazard. Hazard pointers need the seek
+//     to validate per node; unlike the NM tree, k-ary edges are *never*
+//     marked (all coordination lives in the update words), so the
+//     edge-recheck recipe alone cannot prove a just-announced child is
+//     unretired: a COALESCE freezes the parent's child edges in place
+//     and retires the children only after swinging the *grandparent's*
+//     edge. The per-level fix: after announcing the child and
+//     re-reading the edge, re-read the parent's update word seq_cst and
+//     reject on MARK. The MARK precedes the excision swing and is
+//     terminal, so "unmarked after the announce" proves the children
+//     were not yet retired when announced. COALESCE only ever retires
+//     one internal node plus its direct leaf children, so this check
+//     exactly covers the exposure window.
+//   Stats — stats::none / stats::counting / obs::recording, via a
+//     per-instance policy object (heatmap on_op_key, seek depth, scan
+//     and restart attribution).
+//   Atomics — atomics::native or dsched::sched_atomics; every
+//     update-word and child-edge access is a tagged_word primitive, so
+//     the deterministic scheduler can explore the IFLAG/DFLAG/MARK
+//     protocol (tests/dsched/kary_scenarios_test.cpp).
+//   Restart — restart::from_anchor resumes a failed modify from the
+//     deepest still-unmarked node of the previous descent (internal
+//     nodes leave the tree only via COALESCE, which marks them first
+//     and marks are terminal; routing keys are immutable, so an
+//     unmarked anchor still routes the key); restart::from_root is the
+//     ablation baseline.
+//
+// Deviations from Brown & Helga, documented per DESIGN.md: (a) we
+// coalesce eagerly whenever the parent's children are all leaves whose
+// surviving keys fit in a single leaf (they prune only when exactly one
+// non-empty child remains); (b) helping uses the same two-record scheme
+// as our EFRB port rather than their four-state version records. Both
+// preserve lock-freedom and linearizability; neither changes the
+// operation count asymptotics.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "alloc/node_pool.hpp"
+#include "common/assert.hpp"
+#include "common/atomics_policy.hpp"
+#include "common/backoff.hpp"
+#include "common/prefetch.hpp"
+#include "common/tagged_word.hpp"
+#include "core/restart_policy.hpp"
+#include "core/stats.hpp"
+#include "multiway/node_search.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/leaky.hpp"
+
+namespace lfbst {
+
+template <typename Key, unsigned K = multiway::default_fanout<Key>,
+          typename Compare = std::less<Key>,
+          typename Reclaimer = reclaim::leaky, typename Stats = stats::none,
+          typename Atomics = atomics::native,
+          typename Restart = restart::from_anchor>
+class kary_tree {
+  static_assert(K >= 2, "a k-ary tree needs at least binary fanout");
+  static_assert(Reclaimer::reclaims_eagerly ||
+                    std::is_trivially_destructible_v<Key>,
+                "leaky reclamation requires trivially destructible keys");
+
+ public:
+  using key_type = Key;
+  using stats_policy = Stats;
+  using reclaimer_type = Reclaimer;
+  using restart_policy = Restart;
+  using atomics_policy = Atomics;
+
+  static constexpr const char* algorithm_name = "KST";
+  static constexpr unsigned fanout = K;
+  static constexpr unsigned leaf_capacity = K - 1;
+  /// Hazard pointers require the validated traversal below; epoch and
+  /// leaky take the plain descent.
+  static constexpr bool validated = Reclaimer::requires_validated_traversal;
+  /// Contended-path niceties (bounded backoff, descent prefetch) are
+  /// disabled under an interposing atomics policy so dsched explores
+  /// the bare protocol.
+  static constexpr bool use_backoff = std::is_same_v<Atomics, atomics::native>;
+
+  kary_tree()
+      : node_pool_(sizeof(node), node_slab_bytes(), alignof(node)),
+        info_pool_(sizeof(info_record)) {
+    // Root: an internal sentinel routing every client key to child 0
+    // (routes_infinite: all routing keys are conceptually +∞, the key
+    // array itself is never read); children 1..K-1 are permanently
+    // empty leaves. A client leaf therefore always has a parent, and
+    // every coalescible parent (an internal node below the root) has a
+    // grandparent. The root is never replaced, marked, or retired.
+    root_ = make_internal_sentinel();
+  }
+
+  kary_tree(const kary_tree&) = delete;
+  kary_tree& operator=(const kary_tree&) = delete;
+
+  // Teardown ordering (audited against the PR 5 epoch-teardown UAF):
+  // destroy the reachable tree first, then drain the retired backlog
+  // while the pools are still alive — node/info deleters dereference
+  // the pools, so the drain must precede member destruction (members
+  // are destroyed in reverse declaration order: root pointer, then
+  // reclaimer, then pools). The two sets are disjoint: every retire
+  // happens only after the CAS that unlinked the object from the
+  // reachable tree, so nothing is freed twice. Caller contract (same
+  // as every tree here): all guards are destroyed and no concurrent
+  // operation is in flight when the destructor runs —
+  // tests/multiway/kary_hazard_test.cpp pins this with canary nodes
+  // left pending at destruction under epoch and hazard.
+  ~kary_tree() {
+    destroy_reachable(root_);
+    reclaimer_.drain_all_unsafe();
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    stats_.on_op_begin(stats::op_kind::search);
+    note_key(stats::op_kind::search, key);
+    bool found;
+    {
+      [[maybe_unused]] auto guard = reclaimer_.pin();
+      search_result s;
+      seek(key, s);
+      found = leaf_contains(s.leaf, key);
+    }
+    stats_.on_op_end(stats::op_kind::search, found);
+    return found;
+  }
+
+  bool insert(const Key& key) {
+    stats_.on_op_begin(stats::op_kind::insert);
+    note_key(stats::op_kind::insert, key);
+    const bool inserted = insert_impl(key);
+    stats_.on_op_end(stats::op_kind::insert, inserted);
+    return inserted;
+  }
+
+  bool erase(const Key& key) {
+    stats_.on_op_begin(stats::op_kind::erase);
+    note_key(stats::op_kind::erase, key);
+    const bool erased = erase_impl(key);
+    stats_.on_op_end(stats::op_kind::erase, erased);
+    return erased;
+  }
+
+  // ----------------------------------------------------------------
+  // Concurrent ordered scans, under the same conservative-interval
+  // contract as nm_tree (DESIGN.md): sorted, duplicate-free; every key
+  // present for the scan's whole duration appears, every key absent
+  // throughout does not; a concurrently inserted or erased key may or
+  // may not appear. Routing keys are immutable and each client key
+  // lives in exactly one leaf of one routing slot at any moment, so a
+  // single atomic edge read per slot yields a sorted, dedup-free walk.
+  // ----------------------------------------------------------------
+
+  /// Keys in the half-open interval [lo, hi), ascending. Empty when
+  /// lo >= hi.
+  [[nodiscard]] std::vector<Key> range_scan(const Key& lo,
+                                            const Key& hi) const {
+    std::vector<Key> out;
+    if (!less_(lo, hi)) return out;
+    scan_impl(&lo, &hi, /*closed=*/false,
+              [&out](const Key& k) { out.push_back(k); });
+    return out;
+  }
+
+  /// Keys in the closed interval [lo, hi], ascending — reaches the key
+  /// domain's maximum value, which no half-open interval can name.
+  [[nodiscard]] std::vector<Key> range_scan_closed(const Key& lo,
+                                                   const Key& hi) const {
+    std::vector<Key> out;
+    if (less_(hi, lo)) return out;
+    scan_impl(&lo, &hi, /*closed=*/true,
+              [&out](const Key& k) { out.push_back(k); });
+    return out;
+  }
+
+  /// Bounded form: the up-to-max_items *smallest* keys of [lo, hi),
+  /// ascending. A full page does not by itself imply more keys remain;
+  /// pagers resume above the last key (sharded_set::range_scan_limit).
+  [[nodiscard]] std::vector<Key> range_scan(const Key& lo, const Key& hi,
+                                            std::size_t max_items) const {
+    std::vector<Key> out;
+    if (max_items == 0 || !less_(lo, hi)) return out;
+    scan_impl_until(&lo, &hi, /*closed=*/false, [&](const Key& k) {
+      out.push_back(k);
+      return out.size() < max_items;
+    });
+    return out;
+  }
+
+  /// Concurrent whole-tree ordered visit: fn(key) for every key in
+  /// ascending order, under the same contract as range_scan.
+  template <typename F>
+  void for_each(F&& fn) const {
+    scan_impl(nullptr, nullptr, /*closed=*/false, std::forward<F>(fn));
+  }
+
+  /// Bounded visit over [lo, hi), ascending.
+  template <typename F>
+  void for_each(const Key& lo, const Key& hi, F&& fn) const {
+    if (!less_(lo, hi)) return;
+    scan_impl(&lo, &hi, /*closed=*/false, std::forward<F>(fn));
+  }
+
+  // ----------------------------------------------------------------
+  // Quiescent observers — valid only while no concurrent operations
+  // run. Tests and examples use these; they are not part of the
+  // concurrent API.
+  // ----------------------------------------------------------------
+
+  [[nodiscard]] std::size_t size_slow() const {
+    std::size_t n = 0;
+    for_each_slow([&n](const Key&) { ++n; });
+    return n;
+  }
+
+  [[nodiscard]] bool empty_slow() const { return size_slow() == 0; }
+
+  /// In-order walk over client keys.
+  template <typename F>
+  void for_each_slow(F&& fn) const {
+    walk(root_, fn);
+  }
+
+  [[nodiscard]] std::string validate() const {
+    std::string err;
+    if (root_->is_leaf()) err += "root must be the internal sentinel; ";
+    if (!root_->routes_infinite) err += "root must route to child 0; ";
+    validate_node(root_, nullptr, nullptr, /*is_root=*/true, err);
+    return err;
+  }
+
+  [[nodiscard]] std::size_t height_slow() const {
+    std::size_t best = 0;
+    std::vector<std::pair<const node*, std::size_t>> stack{{root_, 1}};
+    while (!stack.empty()) {
+      auto [n, d] = stack.back();
+      stack.pop_back();
+      best = std::max(best, d);
+      if (!n->is_leaf()) {
+        for (unsigned i = 0; i < K; ++i) {
+          if (const node* c = n->children[i].load().address()) {
+            stack.push_back({c, d + 1});
+          }
+        }
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return node_pool_.footprint_bytes() + info_pool_.footprint_bytes();
+  }
+
+  [[nodiscard]] std::size_t reclaimer_pending() const {
+    return reclaimer_.pending();
+  }
+
+  [[nodiscard]] Stats& stats() const noexcept { return stats_; }
+
+ private:
+  enum class state { clean, iflag, dflag, mark };
+
+  struct node;
+  struct info_record;
+  using update_word = tagged_word<info_record, Atomics>;
+  using child_word = tagged_word<node, Atomics>;
+  using update_t = tagged_ptr<info_record>;
+  using child_ptr = tagged_ptr<node>;
+
+  /// One node type for both kinds, cache-line aligned. Leaves:
+  /// key_count client keys in keys[0..key_count), children all null.
+  /// Internal nodes: key_count == K-1 routing keys, K non-null
+  /// children, internal flag set. The leading line carries the key
+  /// array plus the count/kind bytes (one line covers the whole
+  /// routing scan for the tuned fanouts); the update word and child
+  /// edges follow on the next line(s).
+  struct alignas(64) node {
+    std::array<Key, K - 1> keys{};
+    std::uint8_t key_count = 0;
+    bool internal = false;
+    /// Root only: every routing key is conceptually +∞, so all client
+    /// keys route to child 0 and `keys` is never read (it holds
+    /// value-initialized garbage — never use it for pruning or
+    /// validation when this flag is set).
+    bool routes_infinite = false;
+    update_word update;  // meaningful on internal nodes
+    std::array<child_word, K> children;
+
+    [[nodiscard]] bool is_leaf() const noexcept { return !internal; }
+  };
+
+  struct replace_fields {
+    node* parent;
+    node* old_child;
+    node* new_child;
+    unsigned child_index;
+  };
+  struct coalesce_fields {
+    node* grandparent;
+    node* parent;
+    node* union_leaf;
+    update_t pupdate;
+    unsigned parent_index;  // index of parent in grandparent's children
+  };
+
+  struct info_record {
+    union {
+      replace_fields replace;
+      coalesce_fields coalesce;
+    };
+    info_record() : replace{} {}
+  };
+
+  struct search_result {
+    node* grandparent = nullptr;
+    node* parent = nullptr;
+    node* leaf = nullptr;
+    update_t gpupdate{};
+    update_t pupdate{};
+    unsigned parent_index = 0;  // parent's slot in grandparent
+    unsigned child_index = 0;   // leaf's slot in parent
+  };
+
+  static state update_state(update_t u) noexcept {
+    const bool f = u.flagged(), t = u.tagged();
+    if (f && t) return state::mark;
+    if (f) return state::iflag;
+    if (t) return state::dflag;
+    return state::clean;
+  }
+
+  [[nodiscard]] bool key_eq(const Key& a, const Key& b) const {
+    return !less_(a, b) && !less_(b, a);
+  }
+
+  /// Child slot for `key` at internal node `n`: the first routing key
+  /// strictly greater than `key` decides (branch-free / SIMD kernel).
+  [[nodiscard]] unsigned child_index_for(const node* n,
+                                         const Key& key) const {
+    if (n->routes_infinite) return 0;
+    return multiway::route_index(n->keys.data(), n->key_count, key, less_);
+  }
+
+  [[nodiscard]] bool leaf_contains(const node* n, const Key& key) const {
+    return multiway::contains_key(n->keys.data(), n->key_count, key, less_);
+  }
+
+  // --- seek ---------------------------------------------------------------
+
+  void seek(const Key& key, search_result& s) const {
+    if constexpr (validated) {
+      // The root is immortal, so restarting from it is always safe.
+      while (!seek_protected_from(root_, key, s)) {
+      }
+    } else {
+      search_from(root_, key, s);
+    }
+  }
+
+  /// Retry seek after a failed CAS. Under restart::from_anchor, resume
+  /// from the deepest still-unmarked node of the previous descent
+  /// (grandparent when one was recorded, else the parent): internal
+  /// nodes leave the tree only via COALESCE, which MARKs them first and
+  /// marks are terminal, so an unmarked anchor is still reachable; its
+  /// routing keys are immutable, so it still routes `key`. A resumed
+  /// descent that finds the leaf directly under the anchor reports no
+  /// grandparent, which just disables COALESCE for that attempt.
+  void seek_retry(const Key& key, search_result& s) const {
+    if constexpr (Restart::resume_from_anchor) {
+      if (try_resume(key, s)) {
+        stats_.on_seek_resume_local();
+        return;
+      }
+      stats_.on_seek_anchor_fallback();
+    }
+    seek(key, s);
+  }
+
+  bool try_resume(const Key& key, search_result& s) const {
+    node* anchor = s.grandparent != nullptr ? s.grandparent : s.parent;
+    if (anchor == nullptr) return false;
+    // Under hazard the anchor is still announced in its descent slot
+    // (the guard has not been destroyed between attempts); under
+    // epoch/leaky the pin keeps it dereferenceable. seq_cst so the
+    // mark test orders after whatever CAS failure sent us here.
+    if (update_state(anchor->update.load(std::memory_order_seq_cst)) ==
+        state::mark) {
+      return false;
+    }
+    if constexpr (validated) {
+      return seek_protected_from(anchor, key, s);
+    } else {
+      search_from(anchor, key, s);
+      return true;
+    }
+  }
+
+  /// Plain descent (epoch/leaky): the pin keeps every node
+  /// dereferenceable; stale results are caught by the CAS protocol.
+  void search_from(node* start, const Key& key, search_result& s) const {
+    s = search_result{};
+    [[maybe_unused]] std::uint64_t depth = 0;
+    node* current = start;
+    while (current->internal) {
+      if constexpr (Stats::enabled) ++depth;
+      s.grandparent = s.parent;
+      s.gpupdate = s.pupdate;
+      s.parent_index = s.child_index;
+      s.parent = current;
+      s.pupdate = current->update.load();
+      const unsigned index = child_index_for(current, key);
+      s.child_index = index;
+      node* next = current->children[index].load().address();
+      if constexpr (use_backoff) {
+        // Dependent-load chain: overlap the next node's miss with this
+        // level's bookkeeping. Two lines: keys, then update+children.
+        prefetch_ro(next);
+        prefetch_ro(reinterpret_cast<const char*>(next) + 64);
+      }
+      current = next;
+    }
+    s.leaf = current;
+    if constexpr (Stats::enabled) stats_.on_seek(depth);
+  }
+
+  /// One validated-descent attempt (hazard). Returns false when a
+  /// validation fails; the caller restarts from a safe node.
+  /// Precondition: `start` is safe to dereference — the immortal root,
+  /// or an anchor still announced in a descent slot.
+  ///
+  /// Slot rotation keeps every live pointer of the evolving
+  /// (grandparent, parent, current) window covered: hp_ancestor ←
+  /// grandparent, hp_parent ← parent, hp_leaf ← current, hp_scratch ←
+  /// the candidate child being validated.
+  bool seek_protected_from(node* start, const Key& key,
+                           search_result& s) const {
+    auto& dom = reclaimer_.domain();
+    s = search_result{};
+    [[maybe_unused]] std::uint64_t depth = 0;
+    node* current = start;
+    dom.announce(Reclaimer::hp_leaf, current);
+    while (current->internal) {
+      if constexpr (Stats::enabled) ++depth;
+      s.grandparent = s.parent;
+      s.gpupdate = s.pupdate;
+      s.parent_index = s.child_index;
+      s.parent = current;
+      // Rotate before hp_leaf is reused: the outgoing parent (already
+      // in hp_parent) moves to hp_ancestor, current (already in
+      // hp_leaf) moves to hp_parent — each pointer is continuously
+      // covered by at least one slot.
+      if (s.grandparent != nullptr) {
+        dom.announce(Reclaimer::hp_ancestor, s.grandparent);
+      }
+      dom.announce(Reclaimer::hp_parent, s.parent);
+      s.pupdate = current->update.load();
+      const unsigned index = child_index_for(current, key);
+      s.child_index = index;
+      const child_word* source = &current->children[index];
+      // Discovery load: acquire suffices — the candidate is not
+      // dereferenced until the announce below is validated.
+      child_ptr discovered = source->load(std::memory_order_acquire);
+      node* next = discovered.address();  // internal child: never null
+      if constexpr (use_backoff) prefetch_ro(next);
+      dom.announce(Reclaimer::hp_scratch, next);
+      // Validating re-read: seq_cst so it cannot be reordered before
+      // the seq_cst announce store — the store-load pair guarantees a
+      // concurrent retirer's scan sees the announcement.
+      const child_ptr recheck = source->load(std::memory_order_seq_cst);
+      if (recheck.address() != next) return false;  // edge moved
+      // k-ary edges are never marked, so the edge recheck alone cannot
+      // prove `next` is unretired: a COALESCE freezes the parent's
+      // edges in place and retires the children only after swinging
+      // the grandparent's edge. The MARK on the parent precedes that
+      // swing and is terminal — "unmarked after the announce" proves
+      // the children were not yet retired when `next` was announced.
+      if (update_state(current->update.load(std::memory_order_seq_cst)) ==
+          state::mark) {
+        return false;
+      }
+      dom.announce(Reclaimer::hp_leaf, next);
+      current = next;
+    }
+    s.leaf = current;
+    if constexpr (Stats::enabled) stats_.on_seek(depth);
+    return true;
+  }
+
+  // --- helping ------------------------------------------------------------
+
+  /// Help the operation recorded in `u`, read from `owner`'s update
+  /// word. Precondition: `owner` is protected (a descent slot, or the
+  /// helper slots taken below).
+  ///
+  /// Hazard-mode info protection: announce the record in hp_flagged,
+  /// then re-read the owner's word — sound for IFLAG/DFLAG because the
+  /// unflag CAS rewrites the word before the winner retires the
+  /// record. A MARK freezes the word forever, so that re-read proves
+  /// nothing; marked words are helped only through help_mark_with_gp
+  /// (validated via the grandparent's edge) and skipped here — the
+  /// mark's owner operation is guaranteed to complete it.
+  void help(node* owner, update_t u) const {
+    const state st = update_state(u);
+    if (st == state::clean) return;
+    stats_.on_help();
+    if constexpr (validated) {
+      if (st == state::mark) return;
+      auto& dom = reclaimer_.domain();
+      dom.announce(Reclaimer::hp_flagged, u.address());
+      const update_t recheck = owner->update.load(std::memory_order_seq_cst);
+      if (recheck != u) return;  // op finished; record may be retired
+      if (st == state::iflag) {
+        help_replace(u.address());
+      } else {
+        help_coalesce(u.address(), /*parent_protected=*/false);
+      }
+    } else {
+      switch (st) {
+        case state::iflag:
+          help_replace(u.address());
+          break;
+        case state::dflag:
+          help_coalesce(u.address(), /*parent_protected=*/false);
+          break;
+        case state::mark:
+          help_marked(u.address());
+          break;
+        case state::clean:
+          break;
+      }
+    }
+    (void)owner;
+  }
+
+  /// Help a busy update word found during a descent, with the seek
+  /// record's protected context. The extra context lets hazard mode
+  /// help a MARK too: a marked parent always has a recorded
+  /// grandparent (the root is never a coalesce target).
+  void help_situated(const search_result& s, update_t u) const {
+    if constexpr (validated) {
+      if (update_state(u) == state::mark) {
+        if (s.grandparent != nullptr) {
+          stats_.on_help();
+          help_mark_with_gp(s.grandparent, s.parent_index, s.parent, u);
+        }
+        return;
+      }
+    }
+    help(s.parent, u);
+  }
+
+  /// Hazard-mode helper for a MARKed parent: the frozen word cannot
+  /// validate the record, but the grandparent's edge can — the winner
+  /// swings gp->children[parent_index] off `parent` before retiring
+  /// the record, so announcing the record and then observing the edge
+  /// still addressing `parent` proves the record was live at announce
+  /// time. Preconditions: `gp` and `parent` protected by descent
+  /// slots; internal nodes are never re-parented, so the op's own
+  /// grandparent field names the same `gp`.
+  void help_mark_with_gp(node* gp, unsigned parent_index, node* parent,
+                         update_t u) const {
+    auto& dom = reclaimer_.domain();
+    info_record* op = u.address();
+    dom.announce(Reclaimer::hp_flagged, op);
+    const child_ptr edge =
+        gp->children[parent_index].load(std::memory_order_seq_cst);
+    if (edge.address() != parent) return;  // already swung; op may be gone
+    help_marked(op);
+  }
+
+  void help_replace(info_record* op) const {
+    // Swing the parent's recorded child slot, then unflag.
+    child_ptr expected = child_ptr::clean(op->replace.old_child);
+    stats_.on_cas();
+    op->replace.parent->children[op->replace.child_index].compare_exchange(
+        expected, child_ptr::clean(op->replace.new_child));
+    update_t uexp(op, /*iflag=*/true, /*dflag=*/false);
+    stats_.on_cas();
+    op->replace.parent->update.compare_exchange(uexp,
+                                                update_t(op, false, false));
+  }
+
+  /// Returns true if the coalesce committed (parent marked), false if
+  /// it aborted because the parent could not be marked. The initiator
+  /// passes parent_protected=true (the parent sits in a descent slot);
+  /// hazard-mode helpers protect it here via the coalesce-parent slot,
+  /// validated against the grandparent's still-DFLAGged word (the
+  /// winner unflags before retiring the parent, so "still DFLAGged
+  /// after the announce" proves the parent was not yet retired).
+  bool help_coalesce(info_record* op, bool parent_protected) const {
+    node* parent = op->coalesce.parent;
+    if constexpr (validated) {
+      if (!parent_protected) {
+        auto& dom = reclaimer_.domain();
+        // Slot reuse: ops never run inside scans, so the scan anchor
+        // slot is free here.
+        dom.announce(Reclaimer::hp_scan_turn_anchor, parent);
+        const update_t gcheck =
+            op->coalesce.grandparent->update.load(std::memory_order_seq_cst);
+        if (gcheck != update_t(op, /*iflag=*/false, /*dflag=*/true)) {
+          return false;  // finished or aborted; nothing left to help
+        }
+      }
+    }
+    update_t expected = op->coalesce.pupdate;
+    stats_.on_cas();
+    const bool marked = parent->update.compare_exchange(
+        expected, update_t(op, /*iflag=*/true, /*dflag=*/true));
+    if (marked || expected == update_t(op, true, true)) {
+      help_marked(op);
+      return true;
+    }
+    // The parent is busy with another operation. Help it, then abort
+    // our coalesce by unflagging the grandparent. Under hazard the
+    // inner help is restricted to IFLAG obstructions (the only slot
+    // left is the scan successor slot, and one level suffices for
+    // lock-freedom: a DFLAG/MARK obstruction's own operation makes
+    // progress without us).
+    if constexpr (validated) {
+      help_iflag_obstruction(parent, expected);
+    } else {
+      help(parent, expected);
+    }
+    update_t gexp(op, /*iflag=*/false, /*dflag=*/true);
+    stats_.on_cas();
+    op->coalesce.grandparent->update.compare_exchange(
+        gexp, update_t(op, false, false));
+    return false;
+  }
+
+  /// Hazard-mode bounded inner help: only IFLAG obstructions, with the
+  /// record validated by re-reading the (protected) owner's word.
+  void help_iflag_obstruction(node* owner, update_t u) const {
+    if (update_state(u) != state::iflag) return;
+    auto& dom = reclaimer_.domain();
+    dom.announce(Reclaimer::hp_scan_turn_successor, u.address());
+    const update_t recheck = owner->update.load(std::memory_order_seq_cst);
+    if (recheck != u) return;
+    stats_.on_help();
+    help_replace(u.address());
+  }
+
+  void help_marked(info_record* op) const {
+    child_ptr expected = child_ptr::clean(op->coalesce.parent);
+    stats_.on_cas();
+    op->coalesce.grandparent->children[op->coalesce.parent_index]
+        .compare_exchange(expected,
+                          child_ptr::clean(op->coalesce.union_leaf));
+    update_t gexp(op, /*iflag=*/false, /*dflag=*/true);
+    stats_.on_cas();
+    op->coalesce.grandparent->update.compare_exchange(
+        gexp, update_t(op, false, false));
+  }
+
+  // --- modify operations ---------------------------------------------------
+
+  bool insert_impl(const Key& key) {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    [[maybe_unused]] backoff delay;
+    search_result s;
+    seek(key, s);
+    for (;;) {
+      if (leaf_contains(s.leaf, key)) return false;
+      if (update_state(s.pupdate) != state::clean) {
+        help_situated(s, s.pupdate);
+        stats_.on_seek_restart(stats::restart_kind::cleanup_mode);
+        if constexpr (use_backoff) delay();
+        seek_retry(key, s);
+        continue;
+      }
+      node* replacement = (s.leaf->key_count < leaf_capacity)
+                              ? make_leaf_with(s.leaf, &key, nullptr)
+                              : sprout(s.leaf, key);
+      info_record* op = make_info();
+      op->replace = {s.parent, s.leaf, replacement, s.child_index};
+
+      update_t expected = s.pupdate;
+      stats_.on_cas();
+      if (s.parent->update.compare_exchange(
+              expected, update_t(op, /*iflag=*/true, /*dflag=*/false))) {
+        help_replace(op);
+        if constexpr (Reclaimer::reclaims_eagerly) {
+          reclaimer_.retire(s.leaf, &node_deleter, &node_pool_);
+          retire_info_later(op);
+        }
+        return true;
+      }
+      destroy_replacement(replacement);
+      destroy_info(op);
+      help(s.parent, expected);
+      stats_.on_seek_restart(stats::restart_kind::injection_fail);
+      if constexpr (use_backoff) delay();
+      seek_retry(key, s);
+    }
+  }
+
+  bool erase_impl(const Key& key) {
+    [[maybe_unused]] auto guard = reclaimer_.pin();
+    [[maybe_unused]] backoff delay;
+    search_result s;
+    seek(key, s);
+    for (;;) {
+      if (!leaf_contains(s.leaf, key)) return false;
+      if (update_state(s.pupdate) != state::clean) {
+        help_situated(s, s.pupdate);
+        stats_.on_seek_restart(stats::restart_kind::cleanup_mode);
+        if constexpr (use_backoff) delay();
+        seek_retry(key, s);
+        continue;
+      }
+
+      // Decide between REPLACE and COALESCE. Coalescing needs a
+      // grandparent with a clean update word and all of the parent's
+      // children to be leaves whose surviving keys fit in one leaf. A
+      // busy grandparent does not block the erase: fall back to
+      // REPLACE and let collapse_upward prune later — under hazard
+      // there is no protected great-grandparent to help a gp-mark
+      // with, and under every policy the fallback is simpler than
+      // helping and retrying.
+      std::array<node*, K> siblings{};
+      std::array<Key, K> union_keys{};
+      unsigned union_count = 0;
+      const bool coalesce =
+          s.grandparent != nullptr &&
+          update_state(s.gpupdate) == state::clean &&
+          gather_children(s, &key, siblings, union_keys, union_count);
+
+      if (!coalesce) {
+        node* replacement = make_leaf_with(s.leaf, nullptr, &key);
+        info_record* op = make_info();
+        op->replace = {s.parent, s.leaf, replacement, s.child_index};
+        update_t expected = s.pupdate;
+        stats_.on_cas();
+        if (s.parent->update.compare_exchange(
+                expected, update_t(op, /*iflag=*/true, /*dflag=*/false))) {
+          help_replace(op);
+          const bool emptied = (replacement->key_count == 0);
+          if constexpr (Reclaimer::reclaims_eagerly) {
+            reclaimer_.retire(s.leaf, &node_deleter, &node_pool_);
+            retire_info_later(op);
+          }
+          if (emptied) collapse_upward(key);
+          return true;
+        }
+        destroy_node(replacement);
+        destroy_info(op);
+        help(s.parent, expected);
+        stats_.on_seek_restart(stats::restart_kind::injection_fail);
+        if constexpr (use_backoff) delay();
+        seek_retry(key, s);
+        continue;
+      }
+
+      // COALESCE path (EFRB delete shape: DFLAG gp, MARK p, swing gp).
+      node* union_leaf = make_leaf_from(union_keys, union_count);
+      info_record* op = make_info();
+      op->coalesce = {s.grandparent, s.parent, union_leaf, s.pupdate,
+                      s.parent_index};
+      update_t expected = s.gpupdate;
+      stats_.on_cas();
+      if (s.grandparent->update.compare_exchange(
+              expected, update_t(op, /*iflag=*/false, /*dflag=*/true))) {
+        if (help_coalesce(op, /*parent_protected=*/true)) {
+          if constexpr (Reclaimer::reclaims_eagerly) {
+            // The winner retires the parent and all its leaf children.
+            reclaimer_.retire(s.parent, &node_deleter, &node_pool_);
+            for (node* sib : siblings) {
+              reclaimer_.retire(sib, &node_deleter, &node_pool_);
+            }
+            retire_info_later(op);
+          }
+          collapse_upward(key);  // cascade: gp may now be collapsible
+          return true;
+        }
+        if constexpr (Reclaimer::reclaims_eagerly) retire_info_later(op);
+        destroy_node(union_leaf);
+      } else {
+        destroy_node(union_leaf);
+        destroy_info(op);
+        help(s.grandparent, expected);
+      }
+      stats_.on_seek_restart(stats::restart_kind::injection_fail);
+      if constexpr (use_backoff) delay();
+      seek_retry(key, s);
+    }
+  }
+
+  /// Read the parent's K children and collect their keys (minus
+  /// `removed` when non-null) into `buf`, bounded by leaf_capacity.
+  /// Returns false when the parent is not coalescible: a non-leaf or
+  /// null child, too many surviving keys, a failed hazard validation,
+  /// or (when `removed` is set) the searched leaf no longer being
+  /// child s.child_index — a concurrent replace swapped it, making the
+  /// union size wrong; the caller's REPLACE/retry covers that case.
+  ///
+  /// Hazard mode protects each sibling for the duration of its copy:
+  /// announce in the scan successor slot (free — ops never run inside
+  /// scans), re-read the edge, and reject if the parent went MARKed
+  /// (the only transition that retires children). The sibling pointers
+  /// returned in `siblings` are used afterward only for the identity
+  /// test and as retire arguments, never dereferenced again; logical
+  /// staleness of the whole read is caught by the MARK CAS, whose
+  /// expected value is the full pupdate word from the descent.
+  bool gather_children(const search_result& s, const Key* removed,
+                       std::array<node*, K>& siblings,
+                       std::array<Key, K>& buf, unsigned& count) const {
+    count = 0;
+    [[maybe_unused]] unsigned total = 0;
+    for (unsigned i = 0; i < K; ++i) {
+      const child_word* source = &s.parent->children[i];
+      const child_ptr edge = source->load(std::memory_order_acquire);
+      node* sib = edge.address();
+      if (sib == nullptr) return false;
+      if constexpr (validated) {
+        auto& dom = reclaimer_.domain();
+        dom.announce(Reclaimer::hp_scan_turn_successor, sib);
+        const child_ptr recheck = source->load(std::memory_order_seq_cst);
+        if (recheck.address() != sib) return false;
+        if (update_state(s.parent->update.load(std::memory_order_seq_cst)) ==
+            state::mark) {
+          return false;
+        }
+      }
+      if (sib->internal) return false;
+      for (unsigned j = 0; j < sib->key_count; ++j) {
+        const Key& k = sib->keys[j];
+        if (removed != nullptr && key_eq(*removed, k)) continue;
+        if (count >= leaf_capacity) return false;  // union would overflow
+        buf[count++] = k;
+      }
+      siblings[i] = sib;
+    }
+    if (removed != nullptr && siblings[s.child_index] != s.leaf) return false;
+    return true;
+  }
+
+  /// Best-effort maintenance: while the parent on `key`'s access path
+  /// is an internal node whose children are all leaves jointly holding
+  /// at most one leaf's worth of keys, collapse it into a single leaf.
+  /// Runs after erases that emptied a leaf so fully drained subtrees
+  /// cascade back to (sentinel root + one leaf) instead of leaving
+  /// chains of empty internal nodes. One failed CAS stops the pass —
+  /// it is pure maintenance, another operation's progress covers ours.
+  void collapse_upward(const Key& key) {
+    for (;;) {
+      search_result s;
+      seek(key, s);
+      if (s.grandparent == nullptr) return;
+      if (update_state(s.gpupdate) != state::clean ||
+          update_state(s.pupdate) != state::clean) {
+        return;
+      }
+      std::array<node*, K> siblings{};
+      std::array<Key, K> union_keys{};
+      unsigned union_count = 0;
+      if (!gather_children(s, nullptr, siblings, union_keys, union_count)) {
+        return;
+      }
+      node* union_leaf = make_leaf_from(union_keys, union_count);
+      info_record* op = make_info();
+      op->coalesce = {s.grandparent, s.parent, union_leaf, s.pupdate,
+                      s.parent_index};
+      update_t expected = s.gpupdate;
+      stats_.on_cas();
+      if (!s.grandparent->update.compare_exchange(
+              expected, update_t(op, /*iflag=*/false, /*dflag=*/true))) {
+        destroy_node(union_leaf);
+        destroy_info(op);
+        return;
+      }
+      if (!help_coalesce(op, /*parent_protected=*/true)) {
+        if constexpr (Reclaimer::reclaims_eagerly) retire_info_later(op);
+        destroy_node(union_leaf);
+        return;
+      }
+      stats_.on_cleanup();
+      if constexpr (Reclaimer::reclaims_eagerly) {
+        reclaimer_.retire(s.parent, &node_deleter, &node_pool_);
+        for (node* sib : siblings) {
+          reclaimer_.retire(sib, &node_deleter, &node_pool_);
+        }
+        retire_info_later(op);
+      }
+      // Collapsed one level; the new union leaf's parent may now be
+      // collapsible too.
+    }
+  }
+
+  // --- ordered scans -------------------------------------------------------
+
+  [[nodiscard]] bool in_range(const Key& k, const Key* lo, const Key* hi,
+                              bool closed) const {
+    if (lo != nullptr && less_(k, *lo)) return false;
+    if (hi != nullptr) {
+      if (closed ? less_(*hi, k) : !less_(k, *hi)) return false;
+    }
+    return true;
+  }
+
+  template <typename F>
+  void scan_impl(const Key* lo, const Key* hi, bool closed, F&& fn) const {
+    scan_impl_until(lo, hi, closed, [&fn](const Key& k) {
+      fn(k);
+      return true;
+    });
+  }
+
+  /// `fn` returns false to stop early. Pins once for the whole scan.
+  template <typename F>
+  void scan_impl_until(const Key* lo, const Key* hi, bool closed,
+                       F&& fn) const {
+    std::uint64_t visited = 0;
+    {
+      [[maybe_unused]] auto guard = reclaimer_.pin();
+      if constexpr (validated) {
+        scan_protected(lo, hi, closed, visited, fn);
+      } else {
+        scan_pinned(lo, hi, closed, visited, fn);
+      }
+    }
+    stats_.on_scan_op(visited);
+  }
+
+  /// Pinned scan (epoch/leaky): explicit-stack DFS over the current
+  /// edges with routing-key pruning. Child i of an internal node
+  /// covers [keys[i-1], keys[i]); children pushed high-to-low so pops
+  /// run ascending. Each edge is read once — a concurrent REPLACE,
+  /// SPROUT, or COALESCE swings whole subtrees, so whichever side of
+  /// the swing the single read observes yields a sorted, dedup-free
+  /// interval-contract result.
+  template <typename F>
+  void scan_pinned(const Key* lo, const Key* hi, bool closed,
+                   std::uint64_t& visited, F& fn) const {
+    std::vector<const node*> stack{root_};
+    while (!stack.empty()) {
+      const node* n = stack.back();
+      stack.pop_back();
+      if (n->is_leaf()) {
+        for (unsigned i = 0; i < n->key_count; ++i) {
+          const Key& k = n->keys[i];
+          if (!in_range(k, lo, hi, closed)) continue;
+          ++visited;
+          if (!fn(k)) return;
+        }
+        continue;
+      }
+      for (unsigned i = K; i-- > 0;) {
+        const node* c = n->children[i].load().address();
+        if (c == nullptr) continue;
+        if (!n->routes_infinite) {
+          if (i > 0 && hi != nullptr) {
+            const Key& lbound = n->keys[i - 1];  // child keys >= lbound
+            if (closed ? less_(*hi, lbound) : !less_(lbound, *hi)) continue;
+          }
+          if (i + 1 < K && lo != nullptr && !less_(*lo, n->keys[i])) {
+            continue;  // child keys < keys[i] <= lo
+          }
+        }
+        stack.push_back(c);
+      }
+    }
+  }
+
+  /// Hazard scan: cursor-driven rounds. Each round runs one validated
+  /// two-slot descent routed by the cursor (scan-turn slot holds the
+  /// current node, scratch the candidate child — the root is
+  /// immortal), tracking `bound` = the tightest routing key greater
+  /// than the cursor seen on the way down (the chosen child's upper
+  /// interval end; deeper nodes only tighten it). The reached leaf's
+  /// in-range keys at or above the cursor are emitted, then the cursor
+  /// advances to `bound` — strictly increasing, since the routing key
+  /// at the chosen slot exceeds the cursor by definition — until the
+  /// descent runs off the right spine (no bound) or past `hi`. A
+  /// validation failure retries the round at the same cursor.
+  template <typename F>
+  void scan_protected(const Key* lo, const Key* hi, bool closed,
+                      std::uint64_t& visited, F& fn) const {
+    auto& dom = reclaimer_.domain();
+    [[maybe_unused]] backoff delay;
+    bool have_cursor = (lo != nullptr);
+    Key cursor{};
+    if (lo != nullptr) cursor = *lo;
+    for (;;) {
+      node* current = root_;
+      dom.announce(Reclaimer::hp_scan_turn, current);
+      bool have_bound = false;
+      Key bound{};
+      bool ok = true;
+      while (current->internal) {
+        unsigned index = 0;
+        if (!current->routes_infinite) {
+          index = have_cursor ? multiway::route_index(current->keys.data(),
+                                                      current->key_count,
+                                                      cursor, less_)
+                              : 0;
+          // route_index counts keys <= cursor, so keys[index] (when it
+          // exists) is the first routing key strictly above the cursor.
+          if (index < current->key_count) {
+            bound = current->keys[index];
+            have_bound = true;
+          }
+        }
+        const child_word* source = &current->children[index];
+        const child_ptr edge = source->load(std::memory_order_acquire);
+        node* next = edge.address();
+        dom.announce(Reclaimer::hp_scratch, next);
+        const child_ptr recheck = source->load(std::memory_order_seq_cst);
+        if (recheck.address() != next) {
+          ok = false;
+          break;
+        }
+        // Same MARK rule as the seek: the edge recheck alone cannot
+        // prove `next` unretired (see seek_protected_from).
+        if (update_state(current->update.load(std::memory_order_seq_cst)) ==
+            state::mark) {
+          ok = false;
+          break;
+        }
+        dom.announce(Reclaimer::hp_scan_turn, next);
+        current = next;
+      }
+      if (!ok) {
+        stats_.on_scan_restart();
+        if constexpr (use_backoff) delay();
+        continue;
+      }
+      for (unsigned i = 0; i < current->key_count; ++i) {
+        const Key& k = current->keys[i];
+        if (have_cursor && less_(k, cursor)) continue;
+        if (!in_range(k, lo, hi, closed)) continue;
+        ++visited;
+        if (!fn(k)) return;
+      }
+      if (!have_bound) return;  // right spine reached: nothing above
+      if (hi != nullptr && (closed ? less_(*hi, bound) : !less_(bound, *hi))) {
+        return;  // next round would start at or past hi
+      }
+      cursor = bound;
+      have_cursor = true;
+      if constexpr (use_backoff) delay.reset();
+    }
+  }
+
+  // --- node construction ---------------------------------------------------
+
+  static constexpr std::size_t node_slab_bytes() noexcept {
+    // Slabs sized to the fat node: at least 256 nodes per refill so
+    // wide fanouts do not thrash the global slab lock.
+    constexpr std::size_t want = sizeof(node) * 256;
+    return want > (std::size_t{1} << 16) ? want : (std::size_t{1} << 16);
+  }
+
+  node* alloc_node() const {
+    stats_.on_alloc();
+    return new (node_pool_.allocate(sizeof(node))) node{};
+  }
+
+  /// New leaf = `base`'s keys, plus `added` (if non-null), minus
+  /// `removed` (if non-null). Keeps the array sorted.
+  node* make_leaf_with(const node* base, const Key* added,
+                       const Key* removed) const {
+    node* n = alloc_node();
+    unsigned count = 0;
+    bool added_done = (added == nullptr);
+    for (unsigned i = 0; i < base->key_count; ++i) {
+      const Key& k = base->keys[i];
+      if (removed != nullptr && key_eq(*removed, k)) continue;
+      if (!added_done && less_(*added, k)) {
+        n->keys[count++] = *added;
+        added_done = true;
+      }
+      n->keys[count++] = k;
+    }
+    if (!added_done) n->keys[count++] = *added;
+    n->key_count = static_cast<std::uint8_t>(count);
+    LFBST_ASSERT(count <= leaf_capacity, "leaf overflow in make_leaf_with");
+    return n;
+  }
+
+  /// SPROUT: distribute the full leaf's K-1 keys plus `key` over K
+  /// fresh one-key leaves under a new internal node whose routing keys
+  /// are the upper K-1 of the K sorted keys.
+  node* sprout(const node* full_leaf, const Key& key) const {
+    std::array<Key, K> all{};
+    unsigned count = 0;
+    bool placed = false;
+    for (unsigned i = 0; i < full_leaf->key_count; ++i) {
+      const Key& k = full_leaf->keys[i];
+      if (!placed && less_(key, k)) {
+        all[count++] = key;
+        placed = true;
+      }
+      all[count++] = k;
+    }
+    if (!placed) all[count++] = key;
+    LFBST_ASSERT(count == K, "sprout expects exactly K keys");
+
+    node* internal = alloc_node();
+    internal->internal = true;
+    internal->key_count = K - 1;
+    for (unsigned i = 0; i < K - 1; ++i) internal->keys[i] = all[i + 1];
+    for (unsigned i = 0; i < K; ++i) {
+      node* leaf = alloc_node();
+      leaf->keys[0] = all[i];
+      leaf->key_count = 1;
+      internal->children[i].store_relaxed(child_ptr::clean(leaf));
+    }
+    return internal;
+  }
+
+  /// Leaf from a gathered, already-sorted key buffer (children are
+  /// ordered by the routing keys, so slot-order concatenation sorts).
+  node* make_leaf_from(const std::array<Key, K>& buf, unsigned count) const {
+    node* n = alloc_node();
+    for (unsigned i = 0; i < count; ++i) n->keys[i] = buf[i];
+    n->key_count = static_cast<std::uint8_t>(count);
+    LFBST_ASSERT(count <= leaf_capacity, "union leaf overflow");
+    return n;
+  }
+
+  node* make_internal_sentinel() {
+    node* n = alloc_node();
+    n->internal = true;
+    n->routes_infinite = true;
+    n->key_count = K - 1;
+    for (unsigned i = 0; i < K; ++i) {
+      node* leaf = alloc_node();  // empty leaf
+      n->children[i].store_relaxed(child_ptr::clean(leaf));
+    }
+    return n;
+  }
+
+  info_record* make_info() const {
+    stats_.on_alloc();
+    return new (info_pool_.allocate(sizeof(info_record))) info_record();
+  }
+
+  void destroy_node(node* n) const {
+    n->~node();
+    node_pool_.deallocate(n);
+  }
+  /// Destroys an unpublished replacement (a leaf, or a sprouted
+  /// internal node together with its fresh children).
+  void destroy_replacement(node* n) const {
+    if (n->internal) {
+      for (unsigned i = 0; i < K; ++i) {
+        destroy_node(n->children[i].load().address());
+      }
+    }
+    destroy_node(n);
+  }
+  void destroy_info(info_record* op) const {
+    op->~info_record();
+    info_pool_.deallocate(op);
+  }
+  static void node_deleter(void* obj, void* ctx) noexcept {
+    static_cast<node*>(obj)->~node();
+    static_cast<node_pool*>(ctx)->deallocate(obj);
+  }
+  static void info_deleter(void* obj, void* ctx) noexcept {
+    static_cast<info_record*>(obj)->~info_record();
+    static_cast<node_pool*>(ctx)->deallocate(obj);
+  }
+  void retire_info_later(info_record* op) const {
+    reclaimer_.retire(op, &info_deleter, &info_pool_);
+  }
+
+  // --- quiescent helpers ---------------------------------------------------
+
+  template <typename F>
+  void walk(const node* n, F& fn) const {
+    if (n->is_leaf()) {
+      for (unsigned i = 0; i < n->key_count; ++i) fn(n->keys[i]);
+      return;
+    }
+    for (unsigned i = 0; i < K; ++i) {
+      walk(n->children[i].load(std::memory_order_relaxed).address(), fn);
+    }
+  }
+
+  void validate_node(const node* n, const Key* low, const Key* high,
+                     bool is_root, std::string& err) const {
+    if (!is_root && n->routes_infinite) {
+      err += "routes_infinite below the root; ";
+    }
+    if (n->is_leaf()) {
+      for (unsigned i = 0; i < n->key_count; ++i) {
+        if (i + 1 < n->key_count && !less_(n->keys[i], n->keys[i + 1])) {
+          err += "leaf keys not strictly sorted; ";
+        }
+        if (low != nullptr && less_(n->keys[i], *low)) {
+          err += "leaf key below bound; ";
+        }
+        if (high != nullptr && !less_(n->keys[i], *high)) {
+          err += "leaf key not below bound; ";
+        }
+      }
+      return;
+    }
+    if (n->key_count != K - 1) err += "internal node without K-1 routes; ";
+    if (update_state(n->update.load(std::memory_order_relaxed)) !=
+        state::clean) {
+      err += "reachable non-CLEAN update word at quiescence; ";
+    }
+    if (!n->routes_infinite) {
+      for (unsigned i = 0; i + 1 < K - 1; ++i) {
+        if (less_(n->keys[i + 1], n->keys[i])) {
+          err += "routing keys out of order; ";
+        }
+      }
+    }
+    for (unsigned i = 0; i < K; ++i) {
+      const node* child =
+          n->children[i].load(std::memory_order_relaxed).address();
+      if (child == nullptr) {
+        err += "internal node with missing child; ";
+        continue;
+      }
+      // The root's key array is garbage: its children get no bounds
+      // (children 1..K-1 are permanently empty leaves anyway).
+      const Key* lo =
+          (i == 0 || n->routes_infinite) ? low : &n->keys[i - 1];
+      const Key* hi =
+          (i == K - 1 || n->routes_infinite) ? high : &n->keys[i];
+      validate_node(child, lo, hi, /*is_root=*/false, err);
+    }
+  }
+
+  void destroy_reachable(node* root) {
+    std::vector<node*> stack{root};
+    while (!stack.empty()) {
+      node* n = stack.back();
+      stack.pop_back();
+      if (n->internal) {
+        for (unsigned i = 0; i < K; ++i) {
+          if (node* c =
+                  n->children[i].load(std::memory_order_relaxed).address()) {
+            stack.push_back(c);
+          }
+        }
+      }
+      destroy_node(n);
+    }
+  }
+
+  /// Key-hotness hook for the obs heatmap; vanishes unless the stats
+  /// policy implements on_op_key and the key converts to an integer.
+  void note_key(stats::op_kind kind, const Key& key) const noexcept {
+    if constexpr (requires(std::int64_t k) { stats_.on_op_key(kind, k); } &&
+                  std::is_convertible_v<Key, std::int64_t>) {
+      stats_.on_op_key(kind, static_cast<std::int64_t>(key));
+    }
+  }
+
+  [[no_unique_address]] Compare less_{};
+  [[no_unique_address]] mutable Stats stats_{};
+  mutable node_pool node_pool_;
+  mutable node_pool info_pool_;
+  mutable Reclaimer reclaimer_{};
+  node* root_ = nullptr;
+};
+
+}  // namespace lfbst

@@ -7,6 +7,7 @@
 #include <set>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "lfbst/lfbst.hpp"
@@ -52,6 +53,22 @@ void run_sweep(Tree& tree, const sweep_params& p, int ops) {
   }
   ASSERT_EQ(tree.size_slow(), oracle.size()) << Tree::algorithm_name;
   ASSERT_EQ(tree.validate(), "") << Tree::algorithm_name;
+  // Ordered-scan agreement over a quiescent tree. Every tree offers the
+  // same bounded-scan surface (kary included — no for_each-only
+  // carve-outs), so the sweep checks it for all of them.
+  if constexpr (requires { tree.range_scan(0L, 1L); }) {
+    const long lo = p.key_range / 4;
+    const long hi = (3 * p.key_range) / 4 + 1;
+    std::vector<long> expected;
+    for (const long k : oracle) {
+      if (k >= lo && k < hi) expected.push_back(k);
+    }
+    ASSERT_EQ(tree.range_scan(lo, hi), expected) << Tree::algorithm_name;
+    std::vector<long> visited;
+    tree.for_each([&visited](const long& k) { visited.push_back(k); });
+    ASSERT_EQ(visited, std::vector<long>(oracle.begin(), oracle.end()))
+        << Tree::algorithm_name;
+  }
 }
 
 TEST_P(PropertySweep, NmTreeMatchesOracle) {
@@ -103,6 +120,18 @@ TEST_P(PropertySweep, KaryTreeMatchesOracle) {
 
 TEST_P(PropertySweep, KaryTreeWideFanoutMatchesOracle) {
   kary_tree<long, 8> t;
+  run_sweep(t, GetParam(), 30'000);
+}
+
+TEST_P(PropertySweep, KaryTreeHazardMatchesOracle) {
+  kary_tree<long, 8, std::less<long>, reclaim::hazard> t;
+  run_sweep(t, GetParam(), 30'000);
+}
+
+TEST_P(PropertySweep, KaryTreeFromRootMatchesOracle) {
+  kary_tree<long, 16, std::less<long>, reclaim::epoch, stats::none,
+            atomics::native, restart::from_root>
+      t;
   run_sweep(t, GetParam(), 30'000);
 }
 

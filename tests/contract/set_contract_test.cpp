@@ -31,9 +31,13 @@ using AllTrees =
                      nm_tree<long, std::less<long>, reclaim::leaky,
                              stats::none, tag_policy::cas_only>,
                      nm_tree<long, std::less<long>, reclaim::hazard>,
-                     // extensions
+                     // multiway k-ary tree, across its policy axes
                      kary_tree<long, 4>,
-                     kary_tree<long, 8, std::less<long>, reclaim::epoch>>;
+                     kary_tree<long, 8, std::less<long>, reclaim::epoch>,
+                     kary_tree<long, 8, std::less<long>, reclaim::hazard>,
+                     kary_tree<long, 16, std::less<long>, reclaim::hazard,
+                               stats::none, atomics::native,
+                               restart::from_root>>;
 
 class TreeNames {
  public:

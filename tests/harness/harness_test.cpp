@@ -130,7 +130,7 @@ TEST(Runner, WorksAcrossAllAlgorithms) {
     EXPECT_EQ(t.validate(), "") << Tree::algorithm_name;
     ++count;
   });
-  EXPECT_EQ(count, 6);
+  EXPECT_EQ(count, 7);
 }
 
 TEST(Runner, WorksAcrossShardedAlgorithms) {
@@ -147,7 +147,7 @@ TEST(Runner, WorksAcrossShardedAlgorithms) {
     EXPECT_EQ(set.validate(), "") << Set::algorithm_name;
     ++count;
   });
-  EXPECT_EQ(count, 3);
+  EXPECT_EQ(count, 4);
 }
 
 TEST(Runner, ShardedConservationMatchesPlainTree) {

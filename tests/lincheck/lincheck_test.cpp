@@ -195,5 +195,20 @@ TEST(LincheckTrees, CoarseTreeHistoriesAreLinearizable) {
   run_recorded_histories<coarse_tree<long>>(100);
 }
 
+TEST(LincheckTrees, KaryTreeHistoriesAreLinearizable) {
+  // K = 2 leaves hold one key, so the hot-key soup drives SPROUT and
+  // COALESCE on nearly every structural operation.
+  run_recorded_histories<kary_tree<long, 2>>(200);
+}
+
+TEST(LincheckTrees, KaryTreeWideHistoriesAreLinearizable) {
+  run_recorded_histories<kary_tree<long, 8>>(200);
+}
+
+TEST(LincheckTrees, KaryTreeHazardHistoriesAreLinearizable) {
+  run_recorded_histories<
+      kary_tree<long, 8, std::less<long>, reclaim::hazard>>(200);
+}
+
 }  // namespace
 }  // namespace lfbst

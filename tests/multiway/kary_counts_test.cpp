@@ -9,7 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/stats.hpp"
-#include "extensions/kary_tree.hpp"
+#include "multiway/kary_tree.hpp"
 
 namespace lfbst {
 namespace {

@@ -1,0 +1,226 @@
+// Hazard-pointer-protected multiway tree: the validated descent with
+// the per-level mark check, bounded garbage, heavy concurrent churn with
+// readers, and the teardown canaries the destructor-ordering comment in
+// multiway/kary_tree.hpp points at — trees destroyed with a non-empty
+// retired backlog must free everything exactly once (UAF/double-free
+// shows under ASAN, the PR 5 epoch-teardown bug class).
+#include "multiway/kary_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard_reclaimer.hpp"
+
+namespace lfbst {
+namespace {
+
+using hazard_tree = kary_tree<long, 8, std::less<long>, reclaim::hazard>;
+using hazard_wide_tree = kary_tree<long, 16, std::less<long>, reclaim::hazard>;
+using hazard_root_tree =
+    kary_tree<long, 8, std::less<long>, reclaim::hazard, stats::none,
+              atomics::native, restart::from_root>;
+using epoch_tree = kary_tree<long, 8, std::less<long>, reclaim::epoch>;
+
+TEST(KaryHazard, SequentialSemanticsMatchOracle) {
+  hazard_tree t;
+  std::set<long> oracle;
+  pcg32 rng(404);
+  for (int i = 0; i < 80'000; ++i) {
+    const long k = rng.bounded(700);
+    switch (rng.bounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), oracle.insert(k).second) << i;
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0) << i;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0) << i;
+    }
+  }
+  EXPECT_EQ(t.size_slow(), oracle.size());
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(KaryHazard, GarbageIsBounded) {
+  // Hazard pointers bound retired-but-unfreed objects by the scan
+  // threshold, independent of operation count. The k-ary tree retires
+  // both nodes and info records through the same domain; fill/drain
+  // rounds exercise REPLACE, SPROUT, and COALESCE retirement.
+  hazard_tree t;
+  for (int round = 0; round < 200; ++round) {
+    for (long k = 0; k < 100; ++k) ASSERT_TRUE(t.insert(k));
+    for (long k = 0; k < 100; ++k) ASSERT_TRUE(t.erase(k));
+  }
+  EXPECT_LT(t.reclaimer_pending(), 5'000u);
+}
+
+template <typename Tree>
+void run_churn_conservation() {
+  Tree t;
+  constexpr unsigned kThreads = 4;
+  std::atomic<long> net{0};
+  spin_barrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      pcg32 rng = pcg32::for_thread(11, tid);
+      long local = 0;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < 40'000; ++i) {
+        const long k = rng.bounded(128);
+        if (rng.bounded(2) == 0) {
+          if (t.insert(k)) ++local;
+        } else {
+          if (t.erase(k)) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.size_slow(), static_cast<std::size_t>(net.load()));
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(KaryHazard, ConcurrentChurnConservation) {
+  run_churn_conservation<hazard_tree>();
+}
+TEST(KaryHazard, ConcurrentChurnConservationWideFanout) {
+  run_churn_conservation<hazard_wide_tree>();
+}
+TEST(KaryHazard, ConcurrentChurnConservationFromRoot) {
+  run_churn_conservation<hazard_root_tree>();
+}
+
+TEST(KaryHazard, ReadersNeverSeeReclaimedNodes) {
+  // Readers race deleters on a hot key range; every contains() must
+  // return a sane answer and never touch freed memory. The k-ary case
+  // is sharper than the binary one: edges are never marked, so the
+  // validated descent's per-level node-mark check is the only thing
+  // keeping a reader off a coalesced-away parent.
+  hazard_tree t;
+  constexpr long kAnchors = 64;
+  for (long a = 1; a <= kAnchors; ++a) ASSERT_TRUE(t.insert(-a));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      pcg32 rng = pcg32::for_thread(21, w);
+      for (int i = 0; i < 50'000; ++i) {
+        const long k = rng.bounded(64);
+        if (rng.bounded(2) == 0) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+      stop.store(true);
+    });
+  }
+  for (unsigned r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      pcg32 rng = pcg32::for_thread(31, r);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!t.contains(-(1 + static_cast<long>(rng.bounded(kAnchors))))) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(KaryHazard, DuelingDeletesResolveOnce) {
+  // Opposite-direction erasure sweeps force delete-delete races on
+  // sibling keys of the same leaf and parent — the COALESCE help path.
+  hazard_tree t;
+  constexpr long kKeys = 1024;
+  for (long k = 0; k < kKeys; ++k) ASSERT_TRUE(t.insert(k));
+  std::atomic<long> wins{0};
+  spin_barrier barrier(4);
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < 4; ++tid) {
+    threads.emplace_back([&, tid] {
+      long local = 0;
+      barrier.arrive_and_wait();
+      if (tid % 2 == 0) {
+        for (long k = 0; k < kKeys; ++k) local += t.erase(k) ? 1 : 0;
+      } else {
+        for (long k = kKeys - 1; k >= 0; --k) local += t.erase(k) ? 1 : 0;
+      }
+      wins.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_EQ(t.validate(), "");
+}
+
+// --- teardown canaries (the destructor-ordering audit) ----------------------
+//
+// Destroy trees that still hold a non-empty retired backlog. The
+// destructor must free the reachable tree AND drain the backlog while
+// the node/info pools are still alive; freeing anything twice, or
+// draining after pool destruction, is a UAF/double-free that ASAN
+// catches here. The churn is sized so SPROUT and COALESCE both ran,
+// leaving retired nodes *and* retired info records pending.
+
+template <typename Tree>
+void run_teardown_canary() {
+  for (int round = 0; round < 20; ++round) {
+    Tree t;
+    for (long k = 0; k < 500; ++k) t.insert(k);
+    for (long k = 0; k < 500; k += 2) t.erase(k);
+    if (round == 0) {
+      // The canary is only meaningful if something is actually pending.
+      EXPECT_GT(t.reclaimer_pending(), 0u);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(KaryTeardown, HazardDrainsPendingAtDestruction) {
+  run_teardown_canary<hazard_tree>();
+}
+TEST(KaryTeardown, EpochDrainsPendingAtDestruction) {
+  run_teardown_canary<epoch_tree>();
+}
+
+TEST(KaryTeardown, DestructionAfterMultithreadedChurn) {
+  // The backlog holds retirements from every worker thread; the single
+  // destroying thread must still free all of it exactly once.
+  for (int round = 0; round < 5; ++round) {
+    hazard_tree t;
+    std::vector<std::thread> threads;
+    for (unsigned tid = 0; tid < 4; ++tid) {
+      threads.emplace_back([&t, tid] {
+        pcg32 rng = pcg32::for_thread(91, tid);
+        for (int i = 0; i < 10'000; ++i) {
+          const long k = rng.bounded(256);
+          if (rng.bounded(2) == 0) {
+            t.insert(k);
+          } else {
+            t.erase(k);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lfbst

@@ -1,7 +1,7 @@
 // Tests for the k-ary search tree extension (paper §6 future work):
 // fat-leaf mechanics (replace / sprout / coalesce), fanout sweeps via
 // parameterized templates, oracle soups, concurrency and reclamation.
-#include "extensions/kary_tree.hpp"
+#include "multiway/kary_tree.hpp"
 
 #include <gtest/gtest.h>
 

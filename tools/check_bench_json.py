@@ -41,6 +41,7 @@ STUDY_REQUIRED = {
                   "mops_per_sec", "migrations", "keys_migrated",
                   "share_start", "share_end"},
     "numa": {"study", "mode", "nodes", "shards", "threads", "mops_per_sec"},
+    "kary_zipf": {"study", "algorithm", "threads", "theta", "mops_per_sec"},
 }
 
 
