@@ -451,6 +451,14 @@ int run_json_mode(const lfbst::bench::flags& flags) {
   micro_rows.template operator()<bcco_tree<long>>("BCCO-BST");
   micro_rows.template operator()<shard::sharded_set<nm_tree<long>>>(
       "Sharded/NM-BST");
+  // Shape-resilience adapter overhead on uniform streams (one
+  // xorshift-multiply round per op): the check_shape perf-gate check
+  // holds these within 5% of their unscrambled counterparts.
+  micro_rows.template operator()<scrambled_set<nm_tree<long>>>(
+      "Scrambled/NM-BST");
+  micro_rows.template
+  operator()<scrambled_set<shard::sharded_set<nm_tree<long>>>>(
+      "Scrambled/Sharded");
   micro_rows.template operator()<std_set_adapter>("std::set");
   // The multiway tree at the tuned fanout, across its full reclaimer ×
   // restart grid — the policy-parity claim (docs/MULTIWAY.md) made

@@ -32,6 +32,15 @@
 // --json <path> writes the lfbst-bench-v1 document
 // (tools/check_bench_json.py validates it; check_perf_regression.py
 // gates the pipelined p99 against bench/baseline_server.json).
+//
+// --keys sequential|bit_reversed|adaptive_attack replays an adversarial
+// insertion order (src/harness/key_streams.hpp) during pre-population
+// instead of the uniform draw — the nightly attack-stream soak drives
+// an external lfbst_serve this way and gates the seek-depth columns of
+// the server's own --json report (docs/RESILIENCE.md). The load phase
+// itself still draws request keys uniformly: the attack is the
+// insertion ORDER that shapes the tree, and uniform probes then pay
+// (or, scrambled, don't pay) the degenerate depth.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -43,6 +52,7 @@
 
 #include "common/rng.hpp"
 #include "harness/flags.hpp"
+#include "harness/key_streams.hpp"
 #include "harness/table.hpp"
 #include "lfbst/lfbst.hpp"
 #include "obs/export.hpp"
@@ -94,7 +104,8 @@ struct endpoint {
 /// set directly. Idempotent across cells (inserting a present key is a
 /// cheap no-op).
 bool prepopulate_external(const endpoint& ep, std::int64_t key_range,
-                          std::uint64_t seed) {
+                          std::uint64_t seed,
+                          harness::key_stream_kind kind) {
   server::client cli;
   if (!cli.connect(ep.host, ep.port)) return false;
   pcg32 rng(seed);
@@ -102,6 +113,7 @@ bool prepopulate_external(const endpoint& ep, std::int64_t key_range,
   std::vector<std::int64_t> keys;
   std::vector<bool> results;
   keys.reserve(chunk);
+  std::uint64_t stream_index = 0;
   for (std::int64_t remaining = key_range / 2; remaining > 0;) {
     keys.clear();
     const std::size_t n =
@@ -109,8 +121,16 @@ bool prepopulate_external(const endpoint& ep, std::int64_t key_range,
             ? static_cast<std::size_t>(remaining)
             : chunk;
     for (std::size_t i = 0; i < n; ++i) {
-      keys.push_back(static_cast<std::int64_t>(
-          rng.next64() % static_cast<std::uint64_t>(key_range)));
+      // Batch boundaries don't disturb the attack: the server executes
+      // each batch's inserts in order, so the stream's insertion order
+      // reaches the trees intact.
+      keys.push_back(
+          kind == harness::key_stream_kind::uniform
+              ? static_cast<std::int64_t>(
+                    rng.next64() % static_cast<std::uint64_t>(key_range))
+              : static_cast<std::int64_t>(harness::key_stream_at(
+                    kind, stream_index++,
+                    static_cast<std::uint64_t>(key_range))));
     }
     if (!cli.batch(server::opcode::insert, keys, results)) return false;
     remaining -= static_cast<std::int64_t>(n);
@@ -128,21 +148,32 @@ cell_result run_cell(const mix_spec& mix, unsigned connections,
                      unsigned pipeline, unsigned event_threads,
                      std::size_t shards, std::int64_t key_range,
                      std::chrono::milliseconds duration, std::uint64_t seed,
-                     const endpoint& external) {
+                     const endpoint& external,
+                     harness::key_stream_kind kind) {
   set_type* set = nullptr;
   server::basic_server<set_type>* srv = nullptr;
   endpoint ep = external;
   if (!external.external()) {
     set = new set_type(shards, 0, key_range);
-    // Pre-populate half the key space so gets actually hit.
-    pcg32 seed_rng(seed);
-    for (std::int64_t filled = 0; filled < key_range / 2;) {
-      if (set->insert(static_cast<std::int64_t>(
-              seed_rng.next64() %
-              static_cast<std::uint64_t>(key_range)))) {
-        ++filled;
+    // Pre-populate half the key space so gets actually hit — uniform
+    // draw by default, or the requested adversarial insertion order.
+    if (kind == harness::key_stream_kind::uniform) {
+      pcg32 seed_rng(seed);
+      for (std::int64_t filled = 0; filled < key_range / 2;) {
+        if (set->insert(static_cast<std::int64_t>(
+                seed_rng.next64() %
+                static_cast<std::uint64_t>(key_range)))) {
+          ++filled;
+        }
+      }
+    } else {
+      for (std::int64_t i = 0; i < key_range / 2; ++i) {
+        set->insert(static_cast<std::int64_t>(harness::key_stream_at(
+            kind, static_cast<std::uint64_t>(i),
+            static_cast<std::uint64_t>(key_range))));
       }
     }
+
     server::server_config cfg;
     cfg.event_threads = event_threads;
     srv = new server::basic_server<set_type>(*set, cfg);
@@ -238,6 +269,16 @@ int main(int argc, char** argv) {
   const auto duration = std::chrono::milliseconds(millis);
   const std::string only_mix = flags.get("mix", "");
 
+  harness::key_stream_kind kind = harness::key_stream_kind::uniform;
+  const std::string keys_flag = flags.get("keys", "uniform");
+  if (!harness::parse_key_stream(keys_flag, kind)) {
+    std::fprintf(stderr,
+                 "bench_server: --keys wants uniform|sequential|"
+                 "bit_reversed|adaptive_attack, got '%s'\n",
+                 keys_flag.c_str());
+    return 1;
+  }
+
   // --connect host:port drives an external lfbst_serve instead of
   // per-cell in-process servers (CI's telemetry smoke load generator).
   endpoint external;
@@ -254,7 +295,7 @@ int main(int argc, char** argv) {
     external.host = connect.substr(0, colon);
     external.port = static_cast<std::uint16_t>(
         std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
-    if (!prepopulate_external(external, key_range, seed)) {
+    if (!prepopulate_external(external, key_range, seed, kind)) {
       std::fprintf(stderr,
                    "bench_server: cannot reach/populate %s:%u\n",
                    external.host.c_str(),
@@ -288,7 +329,8 @@ int main(int argc, char** argv) {
       for (const std::int64_t pipe : pipelines) {
         const cell_result r = run_cell(
             mix, static_cast<unsigned>(conns), static_cast<unsigned>(pipe),
-            event_threads, shards, key_range, duration, seed, external);
+            event_threads, shards, key_range, duration, seed, external,
+            kind);
         tbl.add_row({"server", mix.name, std::to_string(conns),
                      std::to_string(pipe), std::to_string(event_threads),
                      std::to_string(shards), std::to_string(r.ops),
@@ -324,6 +366,7 @@ int main(int argc, char** argv) {
     report.config.set("event_threads",
                       static_cast<std::uint64_t>(event_threads));
     report.config.set("external", external.external());
+    report.config.set("keys", harness::key_stream_name(kind));
     report.results = obs::rows_from_table(tbl.header(), tbl.rows());
     if (!report.write_file(path)) return 1;
     if (!csv_only) std::printf("\nJSON report: %s\n", path.c_str());

@@ -5,21 +5,37 @@
 // skew parameter shows each algorithm's sensitivity to hot-spot
 // contention at a fixed tree size.
 //
+// The second study quantifies the adversarial-shape pathology
+// (docs/RESILIENCE.md): key *order*, not key skew. An external BST
+// under a sequential or attacker-chosen insertion stream degenerates
+// to an O(n) spine; the seek_depth rows measure p50/p99/max seek depth
+// per (stream, algorithm, scramble) arm so the perf gate
+// (tools/check_perf_regression.py check_shape) can verify both that
+// the pathology is real unscrambled and that the key_scramble.hpp
+// bijection bounds it.
+//
 //   bench_skew [--keyrange N] [--threads N] [--millis N]
 //              [--thetas 0,50,90,99]   (theta × 100)
+//              [--shape-n N] [--shape-ops N] [--shape-shards N]
+//              [--streams uniform,sequential,bit_reversed,adaptive_attack]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/barrier.hpp"
 #include "common/rng.hpp"
+#include "core/key_scramble.hpp"
 #include "harness/algorithms.hpp"
 #include "harness/flags.hpp"
+#include "harness/key_streams.hpp"
 #include "harness/table.hpp"
 #include "harness/zipf.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "shard/sharded_set.hpp"
 
 namespace {
 
@@ -82,6 +98,68 @@ double zipf_throughput(std::uint64_t key_range, double theta,
   return static_cast<double>(ops.load()) / secs / 1e6;
 }
 
+// --- seek-depth (shape) study -------------------------------------------
+
+/// Merged seek-depth histogram of any instrumented set: a plain
+/// recording tree exposes stats(), the sharded front-end (and the
+/// scrambled adapter over either) merges across shards.
+template <typename Set>
+obs::histogram seek_depth_of(const Set& set) {
+  if constexpr (requires { set.merged_seek_depth_histogram(); }) {
+    return set.merged_seek_depth_histogram();
+  } else {
+    return set.stats().seek_depth_histogram();
+  }
+}
+
+struct shape_point {
+  double mops = 0;
+  std::uint64_t depth_p50 = 0;
+  std::uint64_t depth_p99 = 0;
+  std::uint64_t depth_max = 0;
+};
+
+/// Builds the set from `kind`'s insertion order, then probes present
+/// keys in pseudorandom order. Depth percentiles are taken over the
+/// probe phase only (histogram delta), so they describe the *final*
+/// shape rather than averaging in the smaller trees the build phase
+/// walked through.
+template <typename Set>
+shape_point measure_shape(Set& set, key_stream_kind kind, std::uint64_t n,
+                          std::uint64_t probe_ops, std::uint64_t seed) {
+  std::vector<long> keys;
+  keys.reserve(n);
+  if (kind == key_stream_kind::uniform) {
+    pcg32 rng(seed);
+    const std::uint64_t domain = key_stream_domain(kind, n) * 4;
+    while (keys.size() < n) {
+      const long k = static_cast<long>(rng.next64() % domain);
+      if (set.insert(k)) keys.push_back(k);
+    }
+  } else {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const long k = static_cast<long>(key_stream_at(kind, i, n));
+      if (set.insert(k)) keys.push_back(k);
+    }
+  }
+  const obs::histogram before = seek_depth_of(set);
+  pcg32 probe(seed ^ 0x5EEDu);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < probe_ops; ++i) {
+    (void)set.contains(keys[probe.next64() % keys.size()]);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const obs::histogram depth = seek_depth_of(set).delta_since(before);
+  shape_point p;
+  p.mops = static_cast<double>(probe_ops) / secs / 1e6;
+  p.depth_p50 = depth.value_at_percentile(50.0);
+  p.depth_p99 = depth.value_at_percentile(99.0);
+  p.depth_max = depth.max();
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,6 +201,112 @@ int main(int argc, char** argv) {
   for (auto& r : rows) tbl.add_row(std::move(r));
   tbl.print();
 
+  // --- seek-depth (shape) study -----------------------------------------
+  const auto shape_n =
+      static_cast<std::uint64_t>(flags.get_int("shape-n", 16384));
+  const auto shape_ops =
+      static_cast<std::uint64_t>(flags.get_int("shape-ops", 16384));
+  const auto shape_shards =
+      static_cast<std::size_t>(flags.get_int("shape-shards", 8));
+  std::vector<key_stream_kind> streams;
+  {
+    const std::string list = flags.get(
+        "streams", "uniform,sequential,bit_reversed,adaptive_attack");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string name =
+          list.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      key_stream_kind kind{};
+      if (!parse_key_stream(name, kind)) {
+        std::fprintf(stderr, "unknown key stream: %s\n", name.c_str());
+        return 1;
+      }
+      streams.push_back(kind);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  std::printf("\n=== seek-depth (shape) study: adversarial key streams "
+              "===\n%llu keys per arm, %llu probe ops, single thread; "
+              "scramble = key_scramble.hpp boundary bijection\n\n",
+              static_cast<unsigned long long>(shape_n),
+              static_cast<unsigned long long>(shape_ops));
+
+  using rec_nm =
+      nm_tree<long, std::less<long>, reclaim::epoch, obs::recording>;
+  using rec_efrb =
+      efrb_tree<long, std::less<long>, reclaim::epoch, obs::recording>;
+  using rec_kst = kary_tree<long, multiway::default_fanout<long>,
+                            std::less<long>, reclaim::epoch, obs::recording>;
+  using rec_sharded = shard::sharded_set<rec_nm>;
+
+  text_table shape({"study", "stream", "algorithm", "scramble", "n",
+                    "shards", "mops", "depth_p50", "depth_p99",
+                    "depth_max"});
+  auto shape_row = [&](key_stream_kind kind, const char* algo, bool scrambled,
+                       std::size_t shard_count, auto& set) {
+    const shape_point p =
+        measure_shape(set, kind, shape_n, shape_ops, seed);
+    shape.add_row({"seek_depth", key_stream_name(kind), algo,
+                   scrambled ? "1" : "0",
+                   harness::format("%llu",
+                                   static_cast<unsigned long long>(shape_n)),
+                   harness::format("%zu", shard_count),
+                   harness::format("%.3f", p.mops),
+                   harness::format("%llu", static_cast<unsigned long long>(
+                                               p.depth_p50)),
+                   harness::format("%llu", static_cast<unsigned long long>(
+                                               p.depth_p99)),
+                   harness::format("%llu", static_cast<unsigned long long>(
+                                               p.depth_max))});
+  };
+  for (const key_stream_kind kind : streams) {
+    // Raw sharded arms partition the stream's own domain so the attack
+    // exercises every shard (the per-shard-spine regime the merged
+    // histograms used to hide); scrambled arms span the full key
+    // domain, where the bijection sends every stream.
+    const auto domain = static_cast<long>(
+        key_stream_domain(kind, shape_n) *
+        (kind == key_stream_kind::uniform ? 4 : 1));
+    {
+      rec_nm t;
+      shape_row(kind, "NM-BST", false, 1, t);
+    }
+    {
+      scrambled_set<rec_nm> t(seed);
+      shape_row(kind, "NM-BST", true, 1, t);
+    }
+    {
+      rec_efrb t;
+      shape_row(kind, "EFRB-BST", false, 1, t);
+    }
+    {
+      scrambled_set<rec_efrb> t(seed);
+      shape_row(kind, "EFRB-BST", true, 1, t);
+    }
+    {
+      rec_kst t;
+      shape_row(kind, "KST", false, 1, t);
+    }
+    {
+      scrambled_set<rec_kst> t(seed);
+      shape_row(kind, "KST", true, 1, t);
+    }
+    {
+      rec_sharded t(shape_shards, 0, domain);
+      shape_row(kind, "Sharded", false, shape_shards, t);
+    }
+    {
+      scrambled_set<rec_sharded> t(
+          seed, shard::range_router<long>(shape_shards));
+      shape_row(kind, "Sharded", true, shape_shards, t);
+    }
+  }
+  shape.print();
+
   if (flags.has("json")) {
     const std::string path = flags.get("json", "skew.json");
     obs::bench_report report("skew");
@@ -130,7 +314,14 @@ int main(int argc, char** argv) {
     report.config.set("threads", thread_count);
     report.config.set("millis", millis);
     report.config.set("seed", seed);
+    report.config.set("shape_n", shape_n);
+    report.config.set("shape_ops", shape_ops);
+    report.config.set("shape_shards",
+                      static_cast<std::uint64_t>(shape_shards));
     report.results = obs::rows_from_table(tbl.header(), tbl.rows());
+    const obs::json::value shape_rows =
+        obs::rows_from_table(shape.header(), shape.rows());
+    for (const auto& row : shape_rows.items()) report.add_result(row);
     if (!report.write_file(path)) return 1;
     std::printf("\nJSON report: %s\n", path.c_str());
   }

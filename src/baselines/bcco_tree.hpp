@@ -68,6 +68,7 @@ class bcco_tree {
 
  public:
   using key_type = Key;
+  using key_compare = Compare;
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
 

@@ -28,6 +28,7 @@ template <typename Key, typename Compare = std::less<Key>,
 class coarse_tree {
  public:
   using key_type = Key;
+  using key_compare = Compare;
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
 

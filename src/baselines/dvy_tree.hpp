@@ -61,6 +61,7 @@ class dvy_tree {
 
  public:
   using key_type = Key;
+  using key_compare = Compare;
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
 

@@ -65,6 +65,7 @@ class efrb_tree {
 
  public:
   using key_type = Key;
+  using key_compare = Compare;
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
 

@@ -67,6 +67,7 @@ class hj_tree {
 
  public:
   using key_type = Key;
+  using key_compare = Compare;
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
 

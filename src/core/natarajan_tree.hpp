@@ -127,6 +127,7 @@ class nm_tree {
  public:
   using key_type = Key;
   using mapped_type = Payload;  // void for sets
+  using key_compare = Compare;
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
   using restart_policy = Restart;
@@ -412,6 +413,13 @@ class nm_tree {
     node* successor = nullptr;
     node* parent = nullptr;
     node* leaf = nullptr;
+    // Root-relative depth of the (ancestor → successor) edge: the value
+    // the descent's depth counter held when `successor` was recorded.
+    // A from_anchor resume seeds its counter from this so seek_depth
+    // histograms report the depth actually traversed from the root,
+    // not just the tail walked below the anchor. Maintained only when
+    // Stats::enabled (it feeds nothing else).
+    std::uint64_t anchor_depth = 0;
   };
 
   // --- the operation bodies ----------------------------------------------
@@ -655,14 +663,18 @@ class nm_tree {
     node* successor = sr.successor;
     const ptr_t edge = child_field_for(anchor, key).load();
     if (edge.marked() || edge.address() != successor) return false;
+    // Seed the resumed descent's depth counter with the edge's recorded
+    // root-relative depth (captured before seek_*_from resets sr), so
+    // on_seek reports the full path length, not the post-anchor tail.
+    const std::uint64_t base_depth = sr.anchor_depth;
     if constexpr (Reclaimer::requires_validated_traversal) {
       // anchor and successor are still announced in hp_ancestor /
       // hp_successor from the seek that recorded them (cleanup never
       // reassigns those slots), so the edge load above was safe and
       // the validated descent may resume under the same protection.
-      return seek_protected_from(anchor, successor, key, sr);
+      return seek_protected_from(anchor, successor, key, sr, base_depth);
     } else {
-      seek_plain_from(anchor, successor, key, sr);
+      seek_plain_from(anchor, successor, key, sr, base_depth);
       return true;
     }
   }
@@ -700,11 +712,13 @@ class nm_tree {
   /// nodes are safe to dereference — sentinels for the root call, or
   /// still announced in hp_ancestor/hp_successor for the anchored call.
   bool seek_protected_from(node* anchor, node* successor, const Key& key,
-                           seek_record& sr) const {
+                           seek_record& sr,
+                           std::uint64_t base_depth = 0) const {
     auto& dom = reclaimer_.domain();
     sr.ancestor = anchor;
     sr.successor = successor;
     sr.parent = successor;
+    if constexpr (Stats::enabled) sr.anchor_depth = base_depth;
     dom.announce(Reclaimer::hp_ancestor, anchor);
     dom.announce(Reclaimer::hp_successor, successor);
     dom.announce(Reclaimer::hp_parent, successor);
@@ -730,7 +744,7 @@ class nm_tree {
     // Discovery load (validated by the in-loop recheck): acquire.
     ptr_t current_field = current_source->load(std::memory_order_acquire);
     node* current = current_field.address();
-    [[maybe_unused]] std::uint64_t depth = 0;
+    [[maybe_unused]] std::uint64_t depth = base_depth;
     while (current != nullptr) {
       if constexpr (Stats::enabled) ++depth;
       // Overlap the next node's cache miss with this iteration's
@@ -749,6 +763,9 @@ class nm_tree {
       if (!parent_field.tagged()) {
         sr.ancestor = sr.parent;  // protected by hp_parent
         sr.successor = sr.leaf;   // protected by hp_leaf
+        // `depth` has already counted the step below sr.leaf, which is
+        // exactly where a resume from this edge restarts its walk.
+        if constexpr (Stats::enabled) sr.anchor_depth = depth;
         dom.announce(Reclaimer::hp_ancestor, sr.ancestor);
         dom.announce(Reclaimer::hp_successor, sr.successor);
       }
@@ -795,16 +812,17 @@ class nm_tree {
   /// internal node (every recorded successor is: it was stepped
   /// through), so its child toward `key` is non-null.
   void seek_plain_from(node* anchor, node* successor, const Key& key,
-                       seek_record& sr) const {
+                       seek_record& sr, std::uint64_t base_depth = 0) const {
     sr.ancestor = anchor;     // line 15
     sr.successor = successor; // line 16
     sr.parent = successor;    // line 17
+    if constexpr (Stats::enabled) sr.anchor_depth = base_depth;
     // line 19 (value of the edge successor→leaf)
     ptr_t parent_field = child_field_for(successor, key).load();
     sr.leaf = parent_field.address();  // line 18
     ptr_t current_field = child_field_for(sr.leaf, key).load();  // line 20
     node* current = current_field.address();                     // line 21
-    [[maybe_unused]] std::uint64_t depth = 0;
+    [[maybe_unused]] std::uint64_t depth = base_depth;
     while (current != nullptr) {  // line 22 — leaf reached when null
       if constexpr (Stats::enabled) ++depth;
       // Overlap the next node's cache miss with this iteration's
@@ -814,6 +832,9 @@ class nm_tree {
       if (!parent_field.tagged()) {  // line 23
         sr.ancestor = sr.parent;     // line 24
         sr.successor = sr.leaf;      // line 25
+        // Depth of the new anchor edge: a resume restarts exactly at
+        // the step this iteration just counted.
+        if constexpr (Stats::enabled) sr.anchor_depth = depth;
       }
       sr.parent = sr.leaf;  // line 26
       sr.leaf = current;    // line 27

@@ -1,0 +1,118 @@
+// lfbst harness: adversarial key streams — the insertion orders that
+// degenerate an unbalanced external BST (docs/RESILIENCE.md).
+//
+// Each stream is a deterministic function index -> key over a key
+// count n, so benches and tests can replay identical streams across
+// algorithms and across the scramble-on/off arms of a study:
+//
+//   * sequential      — 0, 1, 2, ...: the classic monotone stream;
+//                       every insert descends the right spine, so the
+//                       tree IS the spine (depth ~ n).
+//   * bit_reversed    — bitrev_w(i) over w = bits(n): the van der
+//                       Corput order. Each key bisects the largest
+//                       remaining gap, so this stream builds a
+//                       near-perfectly *balanced* BST — it is the
+//                       hash-table attack, not the BST attack, and the
+//                       studies keep it as a negative control: its raw
+//                       (unscrambled) depths must already be ~log2 n,
+//                       which cross-checks the seek-depth measurement
+//                       itself.
+//   * adaptive_attack — the outside-in zigzag 0, n-1, 1, n-2, ...:
+//                       every key lands between the two most recently
+//                       inserted extremes, extending one root-to-leaf
+//                       path by one node per insert (depth ~ n) while
+//                       staying non-monotone — it defeats the obvious
+//                       "detect a sorted run" mitigation, standing in
+//                       for an attacker who adapts the stream to
+//                       whatever shape heuristic is deployed.
+//
+// All three are permutations of [0, n) (bit_reversed of [0, 2^w), of
+// which the first n values are emitted), so set sizes and hit rates
+// match the uniform baseline exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lfbst::harness {
+
+enum class key_stream_kind {
+  uniform,          // pseudorandom baseline (caller supplies the rng)
+  sequential,       // monotone counter
+  bit_reversed,     // van der Corput (balanced negative control)
+  adaptive_attack,  // outside-in zigzag (non-monotone spine builder)
+};
+
+[[nodiscard]] inline const char* key_stream_name(key_stream_kind k) {
+  switch (k) {
+    case key_stream_kind::uniform: return "uniform";
+    case key_stream_kind::sequential: return "sequential";
+    case key_stream_kind::bit_reversed: return "bit_reversed";
+    case key_stream_kind::adaptive_attack: return "adaptive_attack";
+  }
+  return "?";
+}
+
+/// Parses the --streams flag vocabulary; returns true on success.
+[[nodiscard]] inline bool parse_key_stream(const std::string& name,
+                                           key_stream_kind& out) {
+  if (name == "uniform") out = key_stream_kind::uniform;
+  else if (name == "sequential") out = key_stream_kind::sequential;
+  else if (name == "bit_reversed") out = key_stream_kind::bit_reversed;
+  else if (name == "adaptive_attack") out = key_stream_kind::adaptive_attack;
+  else return false;
+  return true;
+}
+
+/// Smallest width covering n key values (so bit_reversed emits keys in
+/// [0, 2^w) with 2^w < 2n — the same order of magnitude as the other
+/// streams' [0, n) domain).
+[[nodiscard]] constexpr unsigned key_stream_bits(std::uint64_t n) {
+  unsigned w = 1;
+  while (w < 63 && (std::uint64_t{1} << w) < n) ++w;
+  return w;
+}
+
+[[nodiscard]] constexpr std::uint64_t bit_reverse(std::uint64_t v,
+                                                  unsigned bits) {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+/// The i-th key of stream `kind` over key count n, for i in [0, n).
+/// uniform is excluded on purpose — its keys come from the caller's
+/// seeded rng so the uniform arm matches the bench's existing rows.
+[[nodiscard]] constexpr std::uint64_t key_stream_at(key_stream_kind kind,
+                                                    std::uint64_t i,
+                                                    std::uint64_t n) {
+  switch (kind) {
+    case key_stream_kind::sequential:
+      return i;
+    case key_stream_kind::bit_reversed:
+      return bit_reverse(i, key_stream_bits(n));
+    case key_stream_kind::adaptive_attack:
+      // 0, n-1, 1, n-2, ...: even indices walk up from the bottom,
+      // odd indices walk down from the top; they meet in the middle.
+      return (i & 1) ? n - 1 - (i >> 1) : i >> 1;
+    case key_stream_kind::uniform:
+      break;
+  }
+  return i;
+}
+
+/// Exclusive upper bound of the keys stream `kind` emits for count n
+/// (benches size routers and miss-probe ranges from it).
+[[nodiscard]] constexpr std::uint64_t key_stream_domain(key_stream_kind kind,
+                                                        std::uint64_t n) {
+  if (kind == key_stream_kind::bit_reversed) {
+    return std::uint64_t{1} << key_stream_bits(n);
+  }
+  return n;
+}
+
+}  // namespace lfbst::harness

@@ -32,6 +32,7 @@
 #include "reclaim/leaky.hpp"
 
 #include "core/concurrent_set.hpp"
+#include "core/key_scramble.hpp"
 #include "core/natarajan_tree.hpp"
 #include "core/nm_map.hpp"
 #include "core/restart_policy.hpp"
@@ -78,5 +79,9 @@ static_assert(ConcurrentSet<
 static_assert(ConcurrentSet<shard::sharded_set<nm_tree<long>>>);
 static_assert(ConcurrentSet<shard::sharded_set<efrb_tree<long>>>);
 static_assert(ConcurrentSet<shard::sharded_set<hj_tree<long>>>);
+// The adversarial-shape mitigation layer (docs/RESILIENCE.md): the
+// scramble adapter over a tree, and over the sharded front-end.
+static_assert(ConcurrentSet<scrambled_set<nm_tree<long>>>);
+static_assert(ConcurrentSet<scrambled_set<shard::sharded_set<nm_tree<long>>>>);
 
 }  // namespace lfbst

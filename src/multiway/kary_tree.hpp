@@ -119,6 +119,7 @@ class kary_tree {
 
  public:
   using key_type = Key;
+  using key_compare = Compare;
   using stats_policy = Stats;
   using reclaimer_type = Reclaimer;
   using restart_policy = Restart;
@@ -375,6 +376,13 @@ class kary_tree {
     update_t pupdate{};
     unsigned parent_index = 0;  // parent's slot in grandparent
     unsigned child_index = 0;   // leaf's slot in parent
+    // Root-relative count of internal nodes strictly above the node
+    // try_resume would anchor on (grandparent when recorded, else
+    // parent). A resumed descent seeds its depth counter from this so
+    // seek_depth histograms report the full path traversed from the
+    // root, not just the tail below the anchor. Maintained only when
+    // Stats::enabled.
+    std::uint64_t anchor_depth = 0;
   };
 
   static state update_state(update_t u) noexcept {
@@ -443,19 +451,24 @@ class kary_tree {
         state::mark) {
       return false;
     }
+    // Seed the resumed descent's depth counter with the anchor's
+    // root-relative depth (captured before seek resets `s`) so on_seek
+    // reports the full path length, not the post-anchor tail.
+    const std::uint64_t base_depth = s.anchor_depth;
     if constexpr (validated) {
-      return seek_protected_from(anchor, key, s);
+      return seek_protected_from(anchor, key, s, base_depth);
     } else {
-      search_from(anchor, key, s);
+      search_from(anchor, key, s, base_depth);
       return true;
     }
   }
 
   /// Plain descent (epoch/leaky): the pin keeps every node
   /// dereferenceable; stale results are caught by the CAS protocol.
-  void search_from(node* start, const Key& key, search_result& s) const {
+  void search_from(node* start, const Key& key, search_result& s,
+                   std::uint64_t base_depth = 0) const {
     s = search_result{};
-    [[maybe_unused]] std::uint64_t depth = 0;
+    [[maybe_unused]] std::uint64_t depth = base_depth;
     node* current = start;
     while (current->internal) {
       if constexpr (Stats::enabled) ++depth;
@@ -476,7 +489,14 @@ class kary_tree {
       current = next;
     }
     s.leaf = current;
-    if constexpr (Stats::enabled) stats_.on_seek(depth);
+    if constexpr (Stats::enabled) {
+      stats_.on_seek(depth);
+      // Depth above the node try_resume would anchor on: the parent was
+      // counted at `depth`, the grandparent one step earlier.
+      s.anchor_depth = s.grandparent != nullptr ? depth - 2
+                       : s.parent != nullptr    ? depth - 1
+                                                : base_depth;
+    }
   }
 
   /// One validated-descent attempt (hazard). Returns false when a
@@ -488,11 +508,11 @@ class kary_tree {
   /// (grandparent, parent, current) window covered: hp_ancestor ←
   /// grandparent, hp_parent ← parent, hp_leaf ← current, hp_scratch ←
   /// the candidate child being validated.
-  bool seek_protected_from(node* start, const Key& key,
-                           search_result& s) const {
+  bool seek_protected_from(node* start, const Key& key, search_result& s,
+                           std::uint64_t base_depth = 0) const {
     auto& dom = reclaimer_.domain();
     s = search_result{};
-    [[maybe_unused]] std::uint64_t depth = 0;
+    [[maybe_unused]] std::uint64_t depth = base_depth;
     node* current = start;
     dom.announce(Reclaimer::hp_leaf, current);
     while (current->internal) {
@@ -538,7 +558,12 @@ class kary_tree {
       current = next;
     }
     s.leaf = current;
-    if constexpr (Stats::enabled) stats_.on_seek(depth);
+    if constexpr (Stats::enabled) {
+      stats_.on_seek(depth);
+      s.anchor_depth = s.grandparent != nullptr ? depth - 2
+                       : s.parent != nullptr    ? depth - 1
+                                                : base_depth;
+    }
     return true;
   }
 

@@ -29,6 +29,13 @@
 // rebalancer (heatmap-guided online subrange migrations),
 // --rebalance-ms its decision interval, --rebalance-threshold the
 // imbalance trigger ratio, --numa=1 NUMA-interleaved shard placement.
+// Shape-resilience flag (docs/RESILIENCE.md): --scramble=SEED wraps the
+// sharded set in lfbst::scrambled_set, bijectively mixing every key at
+// the protocol boundary so adversarial insertion orders (sequential
+// scans, outside-in zigzags) cannot degenerate the shard trees into
+// spines. Under --scramble the heatmap, splitters and range scans all
+// live in scrambled key space; range_scan is lowered to a filtered
+// full-domain walk (see the scan-contract caveat in the doc).
 #include <signal.h>  // NOLINT: sigaction needs the POSIX header
 
 #include <atomic>
@@ -39,6 +46,7 @@
 #include <optional>
 #include <string>
 
+#include "core/key_scramble.hpp"
 #include "core/natarajan_tree.hpp"
 #include "harness/flags.hpp"
 #include "obs/export.hpp"
@@ -56,43 +64,33 @@ namespace {
 
 using tree_type = lfbst::nm_tree<std::int64_t, std::less<std::int64_t>,
                                  lfbst::reclaim::epoch, lfbst::obs::recording>;
-using set_type = lfbst::shard::sharded_set<tree_type>;
-using sampler_type = lfbst::obs::sampler<set_type>;
+using sharded_type = lfbst::shard::sharded_set<tree_type>;
+// The scramble adapter sits ABOVE the router (never below it): the
+// router partitions the scrambled key space, so attack streams load
+// every shard uniformly and the static_assert in sharded_set holds.
+using scrambled_type = lfbst::scrambled_set<sharded_type>;
 
 // SIGUSR1 → flight dump. request_flight_dump is one relaxed atomic
 // store, so the handler may call it directly (same pattern as
-// drain_on_sigterm's trampoline).
-std::atomic<sampler_type*> g_sampler{nullptr};
+// drain_on_sigterm's trampoline). The sampler's concrete type depends
+// on the --scramble mode, so the handler goes through an erased
+// pointer + dispatch fn (written before the handler is installed).
+std::atomic<void*> g_sampler{nullptr};
+void (*g_sampler_dump)(void*) = nullptr;
 
 void sigusr1_handler(int) {
-  if (sampler_type* s = g_sampler.load(std::memory_order_acquire)) {
-    s->request_flight_dump();
+  if (void* s = g_sampler.load(std::memory_order_acquire)) {
+    g_sampler_dump(s);
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  lfbst::bench::flags flags(argc, argv);
-  lfbst::server::server_config cfg;
-  cfg.host = flags.get("host", "127.0.0.1");
-  cfg.port = static_cast<std::uint16_t>(flags.get_int("port", 7171));
-  cfg.event_threads = static_cast<unsigned>(flags.get_int("threads", 2));
-  cfg.default_scan_items =
-      static_cast<std::uint32_t>(flags.get_int("scan-page", 4096));
-  cfg.drain_deadline_ms =
-      static_cast<std::uint64_t>(flags.get_int("drain-ms", 5000));
-
-  lfbst::shard::numa::policy placement;
-  if (flags.get_int("numa", 0) != 0) {
-    placement.mode = lfbst::shard::numa::placement::interleave;
-  }
-  set_type set(
-      set_type::router_type(
-          static_cast<std::size_t>(flags.get_int("shards", 8)),
-          std::numeric_limits<std::int64_t>::min(),
-          std::numeric_limits<std::int64_t>::max()),
-      placement);
+/// Everything after set construction, generic over the set layering
+/// (raw sharded vs scrambled-over-sharded): telemetry plane, stat
+/// opcode, rebalancer, serve loop, drain, and the exit report.
+template <typename SetT>
+int run_server(const lfbst::bench::flags& flags,
+               lfbst::server::server_config cfg, SetT& set, bool scrambled) {
+  using sampler_type = lfbst::obs::sampler<SetT>;
 
   // Telemetry plane: one shared heatmap + flight-recorder trace ring
   // attached to every shard's recording stats, a background sampler
@@ -120,7 +118,7 @@ int main(int argc, char** argv) {
   sampler.attach_flight_recorder(&flight_log);
   sampler.attach_heatmap(&heatmap);
 
-  lfbst::server::basic_server<set_type> server(set, cfg);
+  lfbst::server::basic_server<SetT> server(set, cfg);
   server.set_stat_handler([&](std::uint32_t request_flags,
                               lfbst::server::stat_result& out) {
     if ((request_flags & lfbst::server::stat_flag_flight_dump) != 0) {
@@ -154,7 +152,7 @@ int main(int argc, char** argv) {
   // exist: arming the migration-aware op paths must happen-before any
   // operation). It feeds on the same heatmap the telemetry plane
   // samples, so hot-key mass picks the split points.
-  std::optional<lfbst::shard::rebalancer<set_type>> rebalancer;
+  std::optional<lfbst::shard::rebalancer<SetT>> rebalancer;
   if (flags.get_int("rebalance", 0) != 0) {
     lfbst::shard::rebalancer_options ropts;
     ropts.interval_ms =
@@ -180,6 +178,9 @@ int main(int argc, char** argv) {
     std::printf("lfbst_serve: adaptive rebalancer on (interval %lld ms)\n",
                 static_cast<long long>(flags.get_int("rebalance-ms", 100)));
   }
+  g_sampler_dump = [](void* p) {
+    static_cast<sampler_type*>(p)->request_flight_dump();
+  };
   g_sampler.store(&sampler, std::memory_order_release);
   {
     struct sigaction sa;
@@ -257,13 +258,27 @@ int main(int argc, char** argv) {
     report.config.set("threads",
                       static_cast<std::int64_t>(cfg.event_threads));
     const auto h = server.latency().merged_all();
+    // The shape telemetry the nightly attack-stream soak gates on
+    // (tools/check_perf_regression.py --serve-report): seek-depth
+    // percentiles over the whole run plus the final key count, so the
+    // gate can compare p99 against 2*log2(keys).
+    const auto seek = set.merged_seek_depth_histogram();
     lfbst::obs::json::value row = lfbst::obs::json::value::object();
     row.set("study", "server_lifetime");
+    row.set("scramble", static_cast<std::int64_t>(scrambled ? 1 : 0));
+    row.set("shards", static_cast<std::int64_t>(set.shard_count()));
+    row.set("keys", static_cast<std::int64_t>(set.size_slow()));
     row.set("ops", static_cast<std::int64_t>(h.count()));
     row.set("p50_ns", static_cast<std::int64_t>(h.value_at_percentile(50)));
     row.set("p99_ns", static_cast<std::int64_t>(h.value_at_percentile(99)));
     row.set("p999_ns",
             static_cast<std::int64_t>(h.value_at_percentile(99.9)));
+    row.set("seeks", static_cast<std::int64_t>(seek.count()));
+    row.set("seek_p50",
+            static_cast<std::int64_t>(seek.value_at_percentile(50)));
+    row.set("seek_p99",
+            static_cast<std::int64_t>(seek.value_at_percentile(99)));
+    row.set("seek_max", static_cast<std::int64_t>(seek.max()));
     report.add_result(std::move(row));
     const std::string path = flags.get("json", "serve_report.json");
     if (!report.write_file(path.empty() ? "serve_report.json" : path)) {
@@ -271,4 +286,38 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lfbst::bench::flags flags(argc, argv);
+  lfbst::server::server_config cfg;
+  cfg.host = flags.get("host", "127.0.0.1");
+  cfg.port = static_cast<std::uint16_t>(flags.get_int("port", 7171));
+  cfg.event_threads = static_cast<unsigned>(flags.get_int("threads", 2));
+  cfg.default_scan_items =
+      static_cast<std::uint32_t>(flags.get_int("scan-page", 4096));
+  cfg.drain_deadline_ms =
+      static_cast<std::uint64_t>(flags.get_int("drain-ms", 5000));
+
+  lfbst::shard::numa::policy placement;
+  if (flags.get_int("numa", 0) != 0) {
+    placement.mode = lfbst::shard::numa::placement::interleave;
+  }
+  sharded_type::router_type router(
+      static_cast<std::size_t>(flags.get_int("shards", 8)),
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max());
+
+  if (flags.has("scramble")) {
+    const auto seed =
+        static_cast<std::uint64_t>(flags.get_int("scramble", 1));
+    std::printf("lfbst_serve: key scrambling on (seed %llu)\n",
+                static_cast<unsigned long long>(seed));
+    scrambled_type set(seed, router, placement);
+    return run_server(flags, cfg, set, /*scrambled=*/true);
+  }
+  sharded_type set(router, placement);
+  return run_server(flags, cfg, set, /*scrambled=*/false);
 }

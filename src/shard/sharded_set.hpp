@@ -114,6 +114,28 @@ concept migratable_tree = requires(const Tree& t, typename Tree::key_type k) {
   } -> std::convertible_to<std::vector<typename Tree::key_type>>;
 };
 
+/// The range router routes and stitches in *numeric* key order
+/// (raw `<` over the integral key — router.hpp), silently assuming
+/// the per-shard tree agrees. A tree ordered by a non-default
+/// Compare (std::greater, scramble_less, ...) would accept every
+/// routed key but break validate()'s placement check and interleave
+/// stitched scans — quiet corruption, so sharded_set rejects the
+/// combination at compile time. Trees that do not export key_compare
+/// predate the check and are presumed numeric-ordered.
+template <typename Tree>
+struct router_order_compatible : std::true_type {};
+
+template <typename Tree>
+  requires requires { typename Tree::key_compare; }
+struct router_order_compatible<Tree>
+    : std::bool_constant<std::is_same_v<typename Tree::key_compare,
+                                        std::less<typename Tree::key_type>>> {
+};
+
+template <typename Tree>
+inline constexpr bool router_order_compatible_v =
+    router_order_compatible<Tree>::value;
+
 namespace detail {
 
 /// The inner tree's atomics policy when it exports one (so the shard
@@ -140,6 +162,14 @@ class sharded_set {
   using tree_type = Tree;
   using router_type = Router;
   using atomics_policy = typename detail::tree_atomics<Tree>::type;
+
+  static_assert(router_order_compatible_v<Tree>,
+                "sharded_set's range router partitions and stitches in "
+                "numeric key order, but this tree orders its keys with a "
+                "non-default Compare — every key would land in a shard "
+                "chosen by an order the tree does not use (mis-sharding). "
+                "Apply key transforms ABOVE the router instead: "
+                "scrambled_set<sharded_set<T>> (src/core/key_scramble.hpp).");
 
   static constexpr const char* algorithm_name = "Sharded";
   static constexpr std::size_t default_shard_count = 8;

@@ -247,6 +247,75 @@ TEST(NmRestart, ContendedCounterAlgebraFromRoot) {
   EXPECT_EQ(s[obs::counter::seek_anchor_fallbacks], 0u);
 }
 
+// --- seek-depth attribution ------------------------------------------
+//
+// A from_anchor resume walks only the tail below the anchor, but the
+// seek_depth histogram must report the *root-relative* path length —
+// anchor base + tail — or attack-stream telemetry (and the perf gate
+// built on it) would under-count exactly the deep seeks it exists to
+// catch. seek_record::anchor_depth carries the base; these tests pin
+// that it is seeded and summed, using a deep spine where the two
+// answers differ by ~the whole tree height.
+
+TEST(NmRestart, LocalResumeRecordsRootRelativeDepth) {
+  recording_anchor t;
+  constexpr int kSpine = 48;  // < 64 keeps histogram buckets exact
+  for (int k = 1; k <= kSpine; ++k) ASSERT_TRUE(t.insert(k));
+  auto sr = access::seek(t, kSpine);
+
+  // Reference: the depth a fresh root seek of the same key records.
+  const auto before = t.stats().seek_depth_histogram();
+  (void)access::seek(t, kSpine);
+  const auto mid = t.stats().seek_depth_histogram();
+  const std::uint64_t root_depth = mid.delta_since(before).max();
+  ASSERT_GE(root_depth, static_cast<std::uint64_t>(kSpine) - 2);
+
+  // The resume must attribute the same depth, not just the short tail
+  // below the anchor (the anchor sits a couple of edges above the
+  // leaf, so a tail-only count would be ~2).
+  const auto counters_before = t.stats().counters().snapshot();
+  access::retry_seek(t, kSpine, sr);
+  const auto counters_after = t.stats().counters().snapshot();
+  ASSERT_EQ(counters_after[obs::counter::seek_resumes_local],
+            counters_before[obs::counter::seek_resumes_local] + 1);
+
+  const auto resumed = t.stats().seek_depth_histogram().delta_since(mid);
+  EXPECT_EQ(resumed.count(), 1u);
+  EXPECT_GE(resumed.max() + 2, root_depth);
+}
+
+TEST(NmRestart, RootFallbackRecordsFullDepth) {
+  recording_anchor t;
+  constexpr int kSpine = 48;
+  for (int k = 1; k <= kSpine; ++k) ASSERT_TRUE(t.insert(k));
+  auto sr = access::seek(t, kSpine);
+  // Excise the anchor edge so the retry must fall back to a root seek;
+  // the fallback traverses from ℝ and records accordingly.
+  ASSERT_TRUE(t.erase(kSpine - 1));
+
+  const auto before = t.stats().seek_depth_histogram();
+  access::retry_seek(t, kSpine, sr);
+  const auto counters = t.stats().counters().snapshot();
+  EXPECT_GE(counters[obs::counter::seek_anchor_fallbacks], 1u);
+
+  const auto fell_back = t.stats().seek_depth_histogram().delta_since(before);
+  EXPECT_EQ(fell_back.count(), 1u);
+  EXPECT_GE(fell_back.max() + 4, static_cast<std::uint64_t>(kSpine));
+}
+
+TEST(NmRestart, FromRootRetryRecordsFullDepth) {
+  recording_root t;
+  constexpr int kSpine = 48;
+  for (int k = 1; k <= kSpine; ++k) ASSERT_TRUE(t.insert(k));
+  auto sr = access::seek(t, kSpine);
+
+  const auto before = t.stats().seek_depth_histogram();
+  access::retry_seek(t, kSpine, sr);
+  const auto retried = t.stats().seek_depth_histogram().delta_since(before);
+  EXPECT_EQ(retried.count(), 1u);
+  EXPECT_GE(retried.max() + 2, static_cast<std::uint64_t>(kSpine));
+}
+
 TEST(NmRestart, ContendedHazardSmokeBothPolicies) {
   {
     hazard_anchor t;

@@ -1,0 +1,21 @@
+// Compile-only coverage for the extensions/kary_tree.hpp deprecation
+// shim: the old include path must still build a working tree, and the
+// build log must carry the #pragma message pointing at the new home
+// (the ctest registration greps the build output for it — see
+// tests/CMakeLists.txt). No gtest: existing behaviour lives in the
+// multiway suites; this target only pins the shim.
+#include "extensions/kary_tree.hpp"
+
+namespace {
+
+// Instantiate through the shim so a header that stopped forwarding the
+// real tree fails here, not in a downstream user.
+[[maybe_unused]] bool shim_still_forwards_the_tree() {
+  lfbst::kary_tree<long, 8> t;
+  if (!t.insert(1)) return false;
+  return t.contains(1) && !t.contains(2);
+}
+
+}  // namespace
+
+int main() { return shim_still_forwards_the_tree() ? 0 : 1; }

@@ -42,6 +42,11 @@ STUDY_REQUIRED = {
                   "share_start", "share_end"},
     "numa": {"study", "mode", "nodes", "shards", "threads", "mops_per_sec"},
     "kary_zipf": {"study", "algorithm", "threads", "theta", "mops_per_sec"},
+    "seek_depth": {"study", "stream", "algorithm", "scramble", "n", "shards",
+                   "mops", "depth_p50", "depth_p99", "depth_max"},
+    "server_lifetime": {"study", "scramble", "shards", "keys", "ops",
+                        "p50_ns", "p99_ns", "p999_ns", "seeks", "seek_p50",
+                        "seek_p99", "seek_max"},
 }
 
 

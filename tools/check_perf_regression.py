@@ -57,11 +57,22 @@ fresh `bench_sharded --json` report:
       (on runners with real parallelism) adaptive throughput must hold
       against static. See check_rebalance for the full contract.
 
-Exit status 0 iff every check passes.
+A sixth check gates the adversarial-shape mitigation when --skew points
+at a fresh `bench_skew --json` report (docs/RESILIENCE.md):
+
+  shape — the study's raw (unscrambled) sequential and adaptive_attack
+      rows must exhibit the O(n) spine (depth_max >= n / (shards * 16)):
+      the gate first proves the pathology is still measurable, so a
+      broken bench cannot vacuously pass. Every scrambled row — and the
+      raw bit_reversed negative control — must then stay under the
+      balanced bound p99 <= 2*log2(n) + slack. Finally the scramble
+      adapter's uniform-workload tax is checked within the micro report:
+      the geomean Scrambled/raw ns-per-op ratio must stay under 1.05.
 """
 
 import argparse
 import json
+import math
 import sys
 
 SCHEMA = "lfbst-bench-v1"
@@ -479,9 +490,209 @@ def check_rebalance(sharded_path, uniform_slack, skew_slack, margin):
     return failures
 
 
+SHAPE_SPINE_STREAMS = ("sequential", "adaptive_attack")
+# A raw spine row must reach depth_max >= n / (shards * divisor): deep
+# enough that only a degenerate (linear-in-n) shape can produce it —
+# 16 absorbs the multiway tree's fanout (depth ~ n/7 at K=8) and leaves
+# a 2x band on top, while staying ~100x above any log2-shaped tree.
+SHAPE_SPINE_DIVISOR = 16
+# Allowed uniform-workload cost of the scramble adapter (geomean of the
+# Scrambled/raw micro ns-per-op ratios): one xorshift-multiply round per
+# op must stay within 5% (ISSUE: "<5% regression on uniform workloads").
+SHAPE_UNIFORM_BAND = 0.05
+SHAPE_MICRO_PAIRS = (("Scrambled/NM-BST", "NM-BST"),
+                     ("Scrambled/Sharded", "Sharded/NM-BST"))
+
+
+def check_shape(skew_path, current, depth_slack, uniform_slack):
+    """Gate on the adversarial-shape mitigation (bench_skew --json +
+    the micro report; docs/RESILIENCE.md).
+
+    Three legs, all within-report — depths are shape properties, not
+    wall-clock, so no machine baseline is needed:
+
+      * spine self-check — the raw sequential and adaptive_attack rows
+        must show depth_max >= n / (shards * 16). If the attack streams
+        no longer degenerate the unscrambled trees, the study is not
+        measuring what it claims and a pass would be vacuous.
+      * bounded depth — every scrambled row (all streams) and the raw
+        bit_reversed negative control must keep depth_p99 under
+        2*log2(n) + --shape-depth-slack. bit_reversed inserts build a
+        balanced tree with no mitigation at all; if that row fails, the
+        depth measurement itself is broken, not the fix.
+      * uniform tax — geomean of Scrambled/raw ns-per-op over the
+        uniform micro rows (same run, same machine) must stay under
+        1 + 0.05 + --shape-uniform-slack.
+    """
+    failures = []
+    if not skew_path:
+        print("  [skip] shape: no --skew report supplied")
+        return failures
+    try:
+        rows = rows_by_study(load_report(skew_path), "seek_depth")
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return [f"shape: {skew_path}: {e}"]
+    if not rows:
+        return [f"shape: no study=seek_depth rows in {skew_path}"]
+
+    spine_rows = scrambled_rows = 0
+    for row in sorted(rows, key=lambda r: (r["stream"], int(r["scramble"]),
+                                           r["algorithm"])):
+        stream, algo = row["stream"], row["algorithm"]
+        scramble = int(row["scramble"])
+        n, shards = int(row["n"]), int(row["shards"])
+        p99, dmax = int(row["depth_p99"]), int(row["depth_max"])
+        if scramble == 0 and stream in SHAPE_SPINE_STREAMS:
+            spine_rows += 1
+            floor = n / (shards * SHAPE_SPINE_DIVISOR)
+            status = "FAIL" if dmax < floor else "ok"
+            print(f"  [{status}] shape spine {stream:>15} {algo:>10} "
+                  f"n={n} shards={shards} depth_max={dmax} "
+                  f"(floor {floor:.0f})")
+            if dmax < floor:
+                failures.append(
+                    f"shape: raw {stream}/{algo} depth_max {dmax} never "
+                    f"reached the spine floor {floor:.0f} (n={n}, "
+                    f"shards={shards}) — the attack stream no longer "
+                    f"degenerates the tree, so the study's pass would be "
+                    f"vacuous; fix the bench before trusting the gate")
+            continue
+        if scramble == 1 or stream == "bit_reversed":
+            if scramble == 1:
+                scrambled_rows += 1
+            bound = 2.0 * math.log2(n) + depth_slack
+            status = "FAIL" if p99 > bound else "ok"
+            label = "scrambled" if scramble == 1 else "raw-control"
+            print(f"  [{status}] shape bound {stream:>15} {algo:>10} "
+                  f"[{label}] n={n} p99={p99} (bound {bound:.0f})")
+            if p99 > bound:
+                failures.append(
+                    f"shape: {label} {stream}/{algo} seek-depth p99 {p99} "
+                    f"exceeds 2*log2({n}) + {depth_slack:g} = {bound:.0f} "
+                    f"— the adversarial shape survives the mitigation")
+    if spine_rows == 0:
+        failures.append(
+            "shape: no raw sequential/adaptive_attack rows — the study "
+            "never demonstrated the pathology it gates")
+    if scrambled_rows == 0:
+        failures.append(
+            "shape: no scramble=1 rows — the mitigation arm is missing")
+
+    micro = {(r["algorithm"], r["op"], r["size"]): float(r["ns_per_op"])
+             for r in rows_by_study(current, "micro")}
+    limit = 1.0 + SHAPE_UNIFORM_BAND + uniform_slack
+    for scrambled_algo, raw_algo in SHAPE_MICRO_PAIRS:
+        ratios = []
+        for (algo, op, size), ns in sorted(micro.items()):
+            if algo != scrambled_algo:
+                continue
+            raw_ns = micro.get((raw_algo, op, size))
+            if raw_ns is None:
+                failures.append(
+                    f"shape: micro row {raw_algo}/{op}/size={size} missing "
+                    f"— cannot price the scramble adapter against it")
+                continue
+            ratios.append(ns / raw_ns)
+        if not ratios:
+            failures.append(
+                f"shape: no {scrambled_algo} uniform micro rows — the "
+                f"adapter's uniform tax was never measured")
+            continue
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        status = "FAIL" if geomean > limit else "ok"
+        print(f"  [{status}] shape uniform tax {scrambled_algo:>18} vs "
+              f"{raw_algo}: geomean ratio {geomean:.3f} over "
+              f"{len(ratios)} rows (limit {limit:.3f})")
+        if geomean > limit:
+            failures.append(
+                f"shape: {scrambled_algo} costs {geomean:.3f}x {raw_algo} "
+                f"on uniform workloads (limit {limit:.3f}) — the scramble "
+                f"adapter taxes the non-adversarial case too much")
+    return failures
+
+
+SERVE_SHAPE_REQUIRED = {"scramble", "shards", "keys", "seeks", "seek_p99",
+                        "seek_max"}
+
+
+def check_serve_shape(paths, depth_slack):
+    """Gate on lfbst_serve's own exit report (--serve-report, repeatable
+    — the nightly attack-stream soak passes one raw and one scrambled
+    run). The server_lifetime row carries whole-run seek-depth
+    percentiles and the final key count; the same two-sided contract as
+    check_shape applies end-to-end through the wire protocol:
+
+      * a raw (scramble=0) run soaked with an attack stream must show
+        the spine (seek_max >= keys / (shards * 16)) — proof the soak
+        actually attacked;
+      * a scrambled run must stay bounded
+        (seek_p99 <= 2*log2(keys) + --shape-depth-slack).
+    """
+    failures = []
+    if not paths:
+        print("  [skip] serve-shape: no --serve-report supplied")
+        return failures
+    for path in paths:
+        try:
+            rows = rows_by_study(load_report(path), "server_lifetime")
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            failures.append(f"serve-shape: {path}: {e}")
+            continue
+        if not rows:
+            failures.append(
+                f"serve-shape: no study=server_lifetime row in {path}")
+            continue
+        for row in rows:
+            if not SERVE_SHAPE_REQUIRED <= set(row):
+                failures.append(
+                    f"serve-shape: {path} row missing column(s) "
+                    f"{sorted(SERVE_SHAPE_REQUIRED - set(row))} — "
+                    f"lfbst_serve predates the shape telemetry")
+                continue
+            scramble = int(row["scramble"])
+            keys, shards = int(row["keys"]), int(row["shards"])
+            seeks = int(row["seeks"])
+            p99, smax = int(row["seek_p99"]), int(row["seek_max"])
+            if keys < 2 or seeks == 0:
+                failures.append(
+                    f"serve-shape: {path} run ended with {keys} keys and "
+                    f"{seeks} recorded seeks — the soak never loaded the "
+                    f"server")
+                continue
+            if scramble:
+                bound = 2.0 * math.log2(keys) + depth_slack
+                status = "FAIL" if p99 > bound else "ok"
+                print(f"  [{status}] serve-shape scrambled run {path}: "
+                      f"keys={keys} seek_p99={p99} (bound {bound:.0f})")
+                if p99 > bound:
+                    failures.append(
+                        f"serve-shape: scrambled serve run {path} has "
+                        f"seek-depth p99 {p99} over {keys} keys (bound "
+                        f"{bound:.0f}) — the mitigation failed through "
+                        f"the wire protocol")
+            else:
+                floor = keys / (shards * SHAPE_SPINE_DIVISOR)
+                status = "FAIL" if smax < floor else "ok"
+                print(f"  [{status}] serve-shape raw run {path}: "
+                      f"keys={keys} shards={shards} seek_max={smax} "
+                      f"(floor {floor:.0f})")
+                if smax < floor:
+                    failures.append(
+                        f"serve-shape: raw serve run {path} never showed "
+                        f"the spine (seek_max {smax} < {floor:.0f} over "
+                        f"{keys} keys, {shards} shards) — the soak's "
+                        f"attack stream is not attacking, so the "
+                        f"scrambled run's pass is vacuous")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", help="fresh bench_micro_ops --json output")
+    ap.add_argument("current", nargs="?", default=None,
+                    help="fresh bench_micro_ops --json output (optional "
+                         "when only the standalone gates --server/"
+                         "--sharded/--serve-report are wanted, e.g. the "
+                         "nightly attack-stream soak)")
     ap.add_argument("--baseline", default="bench/baseline_micro_ops.json")
     ap.add_argument("--max-regression", type=float, default=0.25,
                     help="allowed relative-throughput growth (0.25 = 25%%)")
@@ -514,27 +725,47 @@ def main():
     ap.add_argument("--rebalance-margin", type=float, default=0.05,
                     help="required reduction of the end-of-run max-shard-"
                          "share, adaptive vs static, on skewed workloads")
+    ap.add_argument("--skew", default=None,
+                    help="fresh bench_skew --json output (optional; "
+                         "enables the adversarial-shape gate)")
+    ap.add_argument("--shape-depth-slack", type=float, default=8.0,
+                    help="additive slack on the 2*log2(n) seek-depth p99 "
+                         "bound for scrambled/attack-stream rows")
+    ap.add_argument("--shape-uniform-slack", type=float, default=0.0,
+                    help="extra allowance (on top of the 5%% band) for the "
+                         "scramble adapter's uniform-workload geomean tax")
+    ap.add_argument("--serve-report", action="append", default=None,
+                    help="lfbst_serve --json exit report (repeatable; "
+                         "enables the end-to-end serve shape gate — pass "
+                         "one raw and one scrambled soak run)")
     args = ap.parse_args()
 
-    try:
-        current_doc = load_doc(args.current)
-        current = current_doc["results"]
-        baseline = load_report(args.baseline)
-    except (OSError, ValueError, json.JSONDecodeError) as e:
-        print(f"FAIL: {e}", file=sys.stderr)
-        return 1
-
-    print(f"perf gate: {args.current} vs {args.baseline}")
-    failures = check_atomics(current, baseline, args.atomics_tolerance)
-    failures += check_micro(current, baseline, args.max_regression)
-    failures += check_restart_policy(current, args.restart_slack)
-    failures += check_scan(current)
-    failures += check_kary(current_doc, args.kary_slack)
+    failures = []
+    current = []
+    if args.current:
+        try:
+            current_doc = load_doc(args.current)
+            current = current_doc["results"]
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"FAIL: {e}", file=sys.stderr)
+            return 1
+        print(f"perf gate: {args.current} vs {args.baseline}")
+        failures += check_atomics(current, baseline, args.atomics_tolerance)
+        failures += check_micro(current, baseline, args.max_regression)
+        failures += check_restart_policy(current, args.restart_slack)
+        failures += check_scan(current)
+        failures += check_kary(current_doc, args.kary_slack)
+    else:
+        print("perf gate: standalone mode (no bench_micro_ops report)")
     failures += check_server(args.server, args.server_baseline,
                              args.server_slack)
     failures += check_rebalance(args.sharded, args.rebalance_uniform_slack,
                                 args.rebalance_skew_slack,
                                 args.rebalance_margin)
+    failures += check_shape(args.skew, current, args.shape_depth_slack,
+                            args.shape_uniform_slack)
+    failures += check_serve_shape(args.serve_report, args.shape_depth_slack)
 
     if failures:
         print(f"\nFAIL: {len(failures)} perf-gate violation(s):",
